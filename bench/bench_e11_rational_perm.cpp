@@ -1,0 +1,103 @@
+/// Experiment E11 — Section 6 remark: the general simulation delivers
+/// messages by sorting (it must cope with arbitrary h-relations), but when a
+/// superstep's pattern is a known rational permutation — the transposes of
+/// the recursive DFT — delivery can use the tiled BT transpose instead,
+/// dropping the sort's log factor: the simulated DFT improves from
+/// O(n log n log log n) to the optimal O(n log n).
+
+#include <bit>
+#include <complex>
+
+#include "algos/fft_recursive.hpp"
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "bt/fft.hpp"
+#include "core/bt_simulator.hpp"
+#include "core/smoothing.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+std::vector<std::complex<double>> signal(std::uint64_t n, std::uint64_t seed) {
+    dbsp::SplitMix64 rng(seed);
+    std::vector<std::complex<double>> x(n);
+    for (auto& c : x) c = {rng.next_double() - 0.5, rng.next_double() - 0.5};
+    return x;
+}
+
+}  // namespace
+
+int main() {
+    using namespace dbsp;
+    bench::banner("E11 Rational-permutation delivery (Section 6)",
+                  "delivering the recursive DFT's transposes with the rational-"
+                  "permutation primitive instead of sorting yields the optimal "
+                  "O(n log n) BT time");
+
+    for (const auto& f :
+         {model::AccessFunction::polynomial(0.35), model::AccessFunction::logarithmic()}) {
+        bench::section("f(x) = " + f.name());
+        Table table({"n", "sort delivery", "transpose delivery", "speedup", "n log n",
+                     "transpose/(n log n)", "#transposes"});
+        std::vector<double> ratios;
+        for (std::uint64_t n : {16u, 256u, 65536u}) {
+            algo::FftRecursiveProgram p_sort(signal(n, n));
+            auto s_sort =
+                core::smooth(p_sort, core::bt_label_set(f, p_sort.context_words(), n));
+            const auto r_sort = core::BtSimulator(f).simulate(*s_sort);
+
+            algo::FftRecursiveProgram p_rat(signal(n, n));
+            auto s_rat =
+                core::smooth(p_rat, core::bt_label_set(f, p_rat.context_words(), n));
+            core::BtSimulator::Options options;
+            options.use_rational_permutations = true;
+            const auto r_rat = core::BtSimulator(f, options).simulate(*s_rat);
+
+            const double dn = static_cast<double>(n);
+            const double shape = dn * std::log2(dn);
+            table.add_row_values({dn, r_sort.bt_cost, r_rat.bt_cost,
+                                  r_sort.bt_cost / r_rat.bt_cost, shape,
+                                  r_rat.bt_cost / shape,
+                                  static_cast<double>(r_rat.transpose_invocations)});
+            ratios.push_back(r_rat.bt_cost / shape);
+        }
+        table.print();
+        bench::report_band("transpose-delivery cost / (n log n)", ratios);
+    }
+    std::printf("\n(the speedup column grows with n: sorting pays the extra log log n "
+                "the rational permutation avoids)\n");
+
+    bench::section("reference: the hand-written Theta(n log n) BT FFT of [ACS87]");
+    {
+        Table table({"n", "native BT FFT", "n log n", "ratio",
+                     "sim-with-transposes / native"});
+        for (std::uint64_t n : {256u, 65536u}) {
+            const auto f = model::AccessFunction::polynomial(0.35);
+            bt::Machine native(f, 6 * n + 64);
+            {
+                const auto x = signal(n, n);
+                for (std::uint64_t e = 0; e < n; ++e) {
+                    native.raw()[2 * n + 32 + e] = std::bit_cast<model::Word>(x[e].real());
+                    native.raw()[3 * n + 32 + e] = std::bit_cast<model::Word>(x[e].imag());
+                }
+            }
+            native.reset_cost();
+            bt::fft_natural_planar(native, 2 * n + 32, n);
+
+            algo::FftRecursiveProgram prog(signal(n, n));
+            auto sm = core::smooth(prog, core::bt_label_set(f, prog.context_words(), n));
+            core::BtSimulator::Options options;
+            options.use_rational_permutations = true;
+            const auto sim = core::BtSimulator(f, options).simulate(*sm);
+
+            const double shape = static_cast<double>(n) * std::log2(n);
+            table.add_row_values({static_cast<double>(n), native.cost(), shape,
+                                  native.cost() / shape, sim.bt_cost / native.cost()});
+        }
+        table.print();
+        std::printf("(the simulated D-BSP algorithm lands a machinery-constant above "
+                    "the native optimum, at the same O(n log n) shape)\n");
+    }
+    return 0;
+}

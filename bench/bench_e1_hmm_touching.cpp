@@ -1,0 +1,37 @@
+/// Experiment E1 — Fact 1: touching the first n cells of an f(x)-HMM costs
+/// Theta(n f(n)). We scan memories of growing size under the case-study
+/// access functions and compare the measured (exact) cost with n * f(n).
+
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "core/bounds.hpp"
+#include "hmm/machine.hpp"
+#include "hmm/primitives.hpp"
+
+int main() {
+    using namespace dbsp;
+    bench::banner("E1  HMM touching (Fact 1)",
+                  "time to access the first n cells of f(x)-HMM is Theta(n f(n))");
+
+    for (const auto& f : bench::case_study_functions()) {
+        bench::section("f(x) = " + f.name());
+        Table table({"n", "measured cost", "n*f(n)", "ratio"});
+        std::vector<double> ns, costs, ratios;
+        for (std::uint64_t n = 1 << 10; n <= (1 << 22); n <<= 2) {
+            hmm::Machine m(f, n);
+            m.reset_cost();
+            hmm::touch_all(m, n);
+            const double bound = core::fact1_bound(f, n);
+            table.add_row_values({static_cast<double>(n), m.cost(), bound, m.cost() / bound});
+            ns.push_back(static_cast<double>(n));
+            costs.push_back(m.cost());
+            ratios.push_back(m.cost() / bound);
+        }
+        table.print();
+        bench::report_band("measured / (n f(n))", ratios);
+        bench::report_slope("touching cost vs n", ns, costs,
+                            f.name() == "log x" ? 1.0 : 1.0 + (f.name() == "x^0.35" ? 0.35 : 0.50));
+    }
+    return 0;
+}

@@ -1,0 +1,42 @@
+/// Experiment E2 — Fact 2: the touching problem on f(x)-BT requires
+/// Theta(n f*(n)) — n log log n for f = x^alpha and n log* n for f = log x —
+/// versus the HMM's Theta(n f(n)). We run the recursive block-transfer
+/// touching algorithm and tabulate both models side by side; the HMM/BT gap
+/// is the "added power introduced by block transfer" the paper points at.
+
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "bt/machine.hpp"
+#include "bt/primitives.hpp"
+#include "core/bounds.hpp"
+
+int main() {
+    using namespace dbsp;
+    bench::banner("E2  BT touching (Fact 2)",
+                  "touching on f(x)-BT costs Theta(n f*(n)); block transfer hides "
+                  "nearly all of the HMM's Theta(n f(n))");
+
+    for (const auto& f : bench::case_study_functions()) {
+        bench::section("f(x) = " + f.name());
+        Table table({"n", "BT cost", "n*f*(n)", "BT ratio", "HMM cost", "HMM/BT"});
+        std::vector<double> ratios, gaps;
+        for (std::uint64_t n = 1 << 12; n <= (1 << 22); n <<= 2) {
+            bt::Machine m(f, 2 * n);
+            m.reset_cost();
+            bt::touch_region(m, n, n);
+            const double bt_cost = m.cost();
+            const double bound = core::fact2_bound(f, n);
+            const double hmm_cost = core::fact1_bound(f, n);
+            table.add_row_values({static_cast<double>(n), bt_cost, bound, bt_cost / bound,
+                                  hmm_cost, hmm_cost / bt_cost});
+            ratios.push_back(bt_cost / bound);
+            gaps.push_back(hmm_cost / bt_cost);
+        }
+        table.print();
+        bench::report_band("BT measured / (n f*(n))", ratios);
+        std::printf("%-44s grows from %.1fx to %.1fx\n", "HMM/BT touching gap",
+                    gaps.front(), gaps.back());
+    }
+    return 0;
+}

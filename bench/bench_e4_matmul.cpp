@@ -1,0 +1,113 @@
+/// Experiment E4 — Proposition 7: the n-MM problem (sqrt(n) x sqrt(n)
+/// semiring matrix multiplication on n processors, Fig. 3 algorithm) runs in
+///   O(n^alpha)          on D-BSP(n, O(1), x^alpha), alpha > 1/2,
+///   O(sqrt(n) log n)    at alpha = 1/2,
+///   O(sqrt(n))          for alpha < 1/2 and for g = log x,
+/// and its HMM simulation matches the Theta(n^(1+alpha)) / Theta(n^(3/2))
+/// lower bounds of [AACS87]. The hierarchy-oblivious schoolbook multiply
+/// supplies the flat-memory baseline the introduction argues against.
+
+#include "algos/matmul.hpp"
+#include "algos/serial_reference.hpp"
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "core/hmm_simulator.hpp"
+#include "core/smoothing.hpp"
+#include "hmm/matmul.hpp"
+#include "hmm/primitives.hpp"
+#include "model/dbsp_machine.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+dbsp::algo::MatMulProgram make_program(std::uint64_t n, std::uint64_t seed) {
+    dbsp::SplitMix64 rng(seed);
+    std::vector<dbsp::model::Word> a(n), b(n);
+    for (auto& x : a) x = rng.next_below(1 << 20);
+    for (auto& x : b) x = rng.next_below(1 << 20);
+    return dbsp::algo::MatMulProgram(a, b);
+}
+
+}  // namespace
+
+int main() {
+    using namespace dbsp;
+    bench::banner("E4  Matrix multiplication (Proposition 7)",
+                  "D-BSP n-MM in O(n^a)/O(sqrt(n) log n)/O(sqrt(n)); simulation is "
+                  "optimal on the HMM");
+
+    // --- D-BSP running times across the three alpha regimes -----------------
+    const std::vector<std::pair<model::AccessFunction, double>> regimes = {
+        {model::AccessFunction::polynomial(0.75), 0.75},      // T = Theta(n^a)
+        {model::AccessFunction::polynomial(0.5), 0.5},        // T = Theta(sqrt n log n)
+        {model::AccessFunction::polynomial(0.35), 0.5},       // T = Theta(sqrt n)
+        {model::AccessFunction::logarithmic(), 0.5},          // T = Theta(sqrt n)
+    };
+    for (const auto& [g, predicted_exp] : regimes) {
+        bench::section("D-BSP(n, O(1), " + g.name() + ") running time");
+        Table table({"n", "T (D-BSP)", "T / predicted-shape"});
+        std::vector<double> ns, ts;
+        for (std::uint64_t n = 1 << 4; n <= (1 << 12); n <<= 2) {
+            auto prog = make_program(n, n);
+            model::DbspMachine machine(g);
+            const auto run = machine.run(prog);
+            double shape;
+            const double dn = static_cast<double>(n);
+            if (g.name() == "x^0.75") {
+                shape = std::pow(dn, 0.75);
+            } else if (g.name() == "x^0.50") {
+                shape = std::sqrt(dn) * std::log2(dn);
+            } else {
+                shape = std::sqrt(dn);
+            }
+            table.add_row_values({dn, run.time, run.time / shape});
+            ns.push_back(dn);
+            ts.push_back(run.time);
+        }
+        table.print();
+        bench::report_slope("T vs n (log factors flatten the fit)", ns, ts, predicted_exp);
+    }
+
+    // --- simulated HMM time vs the [AACS87] lower bound ---------------------
+    for (const auto& f :
+         {model::AccessFunction::polynomial(0.35), model::AccessFunction::polynomial(0.5),
+          model::AccessFunction::polynomial(0.75), model::AccessFunction::logarithmic()}) {
+        bench::section("simulation on " + f.name() + "-HMM vs lower bound");
+        Table table({"n", "HMM sim", "lower-bound shape", "ratio", "native blocked MM",
+                     "oblivious MM"});
+        std::vector<double> ratios;
+        for (std::uint64_t n = 1 << 4; n <= (1 << 12); n <<= 2) {
+            auto prog = make_program(n, n);
+            auto smoothed =
+                core::smooth(prog, core::hmm_label_set(f, prog.context_words(), n));
+            const core::HmmSimulator sim(f);
+            const auto res = sim.simulate(*smoothed);
+            // [AACS87] lower bounds: n^(1+a) for x^a (communication bound
+            // n^(3/2) dominates when a < 1/2); sqrt(n)^3 = n^(3/2) for log x.
+            const double dn = static_cast<double>(n);
+            double shape;
+            if (f.name() == "x^0.50") {
+                shape = std::pow(dn, 1.5) * std::log2(dn);
+            } else if (f.name() == "x^0.75") {
+                shape = std::pow(dn, 1.75);  // n^(1+alpha)
+            } else {
+                shape = std::pow(dn, 1.5);  // computation bound dominates
+            }
+            const std::uint64_t s = std::uint64_t{1} << (ilog2(n) / 2);
+            // The hand-written blocked recursion (the [AACS87]-style optimum)
+            // and the hierarchy-oblivious schoolbook loop, on the same machine.
+            hmm::Machine nat(f, 4 * n + 64);
+            hmm::blocked_matmul(nat, n, 2 * n, 3 * n, s);
+            hmm::Machine m(f, 3 * n + 16);
+            hmm::oblivious_matmul(m, 0, n, 2 * n, s);
+            table.add_row_values(
+                {dn, res.hmm_cost, shape, res.hmm_cost / shape, nat.cost(), m.cost()});
+            ratios.push_back(res.hmm_cost / shape);
+        }
+        table.print();
+        bench::report_band("simulated / optimal-shape", ratios);
+    }
+    return 0;
+}

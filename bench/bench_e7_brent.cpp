@@ -1,0 +1,84 @@
+/// Experiment E7 — Theorem 10 / Corollary 11 (the Brent's-lemma analogue):
+/// a full D-BSP(v, mu, g) program simulates on a D-BSP(v', mu v/v', g) whose
+/// processors are g(x)-HMMs with slowdown Theta(v / v'). Two views:
+///  (a) fixed v, sweeping v': host time scales like (v/v') * T;
+///  (b) fixed ratio v/v', growing v: the normalized slowdown
+///      host / (T * v/v') stays in a constant band — no hierarchy-induced
+///      extra slowdown (the contrast with Lambda(n, p, m) of [BP97/BP99]).
+
+#include "algos/permutation.hpp"
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "core/bounds.hpp"
+#include "core/self_simulator.hpp"
+#include "model/dbsp_machine.hpp"
+#include "util/bits.hpp"
+
+namespace {
+
+std::vector<unsigned> full_profile(std::uint64_t v) {
+    std::vector<unsigned> labels;
+    for (unsigned l = 0; l <= dbsp::ilog2(v); ++l) labels.push_back(dbsp::ilog2(v) - l);
+    return labels;
+}
+
+}  // namespace
+
+int main() {
+    using namespace dbsp;
+    bench::banner("E7  D-BSP self-simulation (Theorem 10 / Corollary 11)",
+                  "any T-time full D-BSP(v, mu, g) program runs on "
+                  "D-BSP(v', mu v/v', g) in Theta(T v / v') time");
+
+    const auto g = model::AccessFunction::polynomial(0.5);
+    constexpr std::size_t kFill = 5;  // h = 6: a full program (h = Theta(mu))
+
+    bench::section("(a) fixed v = 1024, sweeping v' (g = x^0.5)");
+    {
+        const std::uint64_t v = 1024;
+        const auto labels = full_profile(v);
+        algo::RandomRoutingProgram guest(v, labels, 17, 0, kFill);
+        const double guest_time = model::DbspMachine(g).run(guest).time;
+        Table table({"v'", "host time", "T*(v/v')", "normalized slowdown", "Thm10 bound",
+                     "host/bound"});
+        std::vector<double> vps, times;
+        for (std::uint64_t vp = 1; vp <= v; vp *= 4) {
+            algo::RandomRoutingProgram prog(v, labels, 17, 0, kFill);
+            const core::SelfSimulator sim(g, vp);
+            const auto host = sim.simulate(prog);
+            algo::RandomRoutingProgram bprog(v, labels, 17, 0, kFill);
+            const auto run = model::DbspMachine(g).run(bprog);
+            const double bound =
+                core::theorem10_bound(run, g, v, vp, bprog.context_words());
+            const double ideal = guest_time * static_cast<double>(v) / static_cast<double>(vp);
+            table.add_row_values({static_cast<double>(vp), host.host_time, ideal,
+                                  host.host_time / ideal, bound, host.host_time / bound});
+            vps.push_back(static_cast<double>(vp));
+            times.push_back(host.host_time);
+        }
+        table.print();
+        bench::report_slope("host time vs v'", vps, times, -1.0);
+    }
+
+    bench::section("(b) fixed v/v' = 16, growing v: no extra slowdown");
+    {
+        Table table({"v", "v'", "guest T", "host time", "host/(T*16)"});
+        std::vector<double> normalized;
+        for (std::uint64_t v = 64; v <= 4096; v *= 4) {
+            const auto labels = full_profile(v);
+            algo::RandomRoutingProgram guest(v, labels, 23, 0, kFill);
+            const double guest_time = model::DbspMachine(g).run(guest).time;
+            algo::RandomRoutingProgram prog(v, labels, 23, 0, kFill);
+            const core::SelfSimulator sim(g, v / 16);
+            const auto host = sim.simulate(prog);
+            const double norm = host.host_time / (guest_time * 16.0);
+            table.add_row_values({static_cast<double>(v), static_cast<double>(v / 16),
+                                  guest_time, host.host_time, norm});
+            normalized.push_back(norm);
+        }
+        table.print();
+        bench::report_band("host / (T * v/v') — flat = seamless integration", normalized);
+    }
+    return 0;
+}

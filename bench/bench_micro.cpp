@@ -1,0 +1,70 @@
+/// Wall-clock microbenchmarks (google-benchmark) of the simulator
+/// implementations themselves — not paper results, but useful for keeping
+/// the cost-model machinery fast enough to run the E1-E12 experiments.
+
+#include <benchmark/benchmark.h>
+
+#include "algos/bitonic_sort.hpp"
+#include "algos/permutation.hpp"
+#include "core/bt_simulator.hpp"
+#include "core/hmm_simulator.hpp"
+#include "core/smoothing.hpp"
+#include "hmm/machine.hpp"
+#include "hmm/primitives.hpp"
+#include "model/dbsp_machine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dbsp;
+
+void BM_HmmScan(benchmark::State& state) {
+    const auto n = static_cast<std::uint64_t>(state.range(0));
+    hmm::Machine m(model::AccessFunction::polynomial(0.5), n);
+    for (auto _ : state) {
+        m.reset_cost();
+        benchmark::DoNotOptimize(hmm::touch_all(m, n));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HmmScan)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_DirectDbspExecution(benchmark::State& state) {
+    const auto v = static_cast<std::uint64_t>(state.range(0));
+    SplitMix64 rng(1);
+    std::vector<model::Word> keys(v);
+    for (auto& k : keys) k = rng.next();
+    model::DbspMachine machine(model::AccessFunction::polynomial(0.5));
+    for (auto _ : state) {
+        algo::BitonicSortProgram prog(keys);
+        benchmark::DoNotOptimize(machine.run(prog).time);
+    }
+}
+BENCHMARK(BM_DirectDbspExecution)->Arg(1 << 8)->Arg(1 << 10);
+
+void BM_HmmSimulator(benchmark::State& state) {
+    const auto v = static_cast<std::uint64_t>(state.range(0));
+    const auto f = model::AccessFunction::polynomial(0.5);
+    for (auto _ : state) {
+        algo::RandomRoutingProgram prog(v, {0, 3, 5, 2, 7, 1}, 9);
+        auto smoothed = core::smooth(prog, core::hmm_label_set(f, prog.context_words(), v));
+        benchmark::DoNotOptimize(core::HmmSimulator(f).simulate(*smoothed).hmm_cost);
+    }
+}
+BENCHMARK(BM_HmmSimulator)->Arg(1 << 8)->Arg(1 << 10);
+
+void BM_BtSimulator(benchmark::State& state) {
+    const auto v = static_cast<std::uint64_t>(state.range(0));
+    const auto f = model::AccessFunction::polynomial(0.5);
+    for (auto _ : state) {
+        algo::RandomRoutingProgram prog(v, {0, 3, 5, 2, 7, 1}, 9);
+        auto smoothed = core::smooth(prog, core::bt_label_set(f, prog.context_words(), v));
+        benchmark::DoNotOptimize(core::BtSimulator(f).simulate(*smoothed).bt_cost);
+    }
+}
+BENCHMARK(BM_BtSimulator)->Arg(1 << 8)->Arg(1 << 10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file common.hpp
+/// Shared helpers for the experiment binaries. Each bench_eNN binary
+/// reproduces one claim of the paper (see DESIGN.md §6) and prints
+/// paper-style tables: one row per parameter point, columns for the measured
+/// simulated cost, the closed-form prediction, and their ratio. A ratio
+/// column that stays within a constant band across the sweep is the
+/// empirical signature of the claimed Theta()/O() bound.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "model/access_function.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace dbsp::bench {
+
+/// Print the experiment banner.
+inline void banner(const char* id, const char* claim) {
+    std::printf("==============================================================\n");
+    std::printf("%s\n", id);
+    std::printf("Paper claim: %s\n", claim);
+    std::printf("==============================================================\n");
+}
+
+inline void section(const std::string& text) {
+    std::printf("\n--- %s ---\n", text.c_str());
+}
+
+/// Print a fitted growth exponent next to its predicted value.
+inline void report_slope(const std::string& what, const std::vector<double>& xs,
+                         const std::vector<double>& ys, double predicted) {
+    const auto fit = fit_loglog(xs, ys);
+    std::printf("%-44s measured exponent %.3f (predicted %.3f, R^2 %.4f)\n",
+                what.c_str(), fit.slope, predicted, fit.r_squared);
+}
+
+/// Print a ratio-band summary: Theta() bounds show as a bounded spread.
+inline void report_band(const std::string& what, const std::vector<double>& ratios) {
+    std::printf("%-44s ratio band [%.3f, %.3f], spread %.2fx\n", what.c_str(),
+                *std::min_element(ratios.begin(), ratios.end()),
+                *std::max_element(ratios.begin(), ratios.end()), spread(ratios));
+}
+
+/// The paper's case-study access functions.
+inline std::vector<model::AccessFunction> case_study_functions() {
+    return {model::AccessFunction::polynomial(0.35), model::AccessFunction::polynomial(0.5),
+            model::AccessFunction::logarithmic()};
+}
+
+}  // namespace dbsp::bench

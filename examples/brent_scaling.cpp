@@ -1,0 +1,56 @@
+/// Example: capacity planning with the D-BSP self-simulation (Section 4).
+///
+/// Scenario: a 512-processor D-BSP job (a full routing workload) must run on
+/// smaller machines whose processors have proportionally larger hierarchical
+/// memories. The Brent-style self-simulation predicts the running time on
+/// every configuration: time scales like v/v' with no hierarchy-induced
+/// penalty, so halving the machine doubles the time — the "seamless
+/// integration of memory and network hierarchies".
+
+#include <cstdio>
+
+#include "algos/permutation.hpp"
+#include "core/self_simulator.hpp"
+#include "model/dbsp_machine.hpp"
+#include "util/bits.hpp"
+
+int main() {
+    using namespace dbsp;
+    constexpr std::uint64_t v = 512;
+    const auto g = model::AccessFunction::polynomial(0.5);
+
+    // A full workload: every label level, h = 6 relation per superstep.
+    std::vector<unsigned> labels;
+    for (unsigned l = 0; l <= ilog2(v); ++l) labels.push_back(ilog2(v) - l);
+
+    algo::RandomRoutingProgram guest(v, labels, 99, /*local_ops=*/0, /*fill_messages=*/5);
+    const auto direct = model::DbspMachine(g).run(guest);
+    std::printf("guest: D-BSP(%llu, mu, x^0.5), T = %.1f\n\n",
+                static_cast<unsigned long long>(v), direct.time);
+    std::printf("%8s %14s %16s %12s %s\n", "v'", "host time", "vs previous", "global/local",
+                "(runs)");
+
+    double previous = 0.0;
+    for (std::uint64_t vp = v; vp >= 1; vp /= 4) {
+        algo::RandomRoutingProgram prog(v, labels, 99, 0, 5);
+        const core::SelfSimulator sim(g, vp);
+        const auto host = sim.simulate(prog);
+        std::printf("%8llu %14.3e %15.2fx %7zu/%-4zu\n",
+                    static_cast<unsigned long long>(vp), host.host_time,
+                    previous > 0 ? host.host_time / previous : 0.0,
+                    host.global_supersteps, host.local_runs);
+        // Every configuration computes the same answer.
+        for (std::uint64_t p = 0; p < v; ++p) {
+            if (host.data_of(p)[0] != direct.data_of(p)[0]) {
+                std::printf("MISMATCH at %llu\n", static_cast<unsigned long long>(p));
+                return 1;
+            }
+        }
+        previous = host.host_time;
+    }
+    std::printf("\n(after the first shrink — where host processors start paying real\n"
+                "hierarchy costs — each further 4x shrink multiplies the time by a\n"
+                "settling constant close to 4x: Theta(v/v') slowdown with no growing\n"
+                "hierarchy penalty, Corollary 11's Brent's lemma analogue)\n");
+    return 0;
+}

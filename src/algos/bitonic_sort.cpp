@@ -1,0 +1,46 @@
+#include "algos/bitonic_sort.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+#include "util/contracts.hpp"
+
+namespace dbsp::algo {
+
+BitonicSortProgram::BitonicSortProgram(std::vector<Word> keys)
+    : keys_(std::move(keys)), log_v_(ilog2(keys_.size())) {
+    DBSP_REQUIRE(is_pow2(keys_.size()));
+    const std::uint64_t v = keys_.size();
+    for (std::uint64_t block = 2; block <= v; block *= 2) {
+        for (std::uint64_t distance = block / 2; distance >= 1; distance /= 2) {
+            actions_.push_back(CompareExchange{block, distance});
+        }
+    }
+}
+
+unsigned BitonicSortProgram::label(StepIndex s) const {
+    if (s >= actions_.size()) return 0;  // final sync
+    // Partners differ in bit log2(distance): the pair lies in a common
+    // cluster of 2 * distance processors.
+    return static_cast<unsigned>(log_v_ - 1 - ilog2(actions_[s].distance));
+}
+
+void BitonicSortProgram::absorb(const CompareExchange& ce, ProcId p, StepContext& ctx) {
+    DBSP_REQUIRE(ctx.inbox_size() == 1);
+    const Word mine = ctx.load(0);
+    const Word theirs = ctx.inbox(0).payload0;
+    const bool ascending = (p & ce.block) == 0;
+    const bool is_low = (p & ce.distance) == 0;
+    // Low endpoint keeps min in an ascending block (max in a descending one).
+    const bool keep_min = (is_low == ascending);
+    ctx.store(0, keep_min ? std::min(mine, theirs) : std::max(mine, theirs));
+    ctx.charge_ops(1);
+}
+
+void BitonicSortProgram::step(StepIndex s, ProcId p, StepContext& ctx) {
+    if (s > 0) absorb(actions_[s - 1], p, ctx);
+    if (s >= actions_.size()) return;  // final sync
+    ctx.send(p ^ actions_[s].distance, ctx.load(0));
+}
+
+}  // namespace dbsp::algo

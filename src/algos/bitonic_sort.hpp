@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file bitonic_sort.hpp
+/// Batcher's bitonic sorting network as a fine-grained D-BSP program — the
+/// concrete O(n^alpha) sorting algorithm for Proposition 9 (DESIGN.md §5
+/// explains the substitution for [24, Prop. 2]).
+///
+/// n = v keys, one per processor; after execution processor p holds the p-th
+/// smallest key. A compare-exchange at distance 2^j is a superstep with label
+/// log v - 1 - j (the pair spans a cluster of 2^(j+1) processors), so a merge
+/// stage over 2^k-blocks uses labels log v - k .. log v - 1 and the total
+/// communication cost on D-BSP(n, O(1), x^alpha) telescopes to
+/// sum_k sum_{j<k} (mu 2^(j+1))^alpha = O(n^alpha).
+
+#include "model/program.hpp"
+
+namespace dbsp::algo {
+
+using model::ProcId;
+using model::Program;
+using model::StepContext;
+using model::StepIndex;
+using model::Word;
+
+class BitonicSortProgram final : public Program {
+public:
+    /// \p keys: one per processor (size must be a power of two).
+    explicit BitonicSortProgram(std::vector<Word> keys);
+
+    std::string name() const override { return "bitonic-sort"; }
+    std::uint64_t num_processors() const override { return keys_.size(); }
+    std::size_t data_words() const override { return 1; }
+    std::size_t max_messages() const override { return 1; }
+    StepIndex num_supersteps() const override { return actions_.size() + 1; }
+    unsigned label(StepIndex s) const override;
+    void init(ProcId p, std::span<Word> data) const override { data[0] = keys_[p]; }
+    void step(StepIndex s, ProcId p, StepContext& ctx) override;
+
+private:
+    struct CompareExchange {
+        std::uint64_t block;     ///< bitonic block size 2^k (direction period)
+        std::uint64_t distance;  ///< partner distance 2^j
+    };
+
+    void absorb(const CompareExchange& ce, ProcId p, StepContext& ctx);
+
+    std::vector<Word> keys_;
+    unsigned log_v_;
+    std::vector<CompareExchange> actions_;
+};
+
+}  // namespace dbsp::algo

@@ -1,0 +1,55 @@
+#include "algos/fft_direct.hpp"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+#include "util/bits.hpp"
+#include "util/contracts.hpp"
+
+namespace dbsp::algo {
+
+FftDirectProgram::FftDirectProgram(std::vector<std::complex<double>> input)
+    : input_(std::move(input)), log_v_(ilog2(input_.size())) {
+    DBSP_REQUIRE(is_pow2(input_.size()));
+}
+
+void FftDirectProgram::init(ProcId p, std::span<Word> data) const {
+    data[0] = std::bit_cast<Word>(input_[p].real());
+    data[1] = std::bit_cast<Word>(input_[p].imag());
+}
+
+void FftDirectProgram::butterfly(StepIndex stage, ProcId p, StepContext& ctx) {
+    // Combine the partner value received for DIF stage `stage`.
+    DBSP_REQUIRE(ctx.inbox_size() == 1);
+    const model::Message m = ctx.inbox(0);
+    const std::complex<double> theirs(std::bit_cast<double>(m.payload0),
+                                      std::bit_cast<double>(m.payload1));
+    const std::complex<double> mine(ctx.load_double(0), ctx.load_double(1));
+
+    const std::uint64_t n = input_.size();
+    const std::uint64_t block = n >> stage;  // current sub-transform size
+    const std::uint64_t half = block >> 1;
+    std::complex<double> result;
+    if ((p & half) == 0) {
+        result = mine + theirs;  // top of the butterfly
+    } else {
+        const auto j = static_cast<double>(p & (half - 1));
+        const double angle = -2.0 * std::numbers::pi * j / static_cast<double>(block);
+        const std::complex<double> w(std::cos(angle), std::sin(angle));
+        result = (theirs - mine) * w;  // bottom: (top - bottom) * twiddle
+    }
+    ctx.store_double(0, result.real());
+    ctx.store_double(1, result.imag());
+    ctx.charge_ops(8);  // complex multiply-add flavour
+}
+
+void FftDirectProgram::step(StepIndex s, ProcId p, StepContext& ctx) {
+    if (s > 0) butterfly(s - 1, p, ctx);
+    if (s >= log_v_) return;  // final sync
+    // Stage s exchange: partner at distance n / 2^(s+1).
+    const std::uint64_t distance = input_.size() >> (s + 1);
+    ctx.send_double(p ^ distance, ctx.load_double(0), ctx.load_double(1));
+}
+
+}  // namespace dbsp::algo

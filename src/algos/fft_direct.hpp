@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file fft_direct.hpp
+/// The first n-DFT algorithm of Proposition 8: the straightforward schedule
+/// of the n-input FFT dag on n processors, one radix-2 DIF butterfly stage
+/// per superstep. Stage s pairs processors at distance n/2^(s+1), which is a
+/// superstep of label s — one i-superstep for each 0 <= i < log n, giving
+/// running time O(sum_i (mu n / 2^i)^alpha) = O(n^alpha) on
+/// D-BSP(n, O(1), x^alpha) and Theta(log^2 n) on D-BSP(n, O(1), log x).
+///
+/// Output convention: decimation-in-frequency leaves X in bit-reversed order
+/// (processor p holds X[bit_reverse(p)]); the serial reference in
+/// serial_reference.hpp uses the identical convention.
+
+#include <complex>
+
+#include "model/program.hpp"
+
+namespace dbsp::algo {
+
+using model::ProcId;
+using model::Program;
+using model::StepContext;
+using model::StepIndex;
+using model::Word;
+
+class FftDirectProgram final : public Program {
+public:
+    /// \p input: n complex values, one per processor (n a power of two).
+    explicit FftDirectProgram(std::vector<std::complex<double>> input);
+
+    std::string name() const override { return "fft-direct"; }
+    std::uint64_t num_processors() const override { return input_.size(); }
+    std::size_t data_words() const override { return 2; }  // re, im
+    std::size_t max_messages() const override { return 1; }
+    StepIndex num_supersteps() const override { return log_v_ + 1; }
+    unsigned label(StepIndex s) const override {
+        return s < log_v_ ? static_cast<unsigned>(s) : 0u;
+    }
+    void init(ProcId p, std::span<Word> data) const override;
+    void step(StepIndex s, ProcId p, StepContext& ctx) override;
+
+private:
+    void butterfly(StepIndex stage, ProcId p, StepContext& ctx);
+
+    std::vector<std::complex<double>> input_;
+    unsigned log_v_;
+};
+
+}  // namespace dbsp::algo

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file permutation.hpp
+/// Cluster-respecting random routing rounds. Each round r has a label l_r and
+/// a fixed pseudorandom permutation that maps every processor to a target in
+/// its own l_r-cluster; values are routed accordingly (an h = 1 relation).
+///
+/// This is the workhorse program for property tests and for the generic
+/// slowdown experiments (E3/E8): an arbitrary label sequence exercises every
+/// path of the simulators' cluster scheduling, and the functional result (a
+/// composition of known permutations) is trivial to predict.
+
+#include "model/program.hpp"
+#include "util/rng.hpp"
+
+namespace dbsp::algo {
+
+using model::ProcId;
+using model::Program;
+using model::StepContext;
+using model::StepIndex;
+using model::Word;
+
+class RandomRoutingProgram final : public Program {
+public:
+    /// One routing round per entry of \p round_labels (each <= log v), plus a
+    /// final 0-superstep. Initial value of processor p is p (so the final
+    /// data word directly encodes the permutation composition). Work per
+    /// round per processor can be inflated with \p local_ops to model
+    /// computation-heavy supersteps, and traffic with \p fill_messages extra
+    /// (ignored) messages per processor per round, each routed by its own
+    /// cluster-respecting permutation — so h = 1 + fill_messages exactly,
+    /// which turns the program into a *full* program (h = Theta(mu)) for the
+    /// Corollary 11 experiments when fill_messages ~ mu.
+    RandomRoutingProgram(std::uint64_t v, std::vector<unsigned> round_labels,
+                         std::uint64_t seed, std::uint64_t local_ops = 0,
+                         std::size_t fill_messages = 0);
+
+    std::string name() const override { return "random-routing"; }
+    std::uint64_t num_processors() const override { return v_; }
+    std::size_t data_words() const override { return 1; }
+    std::size_t max_messages() const override { return 1 + fill_messages_; }
+    StepIndex num_supersteps() const override { return labels_.size(); }
+    unsigned label(StepIndex s) const override { return labels_[s]; }
+    void init(ProcId p, std::span<Word> data) const override { data[0] = p; }
+    void step(StepIndex s, ProcId p, StepContext& ctx) override;
+
+    /// Expected final value at processor p (inverse of the composition).
+    Word expected(ProcId p) const { return expected_[p]; }
+
+private:
+    std::uint64_t v_;
+    std::vector<unsigned> labels_;            ///< per superstep (incl. final 0)
+    std::vector<std::vector<ProcId>> dest_;   ///< dest_[round][p]
+    std::vector<std::vector<ProcId>> fill_dest_;  ///< filler permutations
+    std::vector<Word> expected_;
+    std::uint64_t local_ops_;
+    std::size_t fill_messages_;
+};
+
+}  // namespace dbsp::algo

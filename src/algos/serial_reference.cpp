@@ -1,0 +1,79 @@
+#include "algos/serial_reference.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/bits.hpp"
+#include "util/contracts.hpp"
+
+namespace dbsp::algo {
+
+void serial_fft_dif_bitrev(std::vector<std::complex<double>>& x) {
+    const std::size_t n = x.size();
+    DBSP_REQUIRE(is_pow2(n));
+    for (std::size_t block = n; block >= 2; block /= 2) {
+        const std::size_t half = block / 2;
+        for (std::size_t start = 0; start < n; start += block) {
+            for (std::size_t j = 0; j < half; ++j) {
+                const auto u = x[start + j];
+                const auto w = x[start + j + half];
+                const double angle = -2.0 * std::numbers::pi * static_cast<double>(j) /
+                                     static_cast<double>(block);
+                x[start + j] = u + w;
+                x[start + j + half] =
+                    (u - w) * std::complex<double>(std::cos(angle), std::sin(angle));
+            }
+        }
+    }
+}
+
+std::vector<std::complex<double>> serial_dft_naive(
+    const std::vector<std::complex<double>>& x) {
+    const std::size_t n = x.size();
+    std::vector<std::complex<double>> out(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        std::complex<double> sum{0.0, 0.0};
+        for (std::size_t j = 0; j < n; ++j) {
+            const double angle = -2.0 * std::numbers::pi *
+                                 static_cast<double>((j * k) % n) / static_cast<double>(n);
+            sum += x[j] * std::complex<double>(std::cos(angle), std::sin(angle));
+        }
+        out[k] = sum;
+    }
+    return out;
+}
+
+std::vector<std::uint64_t> serial_matmul_morton(const std::vector<std::uint64_t>& a,
+                                                const std::vector<std::uint64_t>& b) {
+    const std::size_t n = a.size();
+    DBSP_REQUIRE(a.size() == b.size());
+    DBSP_REQUIRE(is_pow2(n) && ilog2(n) % 2 == 0);
+    const std::size_t s = std::size_t{1} << (ilog2(n) / 2);
+    std::vector<std::uint64_t> c(n, 0);
+    for (std::size_t i = 0; i < s; ++i) {
+        for (std::size_t j = 0; j < s; ++j) {
+            std::uint64_t acc = 0;
+            for (std::size_t k = 0; k < s; ++k) {
+                acc += a[morton_encode(static_cast<std::uint32_t>(i),
+                                       static_cast<std::uint32_t>(k))] *
+                       b[morton_encode(static_cast<std::uint32_t>(k),
+                                       static_cast<std::uint32_t>(j))];
+            }
+            c[morton_encode(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j))] =
+                acc;
+        }
+    }
+    return c;
+}
+
+std::vector<std::uint64_t> serial_exclusive_prefix(const std::vector<std::uint64_t>& in) {
+    std::vector<std::uint64_t> out(in.size());
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        out[i] = acc;
+        acc += in[i];
+    }
+    return out;
+}
+
+}  // namespace dbsp::algo

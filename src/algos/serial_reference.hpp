@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file serial_reference.hpp
+/// Plain sequential reference implementations used to validate the D-BSP
+/// programs (and, through them, every simulator): same conventions, no
+/// cleverness.
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace dbsp::algo {
+
+/// In-place radix-2 DIF FFT; output in bit-reversed order (the convention of
+/// FftDirectProgram).
+void serial_fft_dif_bitrev(std::vector<std::complex<double>>& x);
+
+/// Natural-order DFT X[k] = sum_j x[j] e^(-2 pi i j k / n), O(n^2); the
+/// convention of FftRecursiveProgram and the ground truth for both.
+std::vector<std::complex<double>> serial_dft_naive(
+    const std::vector<std::complex<double>>& x);
+
+/// C = A * B over the (mod 2^64) semiring, all three matrices in Morton
+/// order with n = s^2 entries (the MatMulProgram layout).
+std::vector<std::uint64_t> serial_matmul_morton(const std::vector<std::uint64_t>& a,
+                                                const std::vector<std::uint64_t>& b);
+
+/// Exclusive prefix sums mod 2^64.
+std::vector<std::uint64_t> serial_exclusive_prefix(const std::vector<std::uint64_t>& in);
+
+}  // namespace dbsp::algo

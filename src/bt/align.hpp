@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file align.hpp
+/// The ALIGN(n) subroutine of Section 5.2.1: after the sort-based message
+/// delivery, the records of each processor form a variable-length group in a
+/// contiguous region; ALIGN redistributes the groups so that group j starts
+/// exactly at block j, using recursive halving with block transfers:
+///
+///   ALIGN(n):
+///     if n = 1 then exit
+///     locate the (n/2)-th topmost context          (binary search over tags)
+///     copy contexts n/2 .. n-1 to the region at block n
+///     ALIGN(n/2)                                   (align the first half)
+///     swap blocks 0 .. n/2-1 with blocks n .. 3n/2-1
+///     ALIGN(n/2)                                   (align the second half)
+///     copy blocks 0 .. n/2-1 onto blocks n/2 .. n-1
+///     copy blocks n .. 3n/2-1 onto blocks 0 .. n/2-1
+///
+/// Running time O(mu n log(mu n)) — the same order as the sort it follows.
+///
+/// The BtSimulator itself rebuilds contexts with a single streamed pass
+/// (DESIGN.md §3.4), which subsumes this step; ALIGN is provided as a faithful
+/// standalone implementation of the paper's subroutine, with its own tests
+/// and cost measurements.
+
+#include "bt/machine.hpp"
+
+namespace dbsp::bt {
+
+/// Align n variable-length record groups inside [base, base + n*block_words).
+///
+/// On entry, the region holds the concatenation of n groups packed at the
+/// front (total <= n*block_words words); each record is record_words long and
+/// its first word is the *owner tag* g in [0, n) — records are sorted by tag,
+/// and group g contains at most block_words / record_words records. Unused
+/// record slots after the packed records must carry tags >= n (e.g. ~0
+/// sentinels), which is how the packed length is located. On exit, group g
+/// starts at base + g*block_words (tail slack within each block is
+/// unspecified).
+///
+/// [base + n*block_words, base + (3n/2)*block_words) must be free working
+/// space, per the paper's layout. Requires n to be a power of two.
+void align_groups(Machine& m, Addr base, std::uint64_t n, std::uint64_t block_words,
+                  std::uint64_t record_words);
+
+}  // namespace dbsp::bt

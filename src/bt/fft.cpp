@@ -1,0 +1,116 @@
+#include "bt/fft.hpp"
+
+#include <bit>
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "bt/transpose.hpp"
+#include "util/bits.hpp"
+#include "util/contracts.hpp"
+
+namespace dbsp::bt {
+
+namespace {
+
+std::complex<double> unit_root(std::uint64_t n, std::uint64_t exponent) {
+    const double angle =
+        -2.0 * std::numbers::pi * static_cast<double>(exponent) / static_cast<double>(n);
+    return {std::cos(angle), std::sin(angle)};
+}
+
+std::complex<double> load_c(Machine& m, Addr re, Addr im, std::uint64_t e) {
+    return {std::bit_cast<double>(m.read(re + e)), std::bit_cast<double>(m.read(im + e))};
+}
+
+void store_c(Machine& m, Addr re, Addr im, std::uint64_t e, std::complex<double> v) {
+    m.write(re + e, std::bit_cast<Word>(v.real()));
+    m.write(im + e, std::bit_cast<Word>(v.imag()));
+}
+
+void dft_direct(Machine& m, Addr re, Addr im, std::uint64_t n) {
+    std::vector<std::complex<double>> x(n), out(n);
+    for (std::uint64_t e = 0; e < n; ++e) x[e] = load_c(m, re, im, e);
+    for (std::uint64_t k = 0; k < n; ++k) {
+        std::complex<double> sum{0, 0};
+        for (std::uint64_t j = 0; j < n; ++j) sum += x[j] * unit_root(n, (j * k) % n);
+        out[k] = sum;
+        m.charge(static_cast<double>(8 * n));
+    }
+    for (std::uint64_t e = 0; e < n; ++e) store_c(m, re, im, e, out[e]);
+}
+
+/// Words of top-of-memory staging the recursion needs (a row pair per level,
+/// stacked at the very top so recursive work happens at the cheapest
+/// addresses — the cost recurrence's "bring each row to the top").
+std::uint64_t stage_need(std::uint64_t n) {
+    if (n <= 4) return 0;
+    const std::uint64_t side = std::uint64_t{1} << (ilog2(n) / 2);
+    return stage_need(side) + 2 * side;
+}
+
+/// Recursion over the planar layout; [0, re_base) must be free with
+/// re_base >= stage_need(n).
+void fft_rec(Machine& m, Addr re_base, Addr im_base, std::uint64_t n) {
+    if (n <= 4) {
+        dft_direct(m, re_base, im_base, n);
+        return;
+    }
+    const std::uint64_t side = std::uint64_t{1} << (ilog2(n) / 2);
+    const Addr stage_re = stage_need(side);    // staged row, re plane
+    const Addr stage_im = stage_re + side;     // staged row, im plane
+    DBSP_REQUIRE(re_base >= stage_im + side);
+
+    auto transpose_planes = [&] {
+        // Rational permutation on each plane; the whole free region below the
+        // planes is available to the tile tower (the row buffers are idle
+        // during transposes and may be scribbled over).
+        transpose_square(m, re_base, side, 0, re_base);
+        transpose_square(m, im_base, side, 0, re_base);
+    };
+
+    // Step 1: transpose, so columns become contiguous rows.
+    transpose_planes();
+
+    // Step 2: column DFTs with the four-step twiddle folded in.
+    for (std::uint64_t row = 0; row < side; ++row) {
+        m.block_copy(re_base + row * side, stage_re, side);
+        m.block_copy(im_base + row * side, stage_im, side);
+        fft_rec(m, stage_re, stage_im, side);
+        for (std::uint64_t rp = 0; rp < side; ++rp) {
+            store_c(m, stage_re, stage_im, rp,
+                    load_c(m, stage_re, stage_im, rp) * unit_root(n, (row * rp) % n));
+            m.charge(8.0);
+        }
+        m.block_copy(stage_re, re_base + row * side, side);
+        m.block_copy(stage_im, im_base + row * side, side);
+    }
+
+    // Step 3: regroup.
+    transpose_planes();
+
+    // Step 4: row DFTs.
+    for (std::uint64_t row = 0; row < side; ++row) {
+        m.block_copy(re_base + row * side, stage_re, side);
+        m.block_copy(im_base + row * side, stage_im, side);
+        fft_rec(m, stage_re, stage_im, side);
+        m.block_copy(stage_re, re_base + row * side, side);
+        m.block_copy(stage_im, im_base + row * side, side);
+    }
+
+    // Step 5: final transpose yields natural order.
+    transpose_planes();
+}
+
+}  // namespace
+
+void fft_natural_planar(Machine& m, Addr base, std::uint64_t n) {
+    DBSP_REQUIRE(is_pow2(n));
+    DBSP_REQUIRE(n <= 4 || is_pow2(ilog2(n)));
+    DBSP_REQUIRE(base + 2 * n <= m.capacity());
+    DBSP_REQUIRE(base >= stage_need(n));
+    fft_rec(m, base, base + n, n);
+}
+
+}  // namespace dbsp::bt

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file fft.hpp
+/// A hierarchy-conscious FFT written *directly* for the f(x)-BT model — the
+/// Theta(n log n) native algorithm of [ACS87] that Section 6's improved
+/// simulation matches. Four-step recursion where all bulk movement uses
+/// block transfer:
+///
+///  * the input is stored as two planes (re at [base, base+n), im at
+///    [base+n, base+2n)), so every matrix transpose is a word-level square
+///    transpose handled by the tiled rational-permutation primitive;
+///  * rows (contiguous in each plane) are staged to the top of memory with
+///    block transfers, solved recursively there, twiddled in place, and
+///    written back.
+///
+/// Cost: Theta(n log n) for every f(x) = O(x^alpha) — the scalar butterfly
+/// work dominates once block transfer has flattened the data movement, which
+/// is the "access costs hidden almost completely" phenomenon of [ACS87].
+///
+/// Layout contract: [0, base) free; n with log2 n a power of two (or <= 4).
+/// Output is the natural-order DFT.
+
+#include "bt/machine.hpp"
+
+namespace dbsp::bt {
+
+/// In-place natural-order DFT of the n complex elements stored as planes
+/// re = [base, base+n), im = [base+n, base+2n).
+void fft_natural_planar(Machine& m, Addr base, std::uint64_t n);
+
+}  // namespace dbsp::bt

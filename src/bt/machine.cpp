@@ -1,0 +1,46 @@
+#include "bt/machine.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace dbsp::bt {
+
+Machine::Machine(AccessFunction f, std::uint64_t capacity)
+    : table_(std::move(f), capacity), memory_(capacity, 0) {}
+
+Word Machine::read(Addr x) {
+    DBSP_REQUIRE(x < capacity());
+    cost_ += table_.cost(x);
+    word_access_ += table_.cost(x);
+    return memory_[x];
+}
+
+void Machine::write(Addr x, Word value) {
+    DBSP_REQUIRE(x < capacity());
+    cost_ += table_.cost(x);
+    word_access_ += table_.cost(x);
+    memory_[x] = value;
+}
+
+void Machine::block_copy(Addr src, Addr dst, std::uint64_t len) {
+    if (len == 0) return;
+    DBSP_REQUIRE(src + len <= capacity() && dst + len <= capacity());
+    DBSP_REQUIRE(src + len <= dst || dst + len <= src);  // disjoint, per the model
+    const double latency = std::max(table_.cost(src + len - 1), table_.cost(dst + len - 1));
+    cost_ += latency + static_cast<double>(len);
+    transfer_latency_ += latency;
+    transfer_volume_ += static_cast<double>(len);
+    ++block_transfers_;
+    std::copy(memory_.begin() + static_cast<std::ptrdiff_t>(src),
+              memory_.begin() + static_cast<std::ptrdiff_t>(src + len),
+              memory_.begin() + static_cast<std::ptrdiff_t>(dst));
+}
+
+void Machine::charge(double c) {
+    DBSP_REQUIRE(c >= 0.0);
+    cost_ += c;
+    unit_ops_ += c;
+}
+
+}  // namespace dbsp::bt

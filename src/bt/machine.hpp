@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file machine.hpp
+/// The f(x)-BT model of Aggarwal, Chandra and Snir [ACS87], Section 2 of the
+/// paper: an f(x)-HMM augmented with block transfer. Touching address x costs
+/// f(x); in addition, a block of b cells [x-b+1, x] can be copied onto a
+/// disjoint block [y-b+1, y] in time max{f(x), f(y)} + b — i.e. one access at
+/// the deeper of the two block ends plus one unit per cell, modelling fully
+/// pipelined bulk movement.
+///
+/// As with hmm::Machine, the instance stores real words and meters the exact
+/// model cost of every operation.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/access_function.hpp"
+#include "model/cost_table.hpp"
+#include "model/types.hpp"
+
+namespace dbsp::bt {
+
+using model::AccessFunction;
+using model::Addr;
+using model::Word;
+
+class Machine {
+public:
+    Machine(AccessFunction f, std::uint64_t capacity);
+
+    /// --- charged word accesses (HMM-style) ---------------------------------
+    Word read(Addr x);
+    void write(Addr x, Word value);
+
+    /// --- block transfer ----------------------------------------------------
+    /// Copy [src, src+len) onto the disjoint [dst, dst+len).
+    /// Cost: max(f(src+len-1), f(dst+len-1)) + len.
+    void block_copy(Addr src, Addr dst, std::uint64_t len);
+
+    /// Charge \p c units of pure computation.
+    void charge(double c);
+
+    /// --- accounting --------------------------------------------------------
+    double cost() const { return cost_; }
+    void reset_cost() { cost_ = 0.0; transfer_latency_ = transfer_volume_ = word_access_ = unit_ops_ = 0.0; }
+    /// Number of block_copy operations issued (for diagnostics/tests).
+    std::uint64_t block_transfers() const { return block_transfers_; }
+
+    /// Cost decomposition (sums to cost()): the max(f(x), f(y)) latency part
+    /// of block transfers, their per-cell part, charged single-word accesses,
+    /// and explicit unit-op charges. Diagnostics for the E8 analysis.
+    double transfer_latency_cost() const { return transfer_latency_; }
+    double transfer_volume_cost() const { return transfer_volume_; }
+    double word_access_cost() const { return word_access_; }
+    double unit_op_cost() const { return unit_ops_; }
+
+    std::uint64_t capacity() const { return table_.capacity(); }
+    const model::CostTable& table() const { return table_; }
+    const AccessFunction& function() const { return table_.function(); }
+
+    /// Uncharged raw access for test setup/verification only.
+    std::span<Word> raw() { return memory_; }
+    std::span<const Word> raw() const { return memory_; }
+
+private:
+    model::CostTable table_;
+    std::vector<Word> memory_;
+    double cost_ = 0.0;
+    double transfer_latency_ = 0.0;
+    double transfer_volume_ = 0.0;
+    double word_access_ = 0.0;
+    double unit_ops_ = 0.0;
+    std::uint64_t block_transfers_ = 0;
+};
+
+}  // namespace dbsp::bt

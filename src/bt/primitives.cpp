@@ -1,0 +1,172 @@
+#include "bt/primitives.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace dbsp::bt {
+
+std::uint64_t pow2_at_most(std::uint64_t x) {
+    DBSP_REQUIRE(x >= 1);
+    std::uint64_t p = 1;
+    while (p * 2 <= x) p *= 2;
+    return p;
+}
+
+std::uint64_t chunk_words(const Machine& m, Addr deepest, std::uint64_t cap) {
+    DBSP_REQUIRE(cap >= 1);
+    const double f = m.function()(deepest);
+    const auto f_floor = static_cast<std::uint64_t>(std::max(1.0, std::floor(f)));
+    return pow2_at_most(std::min(f_floor, cap));
+}
+
+Word touch_region(Machine& m, Addr base, std::uint64_t n) {
+    if (n == 0) return 0;
+    DBSP_REQUIRE(base + n <= m.capacity());
+    // Candidate staging chunk: balance the per-chunk transfer cost f(end)
+    // against the chunk length, bounded by half the problem and by the free
+    // space above `base` (the stage lives at [c, 2c)).
+    const std::uint64_t c =
+        (base >= 4 && n >= 2) ? chunk_words(m, base + n - 1, std::min(n / 2, base / 2)) : 0;
+    if (c < 8 || n <= 32) {
+        // Direct reads. Reached either at the top of the recursion tower
+        // (where f is tiny, so each read is cheap) or for trivially small
+        // inputs.
+        Word acc = 0;
+        for (std::uint64_t i = 0; i < n; ++i) acc ^= m.read(base + i);
+        return acc;
+    }
+    Word acc = 0;
+    for (std::uint64_t off = 0; off < n; off += c) {
+        const std::uint64_t len = std::min(c, n - off);
+        m.block_copy(base + off, c, len);
+        acc ^= touch_region(m, c, len);  // recursion stages strictly below c
+    }
+    return acc;
+}
+
+StageTower::StageTower(const Machine& m, Addr stage, std::uint64_t chunk,
+                       std::uint64_t align, std::uint64_t lane, std::uint64_t lanes) {
+    DBSP_REQUIRE(align >= 1);
+    DBSP_REQUIRE(chunk >= align && chunk % align == 0);
+    DBSP_REQUIRE(lanes >= 1 && lane < lanes);
+    // Raw level sizes: s_{k+1} ~ f(s_k), aligned, until levels stop paying
+    // for themselves. Sizes are a function of (chunk, align, lanes) only, so
+    // all lanes compute identical layouts.
+    std::vector<std::uint64_t> sizes{chunk};
+    while (true) {
+        std::uint64_t nxt = chunk_words(m, stage + lanes * sizes.back(), sizes.back() / 4);
+        nxt -= nxt % align;
+        if (nxt < align || nxt < 8 || 4 * nxt > sizes.back()) break;
+        sizes.push_back(nxt);
+    }
+    // Inner levels keep their size; the outermost absorbs the remainder so
+    // each lane's tower occupies exactly chunk words.
+    std::uint64_t inner_total = 0;
+    for (std::size_t k = 1; k < sizes.size(); ++k) inner_total += sizes[k];
+    DBSP_ASSERT(inner_total < chunk);
+    levels.resize(sizes.size());
+    for (std::size_t k = 0; k < sizes.size(); ++k) {
+        levels[k].capacity = (k == 0) ? chunk - inner_total : sizes[k];
+    }
+    // Depth-interleaved layout: all lanes' level-(K-1) buffers first, then
+    // all level-(K-2) buffers, ..., outermost last.
+    Addr at = stage;
+    for (std::size_t k = sizes.size(); k-- > 0;) {
+        levels[k].addr = at + lane * levels[k].capacity;
+        at += lanes * levels[k].capacity;
+    }
+}
+
+StagedReader::StagedReader(Machine& m, Addr begin, std::uint64_t len, Addr stage,
+                           std::uint64_t chunk, std::uint64_t align, std::uint64_t lane,
+                           std::uint64_t lanes)
+    : m_(m), begin_(begin), len_(len), tower_(m, stage, chunk, align, lane, lanes),
+      lo_(tower_.levels.size(), 0), hi_(tower_.levels.size(), 0) {
+    DBSP_REQUIRE(begin_ + len_ <= m_.capacity());
+    DBSP_REQUIRE(stage + lanes * chunk <= m_.capacity());
+    DBSP_REQUIRE(stage + lanes * chunk <= begin_ || begin_ + len_ <= stage);
+}
+
+void StagedReader::refill(std::size_t level) {
+    DBSP_ASSERT(pos_ < len_);
+    lo_[level] = pos_;
+    const std::uint64_t parent_hi = (level == 0) ? len_ : hi_[level - 1];
+    hi_[level] = std::min(pos_ + tower_.levels[level].capacity, parent_hi);
+    const Addr src = (level == 0)
+                         ? begin_ + pos_
+                         : tower_.levels[level - 1].addr + (pos_ - lo_[level - 1]);
+    m_.block_copy(src, tower_.levels[level].addr, hi_[level] - lo_[level]);
+}
+
+Word StagedReader::peek(std::uint64_t offset) {
+    const std::uint64_t at = pos_ + offset;
+    DBSP_REQUIRE(at < len_);
+    const std::size_t inner = tower_.levels.size() - 1;
+    if (at >= hi_[inner]) {
+        // A record never straddles windows when every capacity is a multiple
+        // of the record size and advance() moves in whole records, so a miss
+        // always lands exactly at the consumption point.
+        DBSP_ASSERT(pos_ >= hi_[inner]);
+        for (std::size_t k = 0; k <= inner; ++k) {
+            if (pos_ >= hi_[k]) refill(k);
+        }
+    }
+    DBSP_ASSERT(at >= lo_[inner]);
+    return m_.read(tower_.levels[inner].addr + (at - lo_[inner]));
+}
+
+void StagedReader::advance(std::uint64_t words) {
+    DBSP_REQUIRE(pos_ + words <= len_);
+    pos_ += words;
+}
+
+StagedWriter::StagedWriter(Machine& m, Addr begin, std::uint64_t len, Addr stage,
+                           std::uint64_t chunk, std::uint64_t align, std::uint64_t lane,
+                           std::uint64_t lanes)
+    : m_(m), begin_(begin), len_(len), tower_(m, stage, chunk, align, lane, lanes),
+      fill_(tower_.levels.size(), 0) {
+    DBSP_REQUIRE(begin_ + len_ <= m_.capacity());
+    DBSP_REQUIRE(stage + lanes * chunk <= m_.capacity());
+    DBSP_REQUIRE(stage + lanes * chunk <= begin_ || begin_ + len_ <= stage);
+}
+
+StagedWriter::~StagedWriter() { flush(); }
+
+std::uint64_t StagedWriter::written() const {
+    std::uint64_t total = written_;
+    for (std::uint64_t f : fill_) total += f;
+    return total;
+}
+
+void StagedWriter::push(Word w) {
+    DBSP_REQUIRE(written() < len_);
+    const std::size_t inner = tower_.levels.size() - 1;
+    m_.write(tower_.levels[inner].addr + fill_[inner], w);
+    if (++fill_[inner] == tower_.levels[inner].capacity) spill(inner);
+}
+
+void StagedWriter::spill(std::size_t level) {
+    if (fill_[level] == 0) return;
+    if (level == 0) {
+        m_.block_copy(tower_.levels[0].addr, begin_ + written_, fill_[0]);
+        written_ += fill_[0];
+        fill_[0] = 0;
+        return;
+    }
+    const std::size_t parent = level - 1;
+    if (tower_.levels[parent].capacity - fill_[parent] < fill_[level]) {
+        spill(parent);
+    }
+    m_.block_copy(tower_.levels[level].addr,
+                  tower_.levels[parent].addr + fill_[parent], fill_[level]);
+    fill_[parent] += fill_[level];
+    fill_[level] = 0;
+}
+
+void StagedWriter::flush() {
+    for (std::size_t k = tower_.levels.size(); k-- > 0;) spill(k);
+}
+
+}  // namespace dbsp::bt

@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file primitives.hpp
+/// Building blocks for BT algorithms. The recurring pattern of efficient BT
+/// code (per [ACS87] and Section 5 of the paper) is *chunked staging*: data is
+/// moved to the top of memory in blocks of size Theta(f(n)) — so the per-chunk
+/// transfer cost f(n) + c is O(1) amortized per cell — and processed there,
+/// recursively re-staging when even top-of-chunk access costs matter.
+///
+/// This file provides:
+///  * touch_region — the touching problem (Fact 2), Theta(n f*(n));
+///  * StagedReader / StagedWriter — sequential charged streams over deep
+///    regions that stage chunks at the top via block transfer (the machinery
+///    behind the BT merge sort and the simulator's context rewrites). Both
+///    build the full touching-recursion tower inside their stage window:
+///    level k+1 is a Theta(f(size of level k))-sized buffer, down to O(1),
+///    so the per-word access cost is O(f*(n))-amortized — this is what makes
+///    Theorem 12's f-independence hold in the measurements, not just in the
+///    asymptotics.
+
+#include <vector>
+
+#include "bt/machine.hpp"
+
+namespace dbsp::bt {
+
+/// Largest power of two <= x; requires x >= 1.
+std::uint64_t pow2_at_most(std::uint64_t x);
+
+/// Staging chunk size for a region ending at address \p deepest: the largest
+/// power of two <= min(f(deepest), cap), and >= 1.
+std::uint64_t chunk_words(const Machine& m, Addr deepest, std::uint64_t cap);
+
+/// Touch every cell of [base, base+n): the Fact 2 touching problem. Chunks
+/// are staged at [c, 2c) with recursion staging strictly below, so the caller
+/// must keep [0, base) free; cost is Theta(n f*(n)) for (2,c)-uniform f.
+/// Returns the XOR of all touched words (forces real reads).
+Word touch_region(Machine& m, Addr base, std::uint64_t n);
+
+/// The staging tower shared by StagedReader and StagedWriter: buffer levels
+/// inside the window [stage, stage + lanes*chunk), outermost (largest) level
+/// first. Level k+1 has size ~f(level k's size), rounded to the record
+/// alignment, ending when a level is small enough that elementwise access to
+/// it is cheap.
+///
+/// When several streams cooperate (e.g. the two inputs and the output of a
+/// merge), each takes one of \p lanes lanes over a shared window: the levels
+/// of all lanes are interleaved depth-wise, so every stream's innermost
+/// buffer sits at the very top of the window — the whole point of the tower
+/// is that the cheapest addresses serve the per-word traffic of *all*
+/// streams.
+struct StageTower {
+    StageTower(const Machine& m, Addr stage, std::uint64_t chunk, std::uint64_t align,
+               std::uint64_t lane, std::uint64_t lanes);
+
+    struct Level {
+        Addr addr;
+        std::uint64_t capacity;
+    };
+    std::vector<Level> levels;  ///< [0] = outermost, back() = innermost
+};
+
+/// Sequential reader over the \p len words at [begin, begin+len). Data
+/// cascades through the staging tower in [stage, stage+chunk) (a multiple of
+/// \p align) via block transfers; reads are served from the innermost level.
+/// The stage window must be disjoint from the source region.
+class StagedReader {
+public:
+    StagedReader(Machine& m, Addr begin, std::uint64_t len, Addr stage,
+                 std::uint64_t chunk, std::uint64_t align = 1, std::uint64_t lane = 0,
+                 std::uint64_t lanes = 1);
+
+    /// Words not yet consumed.
+    std::uint64_t remaining() const { return len_ - pos_; }
+    bool done() const { return pos_ == len_; }
+
+    /// Charged read of the word at (current position + offset); requires the
+    /// addressed word to lie within the innermost staged window, which holds
+    /// whenever offset < align and advance() moves in align units.
+    Word peek(std::uint64_t offset = 0);
+
+    /// Consume \p words words.
+    void advance(std::uint64_t words);
+
+private:
+    void refill(std::size_t level);
+
+    Machine& m_;
+    Addr begin_;
+    std::uint64_t len_;
+    StageTower tower_;
+    std::uint64_t pos_ = 0;                    ///< consumed words
+    std::vector<std::uint64_t> lo_, hi_;       ///< staged region-offset windows
+};
+
+/// Sequential writer over the \p len words at [begin, begin+len); words are
+/// accumulated in the innermost tower level and flushed outwards with block
+/// transfers. Mirrors StagedReader's layout.
+class StagedWriter {
+public:
+    StagedWriter(Machine& m, Addr begin, std::uint64_t len, Addr stage,
+                 std::uint64_t chunk, std::uint64_t align = 1, std::uint64_t lane = 0,
+                 std::uint64_t lanes = 1);
+    ~StagedWriter();
+
+    StagedWriter(const StagedWriter&) = delete;
+    StagedWriter& operator=(const StagedWriter&) = delete;
+
+    /// Append one word; requires fewer than len words pushed so far.
+    void push(Word w);
+
+    /// Flush all buffered words to the destination. Also called by the
+    /// destructor; idempotent.
+    void flush();
+
+    std::uint64_t written() const;
+
+private:
+    void spill(std::size_t level);  ///< move level's contents one step out
+
+    Machine& m_;
+    Addr begin_;
+    std::uint64_t len_;
+    StageTower tower_;
+    std::uint64_t written_ = 0;        ///< words already at the destination
+    std::vector<std::uint64_t> fill_;  ///< buffered words per level
+};
+
+}  // namespace dbsp::bt

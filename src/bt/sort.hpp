@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file sort.hpp
+/// BT-efficient sorting of fixed-size records.
+///
+/// The paper's simulation (Section 5.2.1) delivers messages by sorting
+/// Theta(mu |C|) constant-size elements with the Approx-Median-Sort of
+/// [ACS87], quoted as O(m log m) time for f(x) = O(x^alpha) using
+/// Theta(m log log m) space. The full description of that algorithm is not in
+/// the paper; we substitute a bottom-up merge sort whose merge passes stream
+/// both inputs and the output through top-of-memory staging chunks of size
+/// Theta(f(m)) (see DESIGN.md §5). Each pass costs O(m) block-transfer time
+/// plus O(m f(Theta(f(m)))) staged element work, giving O(m log m) up to a
+/// doubly-logarithmic staged-access factor that is constant at every scale we
+/// run; auxiliary space is O(m), within the budget the simulation frees.
+///
+/// Records are r consecutive words; ordering is lexicographic on the first
+/// two words (key0, key1). The sort is stable for equal keys.
+
+#include "bt/machine.hpp"
+
+namespace dbsp::bt {
+
+/// Sort \p n_records records of \p record_words words each, located at
+/// [base, base + n*r). Requirements:
+///  * [scratch, scratch + n*r) is a free region disjoint from the data;
+///  * [stage, stage + stage_words) is free, disjoint from both, and
+///    stage_words >= 3 * record_words.
+/// The sorted result is written back to [base, base + n*r).
+void merge_sort_records(Machine& m, Addr base, std::uint64_t n_records,
+                        std::uint64_t record_words, Addr scratch, Addr stage,
+                        std::uint64_t stage_words);
+
+}  // namespace dbsp::bt

@@ -1,0 +1,110 @@
+#include "bt/transpose.hpp"
+
+#include <algorithm>
+
+#include "bt/primitives.hpp"
+#include "util/bits.hpp"
+#include "util/contracts.hpp"
+
+namespace dbsp::bt {
+
+namespace {
+
+/// Elementwise in-place transpose with charged accesses; the recursion base
+/// case, reached only for matrices sitting in the (cheap) staging region or
+/// for trivially small inputs.
+void transpose_direct(Machine& m, Addr base, std::uint64_t s) {
+    for (std::uint64_t i = 0; i < s; ++i) {
+        for (std::uint64_t j = i + 1; j < s; ++j) {
+            const Addr p = base + i * s + j;
+            const Addr q = base + j * s + i;
+            const Word a = m.read(p);
+            const Word b = m.read(q);
+            m.write(p, b);
+            m.write(q, a);
+        }
+    }
+}
+
+/// Copy the k x k tile with top-left element at `tile` (row stride s) to or
+/// from the contiguous buffer at `buf`, one block transfer per row.
+void move_tile(Machine& m, Addr tile, std::uint64_t s, Addr buf, std::uint64_t k,
+               bool to_tile) {
+    for (std::uint64_t r = 0; r < k; ++r) {
+        const Addr row = tile + r * s;
+        const Addr stg = buf + r * k;
+        if (to_tile) {
+            m.block_copy(stg, row, k);
+        } else {
+            m.block_copy(row, stg, k);
+        }
+    }
+}
+
+}  // namespace
+
+void transpose_square(Machine& m, Addr base, std::uint64_t s, Addr stage_base,
+                      std::uint64_t stage_words) {
+    DBSP_REQUIRE(is_pow2(s));
+    const std::uint64_t n = s * s;
+    DBSP_REQUIRE(base + n <= m.capacity());
+    DBSP_REQUIRE(stage_base + stage_words <= m.capacity());
+    DBSP_REQUIRE(stage_base + stage_words <= base || base + n <= stage_base);
+    if (s <= 8) {
+        transpose_direct(m, base, s);
+        return;
+    }
+
+    // Tile size: ~f(n) for amortized-O(1)/cell gathers, but at least 8 (when
+    // f is tiny the per-gather overhead f/k < 1 already), at most s/2 (need
+    // a 2 x 2 tiling), and small enough that two staged tiles plus the
+    // recursion tower fit: 4 k^2 <= stage_words.
+    std::uint64_t k;
+    {
+        const double f = m.function()(base + n - 1);
+        const auto f_floor = static_cast<std::uint64_t>(std::max(1.0, f));
+        std::uint64_t cap = s / 2;
+        while (cap > 1 && cap * cap * 4 > stage_words) cap /= 2;
+        k = std::min(pow2_at_most(std::max<std::uint64_t>(f_floor, 8)), cap);
+    }
+    if (k < 2 || k >= s) {
+        transpose_direct(m, base, s);
+        return;
+    }
+
+    const std::uint64_t kk = k * k;
+    // Window layout: the recursion tower occupies the *shallow* end of the
+    // stage window and this level's tile buffers sit just above it, so the
+    // innermost (elementwise) level works at depth O(k_last^2) rather than
+    // O(f(n)^2) — this is what keeps the per-element cost O(1) at the base.
+    const std::uint64_t sub_words = std::min(stage_words - 2 * kk, kk);
+    const Addr sub_stage = stage_base;                   // recursion tower
+    const Addr buf0 = stage_base + sub_words;            // staged tile A
+    const Addr buf1 = buf0 + kk;                         // staged tile B
+    DBSP_ASSERT(stage_words >= 4 * kk);
+
+    const std::uint64_t t = s / k;
+    for (std::uint64_t bi = 0; bi < t; ++bi) {
+        // Diagonal tile: transpose in place.
+        const Addr diag = base + (bi * k) * s + bi * k;
+        move_tile(m, diag, s, buf0, k, false);
+        transpose_square(m, buf0, k, sub_stage, sub_words);
+        move_tile(m, diag, s, buf0, k, true);
+        // Off-diagonal pair (bi, bj) / (bj, bi): transpose both tiles and
+        // swap their homes. Both are gathered before either is scattered
+        // (the first scatter overwrites the second tile's home).
+        for (std::uint64_t bj = bi + 1; bj < t; ++bj) {
+            const Addr tile_a = base + (bi * k) * s + bj * k;
+            const Addr tile_b = base + (bj * k) * s + bi * k;
+            move_tile(m, tile_a, s, buf0, k, false);
+            move_tile(m, tile_b, s, buf1, k, false);
+            transpose_square(m, buf0, k, sub_stage, sub_words);
+            move_tile(m, tile_b, s, buf0, k, true);  // A^T -> home of B
+            m.block_copy(buf1, buf0, kk);
+            transpose_square(m, buf0, k, sub_stage, sub_words);
+            move_tile(m, tile_a, s, buf0, k, true);  // B^T -> home of A
+        }
+    }
+}
+
+}  // namespace dbsp::bt

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file transpose.hpp
+/// Square-matrix transposition on the BT model — the concrete *rational
+/// permutation* used by the improved DFT simulation of Section 6 (a transpose
+/// permutes the bits of the element address by rotation, which is the
+/// paper's canonical example of a rational permutation from [ACS87]).
+///
+/// Algorithm (DESIGN.md §5): partition the s x s matrix into k x k tiles with
+/// k = Theta(f(n)); gather each tile into the staging region near the top of
+/// memory with k row-wise block transfers (cost k f(n) + k^2 = O(k^2) when
+/// k >= f(n)), transpose it *recursively* there, and scatter it to its
+/// transposed home. The recursion tower mirrors the touching algorithm,
+/// giving cost O(n * c*(n)) = O(n log log n) for f(x) = x^alpha
+/// (alpha <= 1/2) and O(n log* n)-flavoured costs for f(x) = log x —
+/// strictly cheaper than the O(n log n) of sort-based data movement, which
+/// is what Experiment E11 demonstrates.
+
+#include "bt/machine.hpp"
+
+namespace dbsp::bt {
+
+/// Transpose the s x s row-major matrix stored at [base, base + s*s).
+/// \p s must be a power of two. [stage_base, stage_base + stage_words) is
+/// free working space, disjoint from the matrix and as shallow as possible
+/// (ideally stage_base ~ 0): staged tiles and the recursion tower live there,
+/// using at most 4 k^2 = O(min(f(n)^2, stage_words)) of it.
+void transpose_square(Machine& m, Addr base, std::uint64_t s, Addr stage_base,
+                      std::uint64_t stage_words);
+
+/// Convenience overload: stage in [0, base).
+inline void transpose_square(Machine& m, Addr base, std::uint64_t s) {
+    transpose_square(m, base, s, 0, base);
+}
+
+}  // namespace dbsp::bt

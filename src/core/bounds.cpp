@@ -1,0 +1,45 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbsp::core {
+
+double theorem5_bound(const model::DbspResult& run, const model::AccessFunction& f,
+                      std::uint64_t v, std::size_t mu) {
+    double acc = 0.0;
+    for (const auto& s : run.supersteps) {
+        acc += static_cast<double>(std::max<std::uint64_t>(s.tau, 1)) +
+               static_cast<double>(mu) * f.at(s.comm_arg);
+    }
+    return static_cast<double>(v) * acc;
+}
+
+double theorem10_bound(const model::DbspResult& run, const model::AccessFunction& g,
+                       std::uint64_t v, std::uint64_t v_prime, std::size_t mu) {
+    double acc = 0.0;
+    for (const auto& s : run.supersteps) {
+        acc += static_cast<double>(std::max<std::uint64_t>(s.tau, 1)) +
+               static_cast<double>(mu) * g.at(s.comm_arg);
+    }
+    return static_cast<double>(v) / static_cast<double>(v_prime) * acc;
+}
+
+double theorem12_bound(const model::DbspResult& run, std::uint64_t v, std::size_t mu) {
+    double acc = 0.0;
+    for (const auto& s : run.supersteps) {
+        acc += static_cast<double>(std::max<std::uint64_t>(s.tau, 1)) +
+               static_cast<double>(mu) * std::log2(std::max(2.0, s.comm_arg));
+    }
+    return static_cast<double>(v) * acc;
+}
+
+double fact1_bound(const model::AccessFunction& f, std::uint64_t n) {
+    return static_cast<double>(n) * f(n);
+}
+
+double fact2_bound(const model::AccessFunction& f, std::uint64_t n) {
+    return static_cast<double>(n) * std::max(1u, f.star(static_cast<double>(n)));
+}
+
+}  // namespace dbsp::core

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file bounds.hpp
+/// Closed-form cost predictions from the paper's theorems, evaluated on the
+/// actual superstep profile of an executed program. The benchmark harness
+/// prints measured simulated cost next to these predictions; a ratio that
+/// stays within a constant band across a parameter sweep is the empirical
+/// signature of the claimed Theta()/O() bound.
+
+#include "model/access_function.hpp"
+#include "model/dbsp_machine.hpp"
+
+namespace dbsp::core {
+
+/// Theorem 5: simulating a fine-grained D-BSP(v, mu, g) program on f(x)-HMM
+/// costs O( v * (tau + mu * sum_i lambda_i f(mu v / 2^i)) ). Evaluated from
+/// the per-superstep records of a direct execution.
+double theorem5_bound(const model::DbspResult& run, const model::AccessFunction& f,
+                      std::uint64_t v, std::size_t mu);
+
+/// Theorem 10: simulating on a D-BSP(v', mu v / v', g) host costs
+/// O( (v/v') * (tau + mu * sum_i lambda_i g(mu v / 2^i)) ).
+double theorem10_bound(const model::DbspResult& run, const model::AccessFunction& g,
+                       std::uint64_t v, std::uint64_t v_prime, std::size_t mu);
+
+/// Theorem 12: simulating on f(x)-BT costs
+/// O( v * (tau + mu * sum_i lambda_i log(mu v / 2^i)) ) — independent of f.
+double theorem12_bound(const model::DbspResult& run, std::uint64_t v, std::size_t mu);
+
+/// Fact 1: touching the first n cells of f(x)-HMM costs Theta(n f(n)).
+double fact1_bound(const model::AccessFunction& f, std::uint64_t n);
+
+/// Fact 2: the touching problem on f(x)-BT costs Theta(n f*(n)).
+double fact2_bound(const model::AccessFunction& f, std::uint64_t n);
+
+}  // namespace dbsp::core

@@ -1,0 +1,119 @@
+#include "core/naive_bt_simulator.hpp"
+
+#include <algorithm>
+
+#include "bt/primitives.hpp"
+#include "model/superstep_exec.hpp"
+#include "util/contracts.hpp"
+
+namespace dbsp::core {
+
+namespace {
+
+using model::Addr;
+using model::ContextAccessor;
+using model::Message;
+using model::ProcId;
+using model::Word;
+
+class BtPinnedAccessor final : public ContextAccessor {
+public:
+    BtPinnedAccessor(bt::Machine& m, Addr base, std::size_t mu) : m_(m), base_(base), mu_(mu) {}
+    Word get(std::size_t i) const override {
+        DBSP_REQUIRE(i < mu_);
+        return m_.read(base_ + i);
+    }
+    void set(std::size_t i, Word value) override {
+        DBSP_REQUIRE(i < mu_);
+        m_.write(base_ + i, value);
+    }
+
+private:
+    bt::Machine& m_;
+    Addr base_;
+    std::size_t mu_;
+};
+
+}  // namespace
+
+BtSimResult NaiveBtSimulator::simulate(model::Program& program) const {
+    const std::uint64_t v = program.num_processors();
+    const model::ClusterTree tree(v);
+    const model::ContextLayout layout = program.layout();
+    const std::size_t mu = layout.context_words();
+    const model::StepIndex steps = program.num_supersteps();
+    DBSP_REQUIRE(steps > 0);
+
+    // Memory: staging pad at the top, then the v contexts.
+    const std::uint64_t ctx_words = static_cast<std::uint64_t>(mu) * v;
+    std::uint64_t pad = bt::pow2_at_most(std::max<std::uint64_t>(
+        4 * static_cast<std::uint64_t>(std::max(1.0, 2.0 * mu + 0.0)), 64));
+    // Chunked staging wants ~f(capacity) words, rounded to whole contexts.
+    {
+        const model::AccessFunction& f = f_;
+        const auto fv = static_cast<std::uint64_t>(std::max(1.0, f.at(2.0 * ctx_words)));
+        pad = std::max<std::uint64_t>(pad, 2 * ((fv / mu + 2) * mu));
+    }
+    bt::Machine machine(f_, pad + ctx_words + 64);
+    const Addr ctx0 = pad;
+    {
+        const auto init = model::DbspMachine::initial_contexts(program);
+        auto raw = machine.raw();
+        for (ProcId p = 0; p < v; ++p) {
+            std::copy(init[p].begin(), init[p].end(),
+                      raw.begin() + static_cast<std::ptrdiff_t>(ctx0 + p * mu));
+        }
+    }
+
+    BtSimResult result;
+    result.data_words = program.data_words();
+
+    for (model::StepIndex s = 0; s < steps; ++s) {
+        ++result.rounds;
+        std::vector<Message> pending;
+        // Computation: every processor's step runs against its pinned
+        // context, paying the access function at its resident depth.
+        for (ProcId p = 0; p < v; ++p) {
+            const Addr base = ctx0 + p * mu;
+            BtPinnedAccessor acc(machine, base, mu);
+            const auto out = model::run_processor_step(program, layout, tree, s, p, acc);
+            machine.charge(static_cast<double>(out.ops));
+            const auto cnt =
+                static_cast<std::size_t>(machine.read(base + layout.out_count_offset()));
+            for (std::size_t q = 0; q < cnt; ++q) {
+                const Addr off = base + layout.out_record_offset(q);
+                Message m;
+                m.src = p;
+                m.dest = machine.read(off);
+                m.payload0 = machine.read(off + 1);
+                m.payload1 = machine.read(off + 2);
+                pending.push_back(m);
+            }
+            if (cnt > 0) machine.write(base + layout.out_count_offset(), 0);
+        }
+        // Naive delivery: direct random-access writes at destination depth.
+        for (const Message& m : pending) {
+            const Addr base = ctx0 + m.dest * mu;
+            const auto cnt =
+                static_cast<std::size_t>(machine.read(base + layout.in_count_offset()));
+            DBSP_REQUIRE(cnt < layout.max_messages);
+            const Addr off = base + layout.in_record_offset(cnt);
+            machine.write(off, m.src);
+            machine.write(off + 1, m.payload0);
+            machine.write(off + 2, m.payload1);
+            machine.write(base + layout.in_count_offset(), cnt + 1);
+        }
+    }
+
+    result.bt_cost = machine.cost();
+    result.contexts.resize(v);
+    const auto raw = machine.raw();
+    for (ProcId p = 0; p < v; ++p) {
+        result.contexts[p].assign(
+            raw.begin() + static_cast<std::ptrdiff_t>(ctx0 + p * mu),
+            raw.begin() + static_cast<std::ptrdiff_t>(ctx0 + (p + 1) * mu));
+    }
+    return result;
+}
+
+}  // namespace dbsp::core

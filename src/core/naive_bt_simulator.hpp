@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file naive_bt_simulator.hpp
+/// Baseline: the "trivial step-by-step" simulation of a D-BSP program on the
+/// f(x)-BT model discussed in Section 5.3 — a direct port with contexts
+/// pinned at their home blocks, mirroring the naive HMM baseline:
+///  * local computation of each processor runs against its context at its
+///    resident depth, paying f() there per access (no cluster scheduling, no
+///    staging) — at least the Fact 2 touching bound per superstep, i.e. the
+///    omega(v)-per-superstep cost the paper ascribes to the trivial approach;
+///  * message delivery is performed with direct writes at the destination's
+///    depth, f(mu v) per message, since without per-cluster scheduling there
+///    is no cheap way to batch an arbitrary h-relation.
+/// This is the comparison baseline for Experiments E9/E10.
+
+#include "core/bt_simulator.hpp"
+
+namespace dbsp::core {
+
+class NaiveBtSimulator {
+public:
+    explicit NaiveBtSimulator(model::AccessFunction f) : f_(std::move(f)) {}
+
+    BtSimResult simulate(model::Program& program) const;
+
+private:
+    model::AccessFunction f_;
+};
+
+}  // namespace dbsp::core

@@ -1,0 +1,83 @@
+#include "core/naive_hmm_simulator.hpp"
+
+#include <algorithm>
+
+#include "model/superstep_exec.hpp"
+#include "util/contracts.hpp"
+
+namespace dbsp::core {
+
+namespace {
+
+using model::Addr;
+using model::ContextAccessor;
+using model::ProcId;
+using model::Word;
+
+class PinnedAccessor final : public ContextAccessor {
+public:
+    PinnedAccessor(hmm::Machine& m, Addr base, std::size_t mu) : m_(m), base_(base), mu_(mu) {}
+    Word get(std::size_t index) const override {
+        DBSP_REQUIRE(index < mu_);
+        return m_.read(base_ + index);
+    }
+    void set(std::size_t index, Word value) override {
+        DBSP_REQUIRE(index < mu_);
+        m_.write(base_ + index, value);
+    }
+
+private:
+    hmm::Machine& m_;
+    Addr base_;
+    std::size_t mu_;
+};
+
+}  // namespace
+
+HmmSimResult NaiveHmmSimulator::simulate(model::Program& program) const {
+    const std::uint64_t v = program.num_processors();
+    const model::ClusterTree tree(v);
+    const model::ContextLayout layout = program.layout();
+    const std::size_t mu = layout.context_words();
+    const model::StepIndex steps = program.num_supersteps();
+    DBSP_REQUIRE(steps > 0);
+
+    hmm::Machine machine(f_, static_cast<std::uint64_t>(mu) * v);
+    {
+        const auto init = model::DbspMachine::initial_contexts(program);
+        auto raw = machine.raw();
+        for (ProcId p = 0; p < v; ++p) {
+            std::copy(init[p].begin(), init[p].end(),
+                      raw.begin() + static_cast<std::ptrdiff_t>(p * mu));
+        }
+    }
+
+    const model::AccessorFn with_accessor =
+        [&](ProcId p, const std::function<void(ContextAccessor&)>& fn) {
+            PinnedAccessor acc(machine, p * mu, mu);
+            fn(acc);
+        };
+
+    HmmSimResult result;
+    result.data_words = program.data_words();
+    for (model::StepIndex s = 0; s < steps; ++s) {
+        ++result.rounds;
+        for (ProcId p = 0; p < v; ++p) {
+            PinnedAccessor acc(machine, p * mu, mu);
+            const auto out = model::run_processor_step(program, layout, tree, s, p, acc);
+            machine.charge(static_cast<double>(out.ops));
+        }
+        model::deliver_messages(layout, 0, v, with_accessor, program.proc_id_base());
+    }
+
+    result.hmm_cost = machine.cost();
+    result.contexts.resize(v);
+    const auto raw = machine.raw();
+    for (ProcId p = 0; p < v; ++p) {
+        result.contexts[p].assign(raw.begin() + static_cast<std::ptrdiff_t>(p * mu),
+                                  raw.begin() + static_cast<std::ptrdiff_t>((p + 1) * mu));
+    }
+    return result;
+}
+
+}  // namespace dbsp::core

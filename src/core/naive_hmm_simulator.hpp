@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file naive_hmm_simulator.hpp
+/// Baseline: the "trivial" superstep-by-superstep simulation of a D-BSP
+/// program on the f(x)-HMM, with every processor context pinned at its home
+/// block for the whole run. Each superstep touches all v contexts in place,
+/// paying f() at full-memory depth: Theta(v mu f(mu v)) per superstep instead
+/// of the cluster-local f(mu |C|) the paper's scheme achieves. This is the
+/// comparison baseline in Experiments E3/E9/E10 (the Section 5.3 discussion
+/// calls its BT analogue the "trivial step-by-step simulation").
+
+#include "core/hmm_simulator.hpp"
+
+namespace dbsp::core {
+
+class NaiveHmmSimulator {
+public:
+    explicit NaiveHmmSimulator(model::AccessFunction f) : f_(std::move(f)) {}
+
+    HmmSimResult simulate(model::Program& program) const;
+
+private:
+    model::AccessFunction f_;
+};
+
+}  // namespace dbsp::core

@@ -1,0 +1,138 @@
+#include "core/smoothing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bits.hpp"
+#include "util/contracts.hpp"
+
+namespace dbsp::core {
+
+namespace {
+
+double cluster_memory(std::size_t mu, std::uint64_t v, unsigned l) {
+    return static_cast<double>(mu) * static_cast<double>(v >> l);
+}
+
+}  // namespace
+
+std::vector<unsigned> hmm_label_set(const AccessFunction& f, std::size_t mu,
+                                    std::uint64_t v, double c2) {
+    DBSP_REQUIRE(is_pow2(v));
+    DBSP_REQUIRE(c2 > 0.0 && c2 < 1.0);
+    const unsigned log_v = ilog2(v);
+    std::vector<unsigned> labels{0};
+    while (labels.back() < log_v) {
+        const double threshold = c2 * f.at(cluster_memory(mu, v, labels.back()));
+        unsigned next = labels.back() + 1;
+        while (next < log_v && f.at(cluster_memory(mu, v, next)) > threshold) ++next;
+        if (next >= log_v || f.at(cluster_memory(mu, v, next)) > threshold) {
+            labels.push_back(log_v);  // no qualifying index: close with log v
+        } else {
+            labels.push_back(next);
+        }
+    }
+    return labels;
+}
+
+std::vector<unsigned> bt_label_set(const AccessFunction& f, std::size_t mu,
+                                   std::uint64_t v, double c2, double d1, double d2) {
+    DBSP_REQUIRE(is_pow2(v));
+    DBSP_REQUIRE(c2 > 0.0 && c2 < 1.0);
+    DBSP_REQUIRE(d1 >= 1.0 && d2 >= 1.0);
+    const unsigned log_v = ilog2(v);
+    std::vector<unsigned> labels{0};
+    while (labels.back() < log_v) {
+        const unsigned prev = labels.back();
+        const double log_prev = std::log2(d1 * cluster_memory(mu, v, prev));
+        // Property (b): first index where log(d1 mu v / 2^l) decays by c2.
+        unsigned next_b = prev + 1;
+        while (next_b < log_v &&
+               std::log2(d1 * cluster_memory(mu, v, next_b)) > c2 * log_prev) {
+            ++next_b;
+        }
+        bool b_ok = std::log2(d1 * cluster_memory(mu, v, next_b)) <= c2 * log_prev;
+        // Property (c): largest index with f(mu v / 2^prev) <= d2 mu v / 2^l.
+        const double f_prev = f.at(cluster_memory(mu, v, prev));
+        unsigned next_c = prev;
+        while (next_c + 1 <= log_v && f_prev <= d2 * cluster_memory(mu, v, next_c + 1)) {
+            ++next_c;
+        }
+        unsigned next;
+        if (next_c <= prev) {
+            next = prev + 1;  // degenerate (f too large): smallest legal step
+        } else if (!b_ok) {
+            next = std::min<unsigned>(next_c, log_v);
+        } else {
+            next = std::min(next_b, next_c);
+        }
+        next = std::max(next, prev + 1);
+        labels.push_back(std::min(next, log_v));
+    }
+    if (labels.back() != log_v) labels.push_back(log_v);
+    return labels;
+}
+
+std::vector<unsigned> full_label_set(std::uint64_t v) {
+    DBSP_REQUIRE(is_pow2(v));
+    std::vector<unsigned> labels(ilog2(v) + 1);
+    for (unsigned i = 0; i < labels.size(); ++i) labels[i] = i;
+    return labels;
+}
+
+std::unique_ptr<RelabeledProgram> smooth(Program& program,
+                                         const std::vector<unsigned>& labels,
+                                         SmoothingStats* stats) {
+    DBSP_REQUIRE(!labels.empty());
+    DBSP_REQUIRE(labels.front() == 0);
+    DBSP_REQUIRE(std::is_sorted(labels.begin(), labels.end()));
+
+    // Index of the largest label <= l (the upgrade target).
+    auto upgrade_index = [&](unsigned l) -> std::size_t {
+        auto it = std::upper_bound(labels.begin(), labels.end(), l);
+        DBSP_ASSERT(it != labels.begin());
+        return static_cast<std::size_t>((it - labels.begin()) - 1);
+    };
+
+    SmoothingStats local;
+    local.original_supersteps = program.num_supersteps();
+
+    std::vector<model::StepIndex> step_map;
+    std::vector<unsigned> new_labels;
+    std::size_t prev_index = 0;
+    for (model::StepIndex s = 0; s < program.num_supersteps(); ++s) {
+        const unsigned raw = program.label(s);
+        const std::size_t idx = upgrade_index(raw);
+        if (labels[idx] != raw) ++local.upgraded;
+        if (s > 0 && idx + 1 < prev_index) {
+            // Descending transition skipping L-indices: insert dummies with
+            // the intermediate labels l_{prev-1}, ..., l_{idx+1}.
+            for (std::size_t k = prev_index - 1; k > idx; --k) {
+                step_map.push_back(RelabeledProgram::kDummy);
+                new_labels.push_back(labels[k]);
+                ++local.dummies;
+            }
+        }
+        step_map.push_back(s);
+        new_labels.push_back(labels[idx]);
+        prev_index = idx;
+    }
+    if (stats != nullptr) *stats = local;
+    return std::make_unique<RelabeledProgram>(program, std::move(step_map),
+                                              std::move(new_labels));
+}
+
+bool is_smooth(const Program& program, const std::vector<unsigned>& labels) {
+    std::size_t prev_index = 0;
+    for (model::StepIndex s = 0; s < program.num_supersteps(); ++s) {
+        const unsigned l = program.label(s);
+        const auto it = std::lower_bound(labels.begin(), labels.end(), l);
+        if (it == labels.end() || *it != l) return false;  // property (1)
+        const auto idx = static_cast<std::size_t>(it - labels.begin());
+        if (s > 0 && idx < prev_index && idx != prev_index - 1) return false;  // (2)
+        prev_index = idx;
+    }
+    return true;
+}
+
+}  // namespace dbsp::core

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file smoothing.hpp
+/// The L-smoothing transformation (Definition 3 and the label-set
+/// constructions of Sections 3 and 5.2.2).
+///
+/// A program is L-smooth, for a label set L = {0 = l_0 < l_1 < ... < l_m =
+/// log v}, when (1) every superstep label belongs to L and (2) whenever a
+/// superstep with label l_i directly follows one with label l_j > l_i, then
+/// i = j - 1 (labels descend one L-index at a time). The simulators' cluster
+/// scheduling and its amortized analysis rely on both properties.
+///
+/// Any program is made L-smooth by (a) upgrading each i-superstep to the
+/// largest l in L with l <= i (a superset cluster, so the communication
+/// discipline still holds) and (b) inserting dummy supersteps with the
+/// missing intermediate labels before each descending transition.
+
+#include <memory>
+#include <vector>
+
+#include "model/access_function.hpp"
+#include "model/program.hpp"
+
+namespace dbsp::core {
+
+using model::AccessFunction;
+using model::Program;
+using model::RelabeledProgram;
+
+/// The HMM label set of Section 3: starting from l_0 = 0, the next label is
+/// the first l with f(mu v / 2^l) <= c2 * f(mu v / 2^{l_prev}); log v is
+/// always the last element. Requires 0 < c2 < 1.
+std::vector<unsigned> hmm_label_set(const AccessFunction& f, std::size_t mu,
+                                    std::uint64_t v, double c2 = 0.5);
+
+/// The BT label set of Section 5.2.2: geometric decay of log(d1 mu v / 2^l)
+/// with ratio c2, additionally capped so that f(mu v / 2^{l_i}) <=
+/// d2 * mu v / 2^{l_{i+1}} (property (c), which bounds how much buffer space
+/// a cluster swap may need ahead of the next superstep). Requires
+/// 0 < c2 < 1, d1 >= 1, d2 >= 1.
+std::vector<unsigned> bt_label_set(const AccessFunction& f, std::size_t mu,
+                                   std::uint64_t v, double c2 = 0.5, double d1 = 2.0,
+                                   double d2 = 2.0);
+
+/// The trivial label set {0, 1, ..., log v}; with it, smoothing only inserts
+/// dummy supersteps for skipped labels (no upgrades).
+std::vector<unsigned> full_label_set(std::uint64_t v);
+
+/// Statistics of a smoothing transformation, for the E12 overhead ablation.
+struct SmoothingStats {
+    std::size_t original_supersteps = 0;
+    std::size_t upgraded = 0;  ///< supersteps whose label changed
+    std::size_t dummies = 0;   ///< inserted dummy supersteps
+};
+
+/// Make \p program L-smooth with respect to \p labels (sorted ascending, must
+/// contain 0). The returned program references \p program, which must outlive
+/// it. If \p stats is non-null it receives transformation counts.
+std::unique_ptr<RelabeledProgram> smooth(Program& program,
+                                         const std::vector<unsigned>& labels,
+                                         SmoothingStats* stats = nullptr);
+
+/// Verify Definition 3 on a program; used by tests and debug checks.
+bool is_smooth(const Program& program, const std::vector<unsigned>& labels);
+
+}  // namespace dbsp::core

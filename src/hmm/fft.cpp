@@ -1,0 +1,120 @@
+#include "hmm/fft.hpp"
+
+#include <bit>
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "util/bits.hpp"
+#include "util/contracts.hpp"
+
+namespace dbsp::hmm {
+
+namespace {
+
+using model::Addr;
+using model::Word;
+
+std::complex<double> load_c(Machine& m, Addr base, std::uint64_t e) {
+    return {std::bit_cast<double>(m.read(base + 2 * e)),
+            std::bit_cast<double>(m.read(base + 2 * e + 1))};
+}
+
+void store_c(Machine& m, Addr base, std::uint64_t e, std::complex<double> v) {
+    m.write(base + 2 * e, std::bit_cast<Word>(v.real()));
+    m.write(base + 2 * e + 1, std::bit_cast<Word>(v.imag()));
+}
+
+std::complex<double> unit_root(std::uint64_t n, std::uint64_t exponent) {
+    const double angle =
+        -2.0 * std::numbers::pi * static_cast<double>(exponent) / static_cast<double>(n);
+    return {std::cos(angle), std::sin(angle)};
+}
+
+/// Direct O(n^2) DFT for the base case (n <= 4: constant work).
+void dft_direct(Machine& m, Addr base, std::uint64_t n) {
+    std::vector<std::complex<double>> x(n), out(n);
+    for (std::uint64_t e = 0; e < n; ++e) x[e] = load_c(m, base, e);
+    for (std::uint64_t k = 0; k < n; ++k) {
+        std::complex<double> sum{0, 0};
+        for (std::uint64_t j = 0; j < n; ++j) sum += x[j] * unit_root(n, (j * k) % n);
+        out[k] = sum;
+        m.charge(static_cast<double>(8 * n));
+    }
+    for (std::uint64_t e = 0; e < n; ++e) store_c(m, base, e, out[e]);
+}
+
+/// Elementwise in-place transpose of the side x side element matrix.
+void transpose_elements(Machine& m, Addr base, std::uint64_t side) {
+    for (std::uint64_t r = 0; r < side; ++r) {
+        for (std::uint64_t c = r + 1; c < side; ++c) {
+            const auto a = load_c(m, base, r * side + c);
+            const auto b = load_c(m, base, c * side + r);
+            store_c(m, base, r * side + c, b);
+            store_c(m, base, c * side + r, a);
+        }
+    }
+}
+
+/// Words of top-of-memory staging the recursion on an n-point problem needs:
+/// one row buffer per level, stacked from the top down.
+std::uint64_t stage_need(std::uint64_t n) {
+    if (n <= 4) return 0;
+    const std::uint64_t side = std::uint64_t{1} << (ilog2(n) / 2);
+    return stage_need(side) + 2 * side;
+}
+
+/// Core recursion; requires [0, base) free for staging, with
+/// base >= stage_need(n) (the per-level row buffers are stacked at the very
+/// top of memory — "bring each row to the top", as the cost recurrence
+/// requires; staging merely below `base` would leave rows at depth ~base).
+void fft_rec(Machine& m, Addr base, std::uint64_t n) {
+    if (n <= 4) {
+        dft_direct(m, base, n);
+        return;
+    }
+    const std::uint64_t side = std::uint64_t{1} << (ilog2(n) / 2);
+    const std::uint64_t row_words = 2 * side;
+    const Addr stage = stage_need(side);  // this level's row buffer
+    DBSP_REQUIRE(base >= stage + row_words);
+
+    // Step 1: transpose, so columns become rows.
+    transpose_elements(m, base, side);
+
+    // Step 2: column DFTs (now rows), with the four-step twiddle folded in:
+    // after the sub-DFT, position r' of row c is multiplied by w_n^(c r').
+    for (std::uint64_t row = 0; row < side; ++row) {
+        m.copy_block(base + row * row_words, stage, row_words);
+        fft_rec(m, stage, side);
+        for (std::uint64_t rp = 0; rp < side; ++rp) {
+            store_c(m, stage, rp, load_c(m, stage, rp) * unit_root(n, (row * rp) % n));
+            m.charge(8.0);
+        }
+        m.copy_block(stage, base + row * row_words, row_words);
+    }
+
+    // Step 3: transpose, so result rows regroup.
+    transpose_elements(m, base, side);
+
+    // Step 4: row DFTs.
+    for (std::uint64_t row = 0; row < side; ++row) {
+        m.copy_block(base + row * row_words, stage, row_words);
+        fft_rec(m, stage, side);
+        m.copy_block(stage, base + row * row_words, row_words);
+    }
+
+    // Step 5: final transpose yields natural order.
+    transpose_elements(m, base, side);
+}
+
+}  // namespace
+
+void fft_natural(Machine& m, model::Addr base, std::uint64_t n) {
+    DBSP_REQUIRE(is_pow2(n));
+    DBSP_REQUIRE(n <= 4 || is_pow2(ilog2(n)));
+    DBSP_REQUIRE(base + 2 * n <= m.capacity());
+    DBSP_REQUIRE(base >= stage_need(n));
+    fft_rec(m, base, n);
+}
+
+}  // namespace dbsp::hmm

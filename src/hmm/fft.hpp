@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file fft.hpp
+/// A hierarchy-conscious FFT written *directly* for the f(x)-HMM — the
+/// best-known native algorithm ([AACS87]), against which Proposition 8
+/// compares the simulated D-BSP algorithms.
+///
+/// Four-step recursion with explicit data movement: view the n-point input
+/// (interleaved re/im, element e at words base + 2e) as a sqrt(n) x sqrt(n)
+/// row-major matrix; transpose; bring each row to the top of memory, solve
+/// the sqrt(n)-point subproblem there, apply twiddles, write back; transpose;
+/// second row pass; transpose. Cost recurrence
+///     T(n) = 2 sqrt(n) T(sqrt(n)) + O(n f(n)),
+/// which solves to O(n^(1+alpha)) for f = x^alpha and O(n log n log log n)
+/// for f = log x — the [AACS87] upper bounds the paper's simulation matches.
+///
+/// Layout contract: the 2n words of data live at [base, base + 2n) and the
+/// caller keeps [0, base) free (the recursion tower stages rows there).
+/// n must satisfy the square-split condition (log2 n a power of two, or
+/// n <= 4). Output is the natural-order DFT.
+
+#include "hmm/machine.hpp"
+
+namespace dbsp::hmm {
+
+/// In-place natural-order DFT of the n complex elements at [base, base+2n).
+void fft_natural(Machine& m, model::Addr base, std::uint64_t n);
+
+}  // namespace dbsp::hmm

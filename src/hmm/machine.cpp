@@ -1,0 +1,54 @@
+#include "hmm/machine.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace dbsp::hmm {
+
+Machine::Machine(AccessFunction f, std::uint64_t capacity)
+    : table_(std::move(f), capacity), memory_(capacity, 0) {}
+
+Word Machine::read(Addr x) {
+    DBSP_REQUIRE(x < capacity());
+    cost_ += table_.cost(x);
+    return memory_[x];
+}
+
+void Machine::write(Addr x, Word value) {
+    DBSP_REQUIRE(x < capacity());
+    cost_ += table_.cost(x);
+    memory_[x] = value;
+}
+
+void Machine::swap_blocks(Addr a, Addr b, std::uint64_t len) {
+    if (len == 0) return;
+    DBSP_REQUIRE(a + len <= capacity() && b + len <= capacity());
+    DBSP_REQUIRE(a + len <= b || b + len <= a);  // disjoint
+    cost_ += 2.0 * (table_.range_cost(a, a + len) + table_.range_cost(b, b + len));
+    std::swap_ranges(memory_.begin() + static_cast<std::ptrdiff_t>(a),
+                     memory_.begin() + static_cast<std::ptrdiff_t>(a + len),
+                     memory_.begin() + static_cast<std::ptrdiff_t>(b));
+}
+
+void Machine::copy_block(Addr src, Addr dst, std::uint64_t len) {
+    if (len == 0) return;
+    DBSP_REQUIRE(src + len <= capacity() && dst + len <= capacity());
+    DBSP_REQUIRE(src + len <= dst || dst + len <= src);  // disjoint
+    cost_ += table_.range_cost(src, src + len) + table_.range_cost(dst, dst + len);
+    std::copy(memory_.begin() + static_cast<std::ptrdiff_t>(src),
+              memory_.begin() + static_cast<std::ptrdiff_t>(src + len),
+              memory_.begin() + static_cast<std::ptrdiff_t>(dst));
+}
+
+void Machine::charge_range(Addr begin, Addr end) {
+    DBSP_REQUIRE(begin <= end && end <= capacity());
+    cost_ += table_.range_cost(begin, end);
+}
+
+void Machine::charge(double c) {
+    DBSP_REQUIRE(c >= 0.0);
+    cost_ += c;
+}
+
+}  // namespace dbsp::hmm

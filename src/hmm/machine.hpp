@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file machine.hpp
+/// The f(x)-HMM of Aggarwal, Alpern, Chandra and Snir [AACS87], Section 2 of
+/// the paper: a random access machine over words where touching address x
+/// costs f(x) for a nondecreasing (2,c)-uniform f. The machine both stores
+/// real data and meters the exact model cost of every operation, so an
+/// algorithm implemented against this interface is simultaneously executed
+/// and priced.
+///
+/// Cost conventions (constant factors are irrelevant to every claim we
+/// reproduce, but we fix them for determinism):
+///  * read/write of address x: f(x);
+///  * an n-ary operation on cells x1..xn: 1 + sum f(xi) — expressed by the
+///    caller as the accesses plus charge(1);
+///  * bulk helpers (swap_blocks, copy_block, charge_scan) charge the exact
+///    per-cell sum of f over every range they touch, once per touch.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/access_function.hpp"
+#include "model/cost_table.hpp"
+#include "model/types.hpp"
+
+namespace dbsp::hmm {
+
+using model::AccessFunction;
+using model::Addr;
+using model::Word;
+
+class Machine {
+public:
+    /// A machine with \p capacity words of memory, all zero-initialized.
+    Machine(AccessFunction f, std::uint64_t capacity);
+
+    /// --- charged word accesses ---------------------------------------------
+    Word read(Addr x);
+    void write(Addr x, Word value);
+
+    /// --- charged bulk operations -------------------------------------------
+    /// Swap the disjoint word ranges [a, a+len) and [b, b+len). Each cell is
+    /// read and written once: charges 2 * (sum f over both ranges).
+    void swap_blocks(Addr a, Addr b, std::uint64_t len);
+
+    /// Copy [src, src+len) onto [dst, dst+len) (ranges may not overlap).
+    /// Charges sum f over source (reads) plus sum f over destination (writes).
+    void copy_block(Addr src, Addr dst, std::uint64_t len);
+
+    /// Charge the cost of touching every cell of [begin, end) once, without
+    /// moving data (used for read-only scans whose values the caller already
+    /// holds, e.g. re-reading a just-written buffer).
+    void charge_range(Addr begin, Addr end);
+
+    /// Charge \p c units of pure computation (unit-cost operations).
+    void charge(double c);
+
+    /// --- accounting --------------------------------------------------------
+    double cost() const { return cost_; }
+    void reset_cost() { cost_ = 0.0; }
+
+    std::uint64_t capacity() const { return table_.capacity(); }
+    const model::CostTable& table() const { return table_; }
+    const AccessFunction& function() const { return table_.function(); }
+
+    /// Uncharged raw access for test setup/verification only.
+    std::span<Word> raw() { return memory_; }
+    std::span<const Word> raw() const { return memory_; }
+
+private:
+    model::CostTable table_;
+    std::vector<Word> memory_;
+    double cost_ = 0.0;
+};
+
+}  // namespace dbsp::hmm

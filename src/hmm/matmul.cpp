@@ -1,0 +1,88 @@
+#include "hmm/matmul.hpp"
+
+#include "util/bits.hpp"
+#include "util/contracts.hpp"
+
+namespace dbsp::hmm {
+
+namespace {
+
+using model::Addr;
+using model::Word;
+
+/// Workspace words the recursion needs at the top of memory: three
+/// half-size quadrant buffers per level, stacked.
+std::uint64_t need(std::uint64_t s) {
+    if (s <= 4) return 0;
+    const std::uint64_t h = s / 2;
+    return 3 * h * h + need(h);
+}
+
+/// Direct schoolbook multiply-accumulate with charged accesses; reached with
+/// the operands staged near the top of memory.
+void mm_direct(Machine& m, Addr a, Addr b, Addr c, std::uint64_t s) {
+    for (std::uint64_t i = 0; i < s; ++i) {
+        for (std::uint64_t j = 0; j < s; ++j) {
+            Word acc = m.read(c + i * s + j);
+            for (std::uint64_t k = 0; k < s; ++k) {
+                acc += m.read(a + i * s + k) * m.read(b + k * s + j);
+                m.charge(1.0);
+            }
+            m.write(c + i * s + j, acc);
+        }
+    }
+}
+
+/// Copy quadrant (qi, qj) of the s x s matrix at `mat` to/from the
+/// contiguous h x h buffer at `buf` (h = s/2), one charged row copy each.
+void move_quadrant(Machine& m, Addr mat, std::uint64_t s, std::uint64_t qi,
+                   std::uint64_t qj, Addr buf, bool to_matrix) {
+    const std::uint64_t h = s / 2;
+    for (std::uint64_t r = 0; r < h; ++r) {
+        const Addr row = mat + (qi * h + r) * s + qj * h;
+        const Addr stg = buf + r * h;
+        if (to_matrix) {
+            m.copy_block(stg, row, h);
+        } else {
+            m.copy_block(row, stg, h);
+        }
+    }
+}
+
+void mm_rec(Machine& m, Addr a, Addr b, Addr c, std::uint64_t s) {
+    if (s <= 4) {
+        mm_direct(m, a, b, c, s);
+        return;
+    }
+    const std::uint64_t h = s / 2;
+    const std::uint64_t q = h * h;
+    const Addr w0 = need(h);  // this level's buffers sit above the sub-tower
+    const Addr buf_a = w0, buf_b = w0 + q, buf_c = w0 + 2 * q;
+
+    for (std::uint64_t i = 0; i < 2; ++i) {
+        for (std::uint64_t j = 0; j < 2; ++j) {
+            move_quadrant(m, c, s, i, j, buf_c, false);
+            for (std::uint64_t k = 0; k < 2; ++k) {
+                move_quadrant(m, a, s, i, k, buf_a, false);
+                move_quadrant(m, b, s, k, j, buf_b, false);
+                mm_rec(m, buf_a, buf_b, buf_c, h);
+            }
+            move_quadrant(m, c, s, i, j, buf_c, true);
+        }
+    }
+}
+
+}  // namespace
+
+void blocked_matmul(Machine& m, model::Addr a, model::Addr b, model::Addr c,
+                    std::uint64_t s) {
+    DBSP_REQUIRE(is_pow2(s));
+    DBSP_REQUIRE(a + s * s <= m.capacity());
+    DBSP_REQUIRE(b + s * s <= m.capacity());
+    DBSP_REQUIRE(c + s * s <= m.capacity());
+    const std::uint64_t w = need(s);
+    DBSP_REQUIRE(a >= w && b >= w && c >= w);
+    mm_rec(m, a, b, c, s);
+}
+
+}  // namespace dbsp::hmm

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file matmul.hpp
+/// Hierarchy-conscious matrix multiplication written directly for the
+/// f(x)-HMM — the [AACS87]-style blocked recursion the simulated D-BSP
+/// algorithm is measured against in E4.
+///
+/// C += A * B over the (mod 2^64) semiring, all s x s row-major. The
+/// recursion splits into quadrants and multiplies 2x2 blockwise; each
+/// sub-multiplication first gathers its three operand quadrants into
+/// contiguous buffers at the top of memory (row-by-row charged copies),
+/// recurses there, and scatters C back. Cost
+///     T(n) = 8 T(n/4) + O(n f(n))   (n = s^2 elements)
+/// = O(n^(3/2)) for f = x^alpha with alpha < 1/2, O(n^(3/2) log n) at
+/// alpha = 1/2, O(n^(1+alpha)) above, and O(n^(3/2)) for log x — the
+/// [AACS87] bounds of Proposition 7.
+///
+/// Layout contract: A, B, C at the given bases; [0, work_limit) free working
+/// space with work_limit >= 6 * s * s / ... (3 quadrant buffers per level,
+/// geometric: 3 * (s/2)^2 * 4/3 = s^2 suffices). s must be a power of two.
+
+#include "hmm/machine.hpp"
+
+namespace dbsp::hmm {
+
+/// C (at c) += A (at a) * B (at b); all three s x s row-major, disjoint from
+/// each other and from the workspace [0, s*s).
+void blocked_matmul(Machine& m, model::Addr a, model::Addr b, model::Addr c,
+                    std::uint64_t s);
+
+}  // namespace dbsp::hmm

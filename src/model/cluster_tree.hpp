@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file cluster_tree.hpp
+/// Index arithmetic for the D-BSP binary decomposition tree (Section 2).
+/// For a v-processor machine (v a power of two) and level 0 <= i <= log v, the
+/// processors are partitioned into 2^i disjoint i-clusters of v/2^i
+/// consecutive processors each; C^(i)_j = C^(i+1)_{2j} union C^(i+1)_{2j+1}.
+
+#include "util/bits.hpp"
+#include "util/contracts.hpp"
+
+#include "model/types.hpp"
+
+namespace dbsp::model {
+
+class ClusterTree {
+public:
+    /// \p v must be a power of two.
+    explicit ClusterTree(std::uint64_t v) : v_(v), log_v_(ilog2(v)) {
+        DBSP_REQUIRE(is_pow2(v));
+    }
+
+    std::uint64_t processors() const { return v_; }
+    unsigned log_processors() const { return log_v_; }
+
+    /// Number of i-clusters (= 2^i); requires i <= log v.
+    std::uint64_t num_clusters(unsigned i) const {
+        DBSP_REQUIRE(i <= log_v_);
+        return std::uint64_t{1} << i;
+    }
+
+    /// Processors per i-cluster (= v / 2^i).
+    std::uint64_t cluster_size(unsigned i) const {
+        DBSP_REQUIRE(i <= log_v_);
+        return v_ >> i;
+    }
+
+    /// Index j of the i-cluster containing processor \p p.
+    std::uint64_t cluster_of(ProcId p, unsigned i) const {
+        DBSP_REQUIRE(p < v_);
+        DBSP_REQUIRE(i <= log_v_);
+        return p >> (log_v_ - i);
+    }
+
+    /// First processor of the j-th i-cluster.
+    ProcId cluster_first(std::uint64_t j, unsigned i) const {
+        DBSP_REQUIRE(j < num_clusters(i));
+        return j << (log_v_ - i);
+    }
+
+    /// True iff p and q lie in the same i-cluster (communication in an
+    /// i-superstep must stay within i-clusters).
+    bool same_cluster(ProcId p, ProcId q, unsigned i) const {
+        return cluster_of(p, i) == cluster_of(q, i);
+    }
+
+private:
+    std::uint64_t v_;
+    unsigned log_v_;
+};
+
+}  // namespace dbsp::model

@@ -1,0 +1,27 @@
+#include "model/cost_table.hpp"
+
+#include "util/contracts.hpp"
+
+namespace dbsp::model {
+
+CostTable::CostTable(AccessFunction f, std::uint64_t capacity)
+    : f_(std::move(f)), capacity_(capacity) {
+    prefix_.resize(capacity_ + 1);
+    prefix_[0] = 0.0;
+    for (std::uint64_t x = 0; x < capacity_; ++x) {
+        prefix_[x + 1] = prefix_[x] + f_(x);
+    }
+}
+
+double CostTable::cost(std::uint64_t x) const {
+    DBSP_REQUIRE(x < capacity_);
+    return prefix_[x + 1] - prefix_[x];
+}
+
+double CostTable::range_cost(std::uint64_t begin, std::uint64_t end) const {
+    DBSP_REQUIRE(begin <= end);
+    DBSP_REQUIRE(end <= capacity_);
+    return prefix_[end] - prefix_[begin];
+}
+
+}  // namespace dbsp::model

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file cost_table.hpp
+/// Cached prefix sums of an access function. The machine simulators charge
+/// bulk operations (scans, block swaps) the *exact* per-cell sum
+/// sum_{x=a}^{b-1} f(x); this table makes each such charge O(1) after an O(n)
+/// one-time build, keeping the cost accounting both exact and fast.
+
+#include <cstdint>
+#include <vector>
+
+#include "model/access_function.hpp"
+
+namespace dbsp::model {
+
+class CostTable {
+public:
+    /// Build prefix sums of \p f over addresses [0, capacity).
+    CostTable(AccessFunction f, std::uint64_t capacity);
+
+    /// Access cost of a single address; requires x < capacity().
+    double cost(std::uint64_t x) const;
+
+    /// Exact sum of f over the address range [begin, end); requires
+    /// begin <= end <= capacity().
+    double range_cost(std::uint64_t begin, std::uint64_t end) const;
+
+    /// Fact 1 quantity: time to access the first n cells = range_cost(0, n),
+    /// which the paper shows is Theta(n f(n)) for (2,c)-uniform f.
+    double scan_cost(std::uint64_t n) const { return range_cost(0, n); }
+
+    std::uint64_t capacity() const { return capacity_; }
+    const AccessFunction& function() const { return f_; }
+
+private:
+    AccessFunction f_;
+    std::uint64_t capacity_;
+    std::vector<double> prefix_;  ///< prefix_[i] = sum of f over [0, i)
+};
+
+}  // namespace dbsp::model

@@ -1,0 +1,202 @@
+#pragma once
+
+/// \file program.hpp
+/// The D-BSP program abstraction (Section 2 of the paper). A program is a
+/// sequence of labeled supersteps over v processors with mu-word contexts.
+/// In an i-superstep every processor runs local computation on its context and
+/// sends constant-size messages to processors inside its i-cluster; messages
+/// become visible in the destination's inbox at the start of the next
+/// superstep.
+///
+/// The step callback must be a pure function of (superstep, processor,
+/// context contents, inbox): the HMM/BT simulators execute processors wildly
+/// out of order (that is the whole point of the paper), so any hidden global
+/// mutable state in a program would break functional equivalence.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/cluster_tree.hpp"
+#include "model/context_layout.hpp"
+#include "model/types.hpp"
+
+namespace dbsp::model {
+
+/// Execution-facing view of one processor during one superstep. Wraps the
+/// context storage, enforces the message discipline, and counts local
+/// operations so executors can compute tau_s = max per-processor work.
+class StepContext {
+public:
+    /// \p proc is the processor's *local* index within \p tree; \p proc_base
+    /// is added to it for everything the program observes (proc(), message
+    /// sources and destinations). The base is nonzero only when a sub-machine
+    /// window of a larger program is executed (Section 4 self-simulation).
+    StepContext(ContextAccessor& ctx, const ContextLayout& layout, const ClusterTree& tree,
+                StepIndex superstep, unsigned label, ProcId proc, ProcId proc_base = 0);
+
+    /// --- user data ---------------------------------------------------------
+    Word load(std::size_t i);
+    void store(std::size_t i, Word value);
+
+    /// Convenience for floating-point payloads.
+    double load_double(std::size_t i);
+    void store_double(std::size_t i, double value);
+
+    /// --- messaging ---------------------------------------------------------
+    /// Number of messages delivered at the start of this superstep.
+    std::size_t inbox_size();
+    /// k-th received message (src, payload0, payload1).
+    Message inbox(std::size_t k);
+    /// Send a message to \p dest, which must lie in this processor's
+    /// label-cluster; at most max_messages sends per superstep.
+    void send(ProcId dest, Word payload0, Word payload1 = 0);
+    void send_double(ProcId dest, double payload0, double payload1 = 0.0);
+
+    /// --- accounting --------------------------------------------------------
+    /// Charge additional pure-compute work (loads/stores/sends already charge
+    /// one op each).
+    void charge_ops(std::uint64_t n) { ops_ += n; }
+    std::uint64_t ops() const { return ops_; }
+    std::size_t sent() const { return sent_; }
+
+    /// True iff the step inspected its inbox. Executors consume (clear) the
+    /// inbox after a step that read it; an unread inbox persists, so messages
+    /// survive the dummy supersteps inserted by L-smoothing. This rule is
+    /// applied identically by the direct machine and by every simulator.
+    bool read_inbox() const { return read_inbox_; }
+
+    /// Global processor id as the program sees it. Note: there is
+    /// deliberately no processors() accessor — under the Section 4
+    /// self-simulation a step may execute inside a sub-machine window whose
+    /// tree is smaller than the program's v, so programs must use their own
+    /// stored size.
+    ProcId proc() const { return proc_base_ + proc_; }
+    StepIndex superstep() const { return superstep_; }
+    unsigned label() const { return label_; }
+
+private:
+    ContextAccessor& ctx_;
+    const ContextLayout& layout_;
+    const ClusterTree& tree_;
+    StepIndex superstep_;
+    unsigned label_;
+    ProcId proc_;
+    ProcId proc_base_;
+    std::uint64_t ops_ = 0;
+    std::size_t sent_ = 0;
+    bool read_inbox_ = false;
+};
+
+/// Communication-pattern classes a program may declare for a superstep
+/// (Section 6 of the paper): when the pattern is a known rational permutation
+/// the BT simulator can deliver it with the transpose primitive instead of
+/// sorting, which is what makes the recursive-FFT simulation optimal.
+enum class PermutationClass {
+    kGeneral,    ///< arbitrary h-relation; delivered by sorting
+    kTranspose,  ///< each processor x of the cluster sends exactly one message
+                 ///< to processor transpose(x) on the sqrt(|C|) grid
+};
+
+/// A D-BSP program: structure (v, mu via layout, superstep labels) plus the
+/// per-processor step behaviour and initial context data.
+class Program {
+public:
+    virtual ~Program() = default;
+
+    virtual std::string name() const = 0;
+
+    /// v: number of processors; must be a power of two.
+    virtual std::uint64_t num_processors() const = 0;
+
+    /// D: user data words per context (layout adds buffer words on top).
+    virtual std::size_t data_words() const = 0;
+
+    /// B: per-direction message-buffer capacity per superstep.
+    virtual std::size_t max_messages() const = 0;
+
+    virtual StepIndex num_supersteps() const = 0;
+
+    /// Label i_s of superstep s, in [0, log v]. The last superstep must have
+    /// label 0 (the paper assumes every computation ends with a global
+    /// synchronization).
+    virtual unsigned label(StepIndex s) const = 0;
+
+    /// Populate processor \p p's initial data words (zero-filled on entry).
+    virtual void init(ProcId p, std::span<Word> data) const { (void)p, (void)data; }
+
+    /// Local computation of superstep \p s for processor \p p.
+    virtual void step(StepIndex s, ProcId p, StepContext& ctx) = 0;
+
+    /// Declared communication pattern of superstep \p s; kGeneral is always
+    /// safe. A kTranspose declaration is a promise (checked by the BT
+    /// simulator) that every processor sends exactly one message to its
+    /// transposed grid position within its aligned permutation_grain()-block.
+    virtual PermutationClass permutation_class(StepIndex s) const {
+        (void)s;
+        return PermutationClass::kGeneral;
+    }
+
+    /// For kTranspose supersteps: the size m of the aligned processor blocks
+    /// each of which undergoes an independent sqrt(m) x sqrt(m) transpose.
+    /// Must divide the superstep's cluster size and have even log2. This is
+    /// what keeps the declaration valid when L-smoothing upgrades the
+    /// superstep to a coarser cluster: the pattern stays a blocked transpose.
+    virtual std::uint64_t permutation_grain(StepIndex s) const {
+        (void)s;
+        return 0;
+    }
+
+    /// Offset added to local processor indices to form the ids the program's
+    /// step functions observe; nonzero only for sub-machine window adapters.
+    virtual ProcId proc_id_base() const { return 0; }
+
+    /// Derived layout for this program's contexts.
+    ContextLayout layout() const { return ContextLayout{data_words(), max_messages()}; }
+
+    /// mu: full context size in words.
+    std::size_t context_words() const { return layout().context_words(); }
+};
+
+/// A program plus a relabeling of its supersteps; used by the L-smoothing
+/// transformation, which upgrades labels and inserts dummy supersteps without
+/// touching the underlying program behaviour.
+class RelabeledProgram final : public Program {
+public:
+    /// \p step_map[s'] = index of the underlying superstep executed at
+    /// position s', or kDummy for an inserted dummy superstep.
+    /// \p labels[s'] = (possibly upgraded) label of position s'.
+    static constexpr StepIndex kDummy = static_cast<StepIndex>(-1);
+
+    RelabeledProgram(Program& base, std::vector<StepIndex> step_map,
+                     std::vector<unsigned> labels);
+
+    std::string name() const override { return base_.name() + "/smoothed"; }
+    std::uint64_t num_processors() const override { return base_.num_processors(); }
+    std::size_t data_words() const override { return base_.data_words(); }
+    std::size_t max_messages() const override { return base_.max_messages(); }
+    StepIndex num_supersteps() const override { return labels_.size(); }
+    unsigned label(StepIndex s) const override { return labels_[s]; }
+    void init(ProcId p, std::span<Word> data) const override { base_.init(p, data); }
+    void step(StepIndex s, ProcId p, StepContext& ctx) override;
+    PermutationClass permutation_class(StepIndex s) const override {
+        return step_map_[s] == kDummy ? PermutationClass::kGeneral
+                                      : base_.permutation_class(step_map_[s]);
+    }
+    std::uint64_t permutation_grain(StepIndex s) const override {
+        return step_map_[s] == kDummy ? 0 : base_.permutation_grain(step_map_[s]);
+    }
+    ProcId proc_id_base() const override { return base_.proc_id_base(); }
+
+    /// True iff position s is an inserted dummy superstep.
+    bool is_dummy(StepIndex s) const { return step_map_[s] == kDummy; }
+    Program& base() { return base_; }
+
+private:
+    Program& base_;
+    std::vector<StepIndex> step_map_;
+    std::vector<unsigned> labels_;
+};
+
+}  // namespace dbsp::model

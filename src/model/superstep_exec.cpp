@@ -1,0 +1,58 @@
+#include "model/superstep_exec.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace dbsp::model {
+
+std::size_t deliver_messages(const ContextLayout& layout, ProcId first, std::uint64_t count,
+                             const AccessorFn& with_accessor, ProcId id_base) {
+    // Phase 1: collect messages from the senders' outgoing buffers, in
+    // ascending sender order, and reset the outgoing counts. The intermediate
+    // vector is executor bookkeeping only; every word it carries has been
+    // charged on read and will be charged again on write, exactly as if the
+    // message moved directly between buffers.
+    std::vector<Message> pending;
+    for (ProcId p = first; p < first + count; ++p) {
+        with_accessor(p, [&](ContextAccessor& acc) {
+            const auto sent = static_cast<std::size_t>(acc.get(layout.out_count_offset()));
+            DBSP_ASSERT(sent <= layout.max_messages);
+            for (std::size_t k = 0; k < sent; ++k) {
+                const std::size_t off = layout.out_record_offset(k);
+                Message m;
+                m.src = id_base + p;  // inboxes carry global source ids
+                m.dest = acc.get(off);
+                m.payload0 = acc.get(off + 1);
+                m.payload1 = acc.get(off + 2);
+                DBSP_ASSERT(m.dest >= first && m.dest < first + count);
+                pending.push_back(m);
+            }
+            if (sent > 0) {
+                acc.set(layout.out_count_offset(), 0);
+            }
+        });
+    }
+
+    // Phase 2: append to destination inboxes. `pending` is already sorted by
+    // (src, send order); appending in this order gives the canonical inbox
+    // ordering that the sort-based BT delivery reproduces with tag keys.
+    std::size_t max_received = 0;
+    std::unordered_map<ProcId, std::size_t> delivered;
+    for (const Message& m : pending) {
+        with_accessor(m.dest, [&](ContextAccessor& acc) {
+            auto in_count = static_cast<std::size_t>(acc.get(layout.in_count_offset()));
+            DBSP_REQUIRE(in_count < layout.max_messages);
+            const std::size_t off = layout.in_record_offset(in_count);
+            acc.set(off, m.src);
+            acc.set(off + 1, m.payload0);
+            acc.set(off + 2, m.payload1);
+            acc.set(layout.in_count_offset(), in_count + 1);
+        });
+        max_received = std::max(max_received, ++delivered[m.dest]);
+    }
+    return max_received;
+}
+
+}  // namespace dbsp::model

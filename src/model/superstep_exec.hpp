@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file superstep_exec.hpp
+/// Superstep execution helpers shared by every executor (the direct D-BSP
+/// machine and the HMM/BT simulators). Centralizing the step-invocation and
+/// message-delivery protocol here is what guarantees the executors agree
+/// bit-for-bit on functional behaviour:
+///
+///  * a step that read its inbox has the inbox cleared afterwards; an unread
+///    inbox persists (so L-smoothing dummy supersteps are transparent);
+///  * after a step, the outgoing count word is committed;
+///  * delivery walks senders in ascending processor order and appends to the
+///    destination inboxes, then resets the sender's outgoing count, giving a
+///    canonical (src, send-order) inbox ordering.
+
+#include <functional>
+
+#include "model/context_layout.hpp"
+#include "model/program.hpp"
+
+namespace dbsp::model {
+
+/// Result of running one processor's step callback.
+struct StepOutcome {
+    std::uint64_t ops = 0;     ///< local-computation operations performed
+    std::size_t sent = 0;      ///< messages emitted
+};
+
+/// Run program superstep \p s for processor \p p against \p acc, then commit
+/// the outgoing count and apply the inbox-consumption rule.
+inline StepOutcome run_processor_step(Program& program, const ContextLayout& layout,
+                                      const ClusterTree& tree, StepIndex s, ProcId p,
+                                      ContextAccessor& acc) {
+    StepContext ctx(acc, layout, tree, s, program.label(s), p, program.proc_id_base());
+    program.step(s, p, ctx);
+    acc.set(layout.out_count_offset(), ctx.sent());
+    if (ctx.read_inbox()) {
+        acc.set(layout.in_count_offset(), 0);
+    }
+    return StepOutcome{ctx.ops(), ctx.sent()};
+}
+
+/// Accessor factory: maps a processor id to a (short-lived) accessor for its
+/// context storage. The callback owns the accessor's lifetime for the duration
+/// of the inner function call.
+using AccessorFn = std::function<void(ProcId, const std::function<void(ContextAccessor&)>&)>;
+
+/// Deliver all pending outgoing messages of processors [first, first + count)
+/// into their destination inboxes (destinations must lie in the same range for
+/// a well-formed i-superstep; callers validate cluster membership at send
+/// time). Processor ids here are tree-local; \p id_base (the program's
+/// proc_id_base) is added to the stored message source so inboxes always
+/// carry global ids. Returns the maximum number of messages received by any
+/// processor. \p with_accessor provides context access for the local range.
+std::size_t deliver_messages(const ContextLayout& layout, ProcId first, std::uint64_t count,
+                             const AccessorFn& with_accessor, ProcId id_base = 0);
+
+}  // namespace dbsp::model

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file types.hpp
+/// Fundamental shared types of the machine models. All machine memories are
+/// arrays of 64-bit words; addresses are 0-based; processor indices are dense
+/// in [0, v) with v a power of two.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dbsp::model {
+
+using Word = std::uint64_t;       ///< Machine word: memory cell contents.
+using Addr = std::uint64_t;       ///< Memory address (cell index).
+using ProcId = std::uint64_t;     ///< D-BSP processor index in [0, v).
+using StepIndex = std::size_t;    ///< Superstep number within a program.
+
+/// A point-to-point D-BSP message. The paper assumes constant-size messages;
+/// we fix the constant at two payload words, which is enough to ship a complex
+/// double or a (key, tag) pair in a single message.
+struct Message {
+    ProcId src = 0;
+    ProcId dest = 0;
+    Word payload0 = 0;
+    Word payload1 = 0;
+};
+
+}  // namespace dbsp::model

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file contracts.hpp
+/// Lightweight precondition / postcondition / invariant checks in the style
+/// of the C++ Core Guidelines' Expects()/Ensures(). Violations abort with a
+/// message; checks are active in all build types because the simulators are
+/// correctness-critical reference implementations, not hot production loops.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dbsp::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+    std::fprintf(stderr, "%s violated: (%s) at %s:%d\n", kind, expr, file, line);
+    std::abort();
+}
+
+}  // namespace dbsp::detail
+
+/// Precondition: argument/state requirements at function entry.
+#define DBSP_REQUIRE(expr)                                                       \
+    ((expr) ? static_cast<void>(0)                                               \
+            : ::dbsp::detail::contract_failure("Precondition", #expr, __FILE__,  \
+                                               __LINE__))
+
+/// Postcondition: guarantees at function exit.
+#define DBSP_ENSURE(expr)                                                        \
+    ((expr) ? static_cast<void>(0)                                               \
+            : ::dbsp::detail::contract_failure("Postcondition", #expr, __FILE__, \
+                                               __LINE__))
+
+/// Internal consistency condition.
+#define DBSP_ASSERT(expr)                                                        \
+    ((expr) ? static_cast<void>(0)                                               \
+            : ::dbsp::detail::contract_failure("Invariant", #expr, __FILE__,     \
+                                               __LINE__))

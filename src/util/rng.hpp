@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic, seedable random number generation. All experiments in the
+/// repository are reproducible: the same seed yields the same workload on any
+/// platform, so simulated model costs are bit-identical across runs.
+
+#include <cstdint>
+
+#include "util/contracts.hpp"
+
+namespace dbsp {
+
+/// SplitMix64: tiny, high-quality 64-bit PRNG (Steele et al.), used both
+/// directly and to seed derived streams.
+class SplitMix64 {
+public:
+    explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+    constexpr std::uint64_t next() noexcept {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform value in [0, bound); requires bound > 0.
+    std::uint64_t next_below(std::uint64_t bound) noexcept {
+        DBSP_REQUIRE(bound > 0);
+        // Rejection sampling to avoid modulo bias for non-power-of-two bounds.
+        const std::uint64_t limit = ~0ull - (~0ull % bound + 1) % bound;
+        std::uint64_t v = next();
+        while (v > limit) v = next();
+        return v % bound;
+    }
+
+    /// Uniform double in [0, 1).
+    double next_double() noexcept {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+}  // namespace dbsp

@@ -1,0 +1,65 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace dbsp {
+
+LogLogFit fit_loglog(const std::vector<double>& xs, const std::vector<double>& ys) {
+    DBSP_REQUIRE(xs.size() == ys.size());
+    DBSP_REQUIRE(xs.size() >= 2);
+    const std::size_t n = xs.size();
+    double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        DBSP_REQUIRE(xs[i] > 0.0 && ys[i] > 0.0);
+        const double lx = std::log(xs[i]);
+        const double ly = std::log(ys[i]);
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+        syy += ly * ly;
+    }
+    const double dn = static_cast<double>(n);
+    const double denom = dn * sxx - sx * sx;
+    LogLogFit fit;
+    fit.slope = (dn * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / dn;
+    const double ss_tot = syy - sy * sy / dn;
+    double ss_res = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double pred = fit.intercept + fit.slope * std::log(xs[i]);
+        const double resid = std::log(ys[i]) - pred;
+        ss_res += resid * resid;
+    }
+    fit.r_squared = (ss_tot > 0) ? 1.0 - ss_res / ss_tot : 1.0;
+    return fit;
+}
+
+double mean(const std::vector<double>& v) {
+    DBSP_REQUIRE(!v.empty());
+    double s = 0;
+    for (double x : v) s += x;
+    return s / static_cast<double>(v.size());
+}
+
+double geometric_mean(const std::vector<double>& v) {
+    DBSP_REQUIRE(!v.empty());
+    double s = 0;
+    for (double x : v) {
+        DBSP_REQUIRE(x > 0.0);
+        s += std::log(x);
+    }
+    return std::exp(s / static_cast<double>(v.size()));
+}
+
+double spread(const std::vector<double>& v) {
+    DBSP_REQUIRE(!v.empty());
+    const auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+    DBSP_REQUIRE(*lo > 0.0);
+    return *hi / *lo;
+}
+
+}  // namespace dbsp

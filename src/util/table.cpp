@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace dbsp {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    DBSP_REQUIRE(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    DBSP_REQUIRE(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_values(const std::vector<double>& values) {
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values) cells.push_back(fmt(v));
+    add_row(std::move(cells));
+}
+
+std::string Table::fmt(double v) {
+    char buf[64];
+    const double av = std::fabs(v);
+    if (v == std::floor(v) && av < 1e15) {
+        std::snprintf(buf, sizeof buf, "%.0f", v);
+    } else if (av >= 1e7 || (av < 1e-3 && av > 0)) {
+        std::snprintf(buf, sizeof buf, "%.3e", v);
+    } else {
+        std::snprintf(buf, sizeof buf, "%.4f", v);
+    }
+    return buf;
+}
+
+std::string Table::str() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << (c == 0 ? "| " : " | ");
+            // Right-align everything for numeric readability.
+            out << std::string(widths[c] - row[c].size(), ' ') << row[c];
+        }
+        out << " |\n";
+    };
+    emit_row(headers_);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        out << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+    }
+    out << "-|\n";
+    for (const auto& row : rows_) emit_row(row);
+    return out.str();
+}
+
+void Table::print() const { std::fputs(str().c_str(), stdout); }
+
+}  // namespace dbsp

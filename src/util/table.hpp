@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file table.hpp
+/// ASCII table printer for the benchmark harness. Every experiment binary
+/// prints one or more of these tables so that bench_output.txt reads like the
+/// paper's evaluation section: one row per parameter point, columns for
+/// measured cost, predicted cost and their ratio.
+
+#include <string>
+#include <vector>
+
+namespace dbsp {
+
+/// A fixed-schema text table. Cells are preformatted strings; the printer
+/// right-aligns numbers-looking cells and pads columns to the widest entry.
+class Table {
+public:
+    /// Create a table with the given column headers.
+    explicit Table(std::vector<std::string> headers);
+
+    /// Append one row; must have exactly as many cells as there are headers.
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: format doubles/integers into a row.
+    void add_row_values(const std::vector<double>& values);
+
+    /// Render the table (header, rule, rows) as a string.
+    std::string str() const;
+
+    /// Render to stdout.
+    void print() const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+    /// Format a double compactly: integers without decimals, small values in
+    /// fixed point, large values in scientific notation.
+    static std::string fmt(double v);
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dbsp

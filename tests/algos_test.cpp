@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <complex>
+#include <set>
+
+#include "algos/bitonic_sort.hpp"
+#include "algos/fft_direct.hpp"
+#include "algos/fft_recursive.hpp"
+#include "algos/matmul.hpp"
+#include "algos/serial_reference.hpp"
+#include "model/dbsp_machine.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace dbsp::algo {
+namespace {
+
+using model::AccessFunction;
+using model::DbspMachine;
+using model::Word;
+
+std::vector<std::complex<double>> random_signal(std::size_t n, std::uint64_t seed) {
+    SplitMix64 rng(seed);
+    std::vector<std::complex<double>> x(n);
+    for (auto& c : x) c = {rng.next_double() - 0.5, rng.next_double() - 0.5};
+    return x;
+}
+
+double complex_from_words(const std::vector<Word>& data, std::complex<double>* out) {
+    *out = {std::bit_cast<double>(data[0]), std::bit_cast<double>(data[1])};
+    return std::abs(*out);
+}
+
+class BitonicParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitonicParam, SortsRandomKeys) {
+    const std::uint64_t v = GetParam();
+    SplitMix64 rng(v);
+    std::vector<Word> keys(v);
+    for (auto& k : keys) k = rng.next_below(1 << 20);
+    BitonicSortProgram prog(keys);
+    DbspMachine machine(AccessFunction::polynomial(0.5));
+    const auto result = machine.run(prog);
+    std::sort(keys.begin(), keys.end());
+    for (std::uint64_t p = 0; p < v; ++p) {
+        ASSERT_EQ(result.data_of(p)[0], keys[p]) << "v=" << v << " p=" << p;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitonicParam, ::testing::Values(1, 2, 4, 16, 64, 256, 1024));
+
+TEST(BitonicSort, SortsDuplicatesAndExtremes) {
+    std::vector<Word> keys = {5, 5, 0, ~0ull, 5, 0, ~0ull, 1};
+    BitonicSortProgram prog(keys);
+    DbspMachine machine(AccessFunction::logarithmic());
+    const auto result = machine.run(prog);
+    std::sort(keys.begin(), keys.end());
+    for (std::uint64_t p = 0; p < keys.size(); ++p) {
+        EXPECT_EQ(result.data_of(p)[0], keys[p]);
+    }
+}
+
+TEST(BitonicSort, SuperstepProfileTelescopes) {
+    // Proposition 9: on x^alpha the per-stage costs form a geometric series,
+    // so the total communication is O(v^alpha) -- check the label histogram:
+    // label l (distance 2^(log v - 1 - l)) appears in exactly the l+1 merge
+    // stages with block size >= 2^(log v - l), i.e. l+1 times. The geometric
+    // sum sum_l (l+1) (mu v / 2^l)^alpha is dominated by l = 0.
+    const std::uint64_t v = 256;
+    BitonicSortProgram prog(std::vector<Word>(v, 0));
+    const unsigned log_v = ilog2(v);
+    std::vector<unsigned> histogram(log_v + 1, 0);
+    for (model::StepIndex s = 0; s + 1 < prog.num_supersteps(); ++s) {
+        ++histogram[prog.label(s)];
+    }
+    for (unsigned l = 0; l < log_v; ++l) {
+        EXPECT_EQ(histogram[l], l + 1) << "label " << l;
+    }
+}
+
+class MatMulParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatMulParam, MatchesSerialSemiring) {
+    const std::uint64_t n = GetParam();
+    SplitMix64 rng(n);
+    std::vector<Word> a(n), b(n);
+    for (auto& x : a) x = rng.next_below(1 << 16);
+    for (auto& x : b) x = rng.next_below(1 << 16);
+    MatMulProgram prog(a, b);
+    DbspMachine machine(AccessFunction::polynomial(0.5));
+    const auto result = machine.run(prog);
+    const auto expected = serial_matmul_morton(a, b);
+    for (std::uint64_t p = 0; p < n; ++p) {
+        ASSERT_EQ(result.data_of(p)[2], expected[p]) << "n=" << n << " p=" << p;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatMulParam, ::testing::Values(1, 4, 16, 64, 256, 1024));
+
+TEST(MatMul, RestoresInputsAfterRun) {
+    // The restore transition returns A and B tokens home, so a, b words end
+    // where they started.
+    const std::uint64_t n = 64;
+    SplitMix64 rng(5);
+    std::vector<Word> a(n), b(n);
+    for (auto& x : a) x = rng.next();
+    for (auto& x : b) x = rng.next();
+    MatMulProgram prog(a, b);
+    DbspMachine machine(AccessFunction::logarithmic());
+    const auto result = machine.run(prog);
+    for (std::uint64_t p = 0; p < n; ++p) {
+        EXPECT_EQ(result.data_of(p)[0], a[p]);
+        EXPECT_EQ(result.data_of(p)[1], b[p]);
+    }
+}
+
+TEST(MatMul, SuperstepProfileMatchesProposition7) {
+    // Theta(2^i) supersteps of label 2i.
+    const std::uint64_t n = 1024;
+    MatMulProgram prog(std::vector<Word>(n, 1), std::vector<Word>(n, 1));
+    std::vector<std::size_t> count(ilog2(n) + 1, 0);
+    // Skip the trailing label-0 global synchronization.
+    for (model::StepIndex s = 0; s + 1 < prog.num_supersteps(); ++s) {
+        ++count[prog.label(s)];
+    }
+    for (unsigned i = 0; 2 * i + 2 <= ilog2(n); ++i) {
+        EXPECT_EQ(count[2 * i], 3u * (1u << i)) << "level " << i;  // 3 routes per node
+    }
+}
+
+class FftDirectParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FftDirectParam, MatchesSerialDifFft) {
+    const std::uint64_t n = GetParam();
+    const auto input = random_signal(n, 2025 + n);
+    FftDirectProgram prog(input);
+    DbspMachine machine(AccessFunction::polynomial(0.5));
+    const auto result = machine.run(prog);
+    auto expected = input;
+    serial_fft_dif_bitrev(expected);
+    for (std::uint64_t p = 0; p < n; ++p) {
+        std::complex<double> got;
+        complex_from_words(result.data_of(p), &got);
+        ASSERT_NEAR(got.real(), expected[p].real(), 1e-9) << "n=" << n << " p=" << p;
+        ASSERT_NEAR(got.imag(), expected[p].imag(), 1e-9) << "n=" << n << " p=" << p;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftDirectParam, ::testing::Values(1, 2, 4, 8, 32, 256, 1024));
+
+TEST(FftDirect, BitReversedOutputIsTheDft) {
+    const std::uint64_t n = 64;
+    const auto input = random_signal(n, 7);
+    FftDirectProgram prog(input);
+    DbspMachine machine(AccessFunction::logarithmic());
+    const auto result = machine.run(prog);
+    const auto dft = serial_dft_naive(input);
+    for (std::uint64_t p = 0; p < n; ++p) {
+        std::complex<double> got;
+        complex_from_words(result.data_of(p), &got);
+        const auto k = reverse_bits(p, ilog2(n));
+        EXPECT_NEAR(got.real(), dft[k].real(), 1e-7);
+        EXPECT_NEAR(got.imag(), dft[k].imag(), 1e-7);
+    }
+}
+
+class FftRecursiveParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FftRecursiveParam, MatchesNaiveDftNaturalOrder) {
+    const std::uint64_t n = GetParam();
+    const auto input = random_signal(n, 31 + n);
+    FftRecursiveProgram prog(input);
+    DbspMachine machine(AccessFunction::logarithmic());
+    const auto result = machine.run(prog);
+    const auto dft = serial_dft_naive(input);
+    for (std::uint64_t p = 0; p < n; ++p) {
+        std::complex<double> got;
+        complex_from_words(result.data_of(p), &got);
+        ASSERT_NEAR(got.real(), dft[p].real(), 1e-6 * n) << "n=" << n << " p=" << p;
+        ASSERT_NEAR(got.imag(), dft[p].imag(), 1e-6 * n) << "n=" << n << " p=" << p;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRecursiveParam, ::testing::Values(1, 2, 4, 16, 256));
+
+TEST(FftRecursive, AgreesWithDirectFft) {
+    // Both programs compute the DFT; direct is bit-reversed, recursive is
+    // natural order.
+    const std::uint64_t n = 256;
+    const auto input = random_signal(n, 123);
+    FftDirectProgram direct(input);
+    FftRecursiveProgram recursive(input);
+    DbspMachine machine(AccessFunction::polynomial(0.35));
+    const auto r_direct = machine.run(direct);
+    const auto r_recursive = machine.run(recursive);
+    for (std::uint64_t k = 0; k < n; ++k) {
+        std::complex<double> nat, rev;
+        complex_from_words(r_recursive.data_of(k), &nat);
+        complex_from_words(r_direct.data_of(reverse_bits(k, ilog2(n))), &rev);
+        ASSERT_NEAR(nat.real(), rev.real(), 1e-7);
+        ASSERT_NEAR(nat.imag(), rev.imag(), 1e-7);
+    }
+}
+
+TEST(FftRecursive, TransposeSuperstepsAreDeclared) {
+    FftRecursiveProgram prog(random_signal(256, 1));
+    std::size_t transposes = 0;
+    for (model::StepIndex s = 0; s < prog.num_supersteps(); ++s) {
+        if (prog.permutation_class(s) == model::PermutationClass::kTranspose) {
+            ++transposes;
+        }
+    }
+    // 3 per internal level: n=256 has levels m=256 (3) and m=16 (3 per each
+    // of the 2 recursion slots) = 3 + 6 = 9.
+    EXPECT_EQ(transposes, 9u);
+}
+
+TEST(FftRecursive, SuperstepLabelsFollowRecursiveProfile) {
+    // Labels take values (1 - 2^-i) log n: {0, 4, 6} for n = 256.
+    FftRecursiveProgram prog(random_signal(256, 2));
+    std::set<unsigned> labels;
+    for (model::StepIndex s = 0; s < prog.num_supersteps(); ++s) {
+        labels.insert(prog.label(s));
+    }
+    EXPECT_EQ(labels, (std::set<unsigned>{0, 4, 6}));
+}
+
+TEST(SerialReference, DifMatchesNaiveDft) {
+    const std::uint64_t n = 32;
+    const auto input = random_signal(n, 9);
+    auto fft = input;
+    serial_fft_dif_bitrev(fft);
+    const auto dft = serial_dft_naive(input);
+    for (std::uint64_t p = 0; p < n; ++p) {
+        const auto k = reverse_bits(p, ilog2(n));
+        EXPECT_NEAR(fft[p].real(), dft[k].real(), 1e-8);
+        EXPECT_NEAR(fft[p].imag(), dft[k].imag(), 1e-8);
+    }
+}
+
+TEST(SerialReference, ExclusivePrefix) {
+    EXPECT_EQ(serial_exclusive_prefix({3, 4, 5}), (std::vector<Word>{0, 3, 7}));
+    EXPECT_EQ(serial_exclusive_prefix({}), (std::vector<Word>{}));
+}
+
+}  // namespace
+}  // namespace dbsp::algo

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "bt/align.hpp"
+#include "util/rng.hpp"
+
+namespace dbsp::bt {
+namespace {
+
+using model::AccessFunction;
+using model::Word;
+
+/// Build a packed, tag-sorted record region for n groups with the given
+/// per-group record counts; slack slots carry ~0 sentinels. Returns the
+/// expected per-group payload sequences.
+std::vector<std::vector<Word>> fill_groups(Machine& m, model::Addr base,
+                                           const std::vector<std::size_t>& counts,
+                                           std::uint64_t bw, std::uint64_t rw) {
+    const std::size_t n = counts.size();
+    std::vector<std::vector<Word>> expected(n);
+    auto raw = m.raw();
+    for (std::uint64_t i = 0; i < n * bw; ++i) raw[base + i] = ~Word{0};
+    std::uint64_t at = base;
+    Word payload = 1000;
+    for (std::size_t g = 0; g < n; ++g) {
+        for (std::size_t k = 0; k < counts[g]; ++k) {
+            raw[at] = g;  // tag
+            for (std::uint64_t t = 1; t < rw; ++t) raw[at + t] = payload + t;
+            expected[g].push_back(payload + 1);
+            payload += 10;
+            at += rw;
+        }
+    }
+    return expected;
+}
+
+void expect_aligned(const Machine& m, model::Addr base,
+                    const std::vector<std::vector<Word>>& expected, std::uint64_t bw,
+                    std::uint64_t rw) {
+    const auto raw = m.raw();
+    for (std::size_t g = 0; g < expected.size(); ++g) {
+        const model::Addr home = base + g * bw;
+        for (std::size_t k = 0; k < expected[g].size(); ++k) {
+            ASSERT_EQ(raw[home + k * rw], g) << "group " << g << " record " << k;
+            ASSERT_EQ(raw[home + k * rw + 1], expected[g][k])
+                << "group " << g << " record " << k;
+        }
+    }
+}
+
+TEST(BtAlign, AlignsUniformGroups) {
+    const std::uint64_t n = 8, bw = 12, rw = 3;
+    Machine m(AccessFunction::logarithmic(), 2 * n * bw + 64);
+    const auto expected = fill_groups(m, 0, std::vector<std::size_t>(n, 3), bw, rw);
+    align_groups(m, 0, n, bw, rw);
+    expect_aligned(m, 0, expected, bw, rw);
+}
+
+TEST(BtAlign, AlignsSkewedGroups) {
+    // Group sizes vary from empty to full.
+    const std::uint64_t n = 8, bw = 12, rw = 3;
+    Machine m(AccessFunction::polynomial(0.5), 2 * n * bw + 64);
+    const std::vector<std::size_t> counts{4, 0, 1, 4, 0, 0, 2, 3};
+    const auto expected = fill_groups(m, 0, counts, bw, rw);
+    align_groups(m, 0, n, bw, rw);
+    expect_aligned(m, 0, expected, bw, rw);
+}
+
+TEST(BtAlign, AlignsAllRecordsInOneGroup) {
+    const std::uint64_t n = 4, bw = 20, rw = 5;
+    Machine m(AccessFunction::logarithmic(), 2 * n * bw + 64);
+    const std::vector<std::size_t> counts{0, 0, 4, 0};
+    const auto expected = fill_groups(m, 0, counts, bw, rw);
+    align_groups(m, 0, n, bw, rw);
+    expect_aligned(m, 0, expected, bw, rw);
+}
+
+TEST(BtAlign, SingleGroupIsNoOp) {
+    const std::uint64_t n = 1, bw = 8, rw = 2;
+    Machine m(AccessFunction::logarithmic(), 64);
+    const auto expected = fill_groups(m, 0, {3}, bw, rw);
+    align_groups(m, 0, n, bw, rw);
+    expect_aligned(m, 0, expected, bw, rw);
+}
+
+class BtAlignRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BtAlignRandom, RandomOccupancies) {
+    const std::uint64_t n = GetParam();
+    const std::uint64_t rw = 4, per_block = 5, bw = rw * per_block;
+    Machine m(AccessFunction::polynomial(0.35), 2 * n * bw + 128);
+    SplitMix64 rng(n * 31 + 7);
+    std::vector<std::size_t> counts(n);
+    for (auto& c : counts) c = rng.next_below(per_block + 1);
+    const auto expected = fill_groups(m, 0, counts, bw, rw);
+    align_groups(m, 0, n, bw, rw);
+    expect_aligned(m, 0, expected, bw, rw);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BtAlignRandom, ::testing::Values(2, 4, 8, 16, 32, 64, 128));
+
+TEST(BtAlign, CostIsNearLinearithmic) {
+    // O(mu n log(mu n)), same order as the sort it follows in Fig. 7.
+    const auto f = AccessFunction::polynomial(0.5);
+    std::vector<double> ratios;
+    for (std::uint64_t n : {64u, 256u, 1024u}) {
+        const std::uint64_t rw = 4, bw = 20;
+        Machine m(f, 2 * n * bw + 128);
+        SplitMix64 rng(3);
+        std::vector<std::size_t> counts(n);
+        for (auto& c : counts) c = rng.next_below(6);
+        fill_groups(m, 0, counts, bw, rw);
+        m.reset_cost();
+        align_groups(m, 0, n, bw, rw);
+        const double words = static_cast<double>(n * bw);
+        ratios.push_back(m.cost() / (words * std::log2(words)));
+    }
+    EXPECT_LT(ratios.back() / ratios.front(), 2.0);
+}
+
+}  // namespace
+}  // namespace dbsp::bt

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "algos/permutation.hpp"
+#include "core/bounds.hpp"
+#include "model/dbsp_machine.hpp"
+
+namespace dbsp::core {
+namespace {
+
+using model::AccessFunction;
+using model::DbspMachine;
+
+TEST(Bounds, Fact1AndFact2Shapes) {
+    const auto poly = AccessFunction::polynomial(0.5);
+    const auto lg = AccessFunction::logarithmic();
+    EXPECT_NEAR(fact1_bound(poly, 1 << 20), (1 << 20) * poly(1 << 20), 1e-6);
+    // n f*(n): log log flavoured for x^alpha, log* for log x.
+    EXPECT_LT(fact2_bound(poly, 1 << 20) / (1 << 20), 16.0);
+    EXPECT_LT(fact2_bound(lg, 1 << 20) / (1 << 20), 8.0);
+    EXPECT_GE(fact2_bound(lg, 1 << 20), static_cast<double>(1 << 20));
+}
+
+TEST(Bounds, Theorem5MatchesManualFormula) {
+    const auto f = AccessFunction::polynomial(0.5);
+    algo::RandomRoutingProgram prog(64, {2, 0}, 3);
+    DbspMachine machine(f);
+    const auto run = machine.run(prog);
+    const std::size_t mu = prog.context_words();
+    double manual = 0;
+    for (const auto& s : run.supersteps) {
+        manual += static_cast<double>(std::max<std::uint64_t>(s.tau, 1)) +
+                  static_cast<double>(mu) * f.at(s.comm_arg);
+    }
+    EXPECT_NEAR(theorem5_bound(run, f, 64, mu), 64.0 * manual, 1e-9);
+}
+
+TEST(Bounds, Theorem10ScalesWithHostSize) {
+    const auto g = AccessFunction::logarithmic();
+    algo::RandomRoutingProgram prog(64, {1, 3}, 4);
+    DbspMachine machine(g);
+    const auto run = machine.run(prog);
+    const std::size_t mu = prog.context_words();
+    const double full = theorem10_bound(run, g, 64, 1, mu);
+    const double half = theorem10_bound(run, g, 64, 2, mu);
+    EXPECT_NEAR(full, 2.0 * half, 1e-9);
+}
+
+TEST(Bounds, Theorem12IndependentOfF) {
+    // The formula involves only logarithms of cluster memories.
+    algo::RandomRoutingProgram prog(128, {0, 4, 2}, 5);
+    DbspMachine machine(AccessFunction::logarithmic());
+    const auto run = machine.run(prog);
+    const double b = theorem12_bound(run, 128, prog.context_words());
+    EXPECT_GT(b, 0.0);
+    // Sanity: v * mu * sum log terms dominates v * tau here.
+    EXPECT_GT(b, 128.0 * static_cast<double>(prog.context_words()));
+}
+
+}  // namespace
+}  // namespace dbsp::core

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "bt/machine.hpp"
+#include "core/bounds.hpp"
+
+namespace dbsp::bt {
+namespace {
+
+using model::AccessFunction;
+
+TEST(BtMachine, BlockCopyCostIsMaxAccessPlusLength) {
+    Machine m(AccessFunction::polynomial(0.5), 4096);
+    for (int i = 0; i < 16; ++i) m.raw()[1000 + i] = 70 + i;
+    m.reset_cost();
+    m.block_copy(1000, 0, 16);
+    EXPECT_EQ(m.raw()[0], 70u);
+    EXPECT_EQ(m.raw()[15], 85u);
+    // max(f(1015), f(15)) + 16.
+    const double expected = AccessFunction::polynomial(0.5)(1015) + 16.0;
+    EXPECT_NEAR(m.cost(), expected, 1e-9);
+    EXPECT_EQ(m.block_transfers(), 1u);
+}
+
+TEST(BtMachine, BlockCopyCheaperThanElementwise) {
+    // The whole point of the model: moving b cells from depth x costs
+    // f(x) + b, not sum of f over the range.
+    const auto f = AccessFunction::polynomial(0.5);
+    Machine m(f, 1 << 16);
+    m.reset_cost();
+    m.block_copy((1 << 16) - 4096, 0, 4096);
+    const double block_cost = m.cost();
+    double elementwise = 0;
+    for (std::uint64_t i = 0; i < 4096; ++i) elementwise += f((1 << 16) - 4096 + i);
+    EXPECT_LT(block_cost, elementwise / 30.0);
+}
+
+TEST(BtMachineDeathTest, OverlappingBlockCopyAborts) {
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    Machine m(AccessFunction::constant(), 64);
+    EXPECT_DEATH(m.block_copy(0, 4, 8), "Precondition");
+}
+
+TEST(BtMachine, ReadWriteStillChargeHmmCosts) {
+    Machine m(AccessFunction::logarithmic(), 1024);
+    m.write(14, 3);
+    EXPECT_DOUBLE_EQ(m.cost(), 4.0);  // log2(14+2)
+    EXPECT_EQ(m.read(14), 3u);
+    EXPECT_DOUBLE_EQ(m.cost(), 8.0);
+}
+
+TEST(BtMachine, ChargeAccumulates) {
+    Machine m(AccessFunction::constant(), 16);
+    m.charge(2.5);
+    m.charge(0.5);
+    EXPECT_DOUBLE_EQ(m.cost(), 3.0);
+}
+
+}  // namespace
+}  // namespace dbsp::bt

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "algos/serial_reference.hpp"
+#include "bt/fft.hpp"
+#include "hmm/fft.hpp"
+#include "util/rng.hpp"
+
+namespace dbsp {
+namespace {
+
+using model::AccessFunction;
+using model::Word;
+
+std::vector<std::complex<double>> random_signal(std::size_t n, std::uint64_t seed) {
+    SplitMix64 rng(seed);
+    std::vector<std::complex<double>> x(n);
+    for (auto& c : x) c = {rng.next_double() - 0.5, rng.next_double() - 0.5};
+    return x;
+}
+
+class HmmFftParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HmmFftParam, MatchesNaiveDft) {
+    const std::uint64_t n = GetParam();
+    const auto input = random_signal(n, n + 1);
+    hmm::Machine m(AccessFunction::polynomial(0.5), 6 * n + 64);
+    const model::Addr base = 2 * n + 32;
+    for (std::uint64_t e = 0; e < n; ++e) {
+        m.raw()[base + 2 * e] = std::bit_cast<Word>(input[e].real());
+        m.raw()[base + 2 * e + 1] = std::bit_cast<Word>(input[e].imag());
+    }
+    hmm::fft_natural(m, base, n);
+    const auto expected = algo::serial_dft_naive(input);
+    for (std::uint64_t k = 0; k < n; ++k) {
+        const double re = std::bit_cast<double>(m.raw()[base + 2 * k]);
+        const double im = std::bit_cast<double>(m.raw()[base + 2 * k + 1]);
+        ASSERT_NEAR(re, expected[k].real(), 1e-6 * n) << "n=" << n << " k=" << k;
+        ASSERT_NEAR(im, expected[k].imag(), 1e-6 * n) << "n=" << n << " k=" << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HmmFftParam, ::testing::Values(1, 2, 4, 16, 256, 65536));
+
+class BtFftParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BtFftParam, MatchesNaiveDft) {
+    const std::uint64_t n = GetParam();
+    const auto input = random_signal(n, n + 2);
+    bt::Machine m(AccessFunction::polynomial(0.35), 6 * n + 64);
+    const model::Addr base = 2 * n + 32;
+    for (std::uint64_t e = 0; e < n; ++e) {
+        m.raw()[base + e] = std::bit_cast<Word>(input[e].real());
+        m.raw()[base + n + e] = std::bit_cast<Word>(input[e].imag());
+    }
+    bt::fft_natural_planar(m, base, n);
+    const auto expected = algo::serial_dft_naive(input);
+    for (std::uint64_t k = 0; k < n; ++k) {
+        const double re = std::bit_cast<double>(m.raw()[base + k]);
+        const double im = std::bit_cast<double>(m.raw()[base + n + k]);
+        ASSERT_NEAR(re, expected[k].real(), 1e-6 * n) << "n=" << n << " k=" << k;
+        ASSERT_NEAR(im, expected[k].imag(), 1e-6 * n) << "n=" << n << " k=" << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BtFftParam, ::testing::Values(1, 2, 4, 16, 256, 65536));
+
+TEST(NativeFft, HmmCostMatchesUpperBoundShape) {
+    // T(n) = Theta(n^(1+alpha)) for f = x^alpha.
+    const auto f = AccessFunction::polynomial(0.5);
+    std::vector<double> ratios;
+    for (std::uint64_t n : {256u, 65536u}) {
+        hmm::Machine m(f, 6 * n + 64);
+        m.reset_cost();
+        hmm::fft_natural(m, 2 * n + 32, n);
+        ratios.push_back(m.cost() / std::pow(static_cast<double>(n), 1.5));
+    }
+    EXPECT_LT(ratios.back() / ratios.front(), 2.5);
+}
+
+TEST(NativeFft, BtCostMatchesNLogNShape) {
+    const auto f = AccessFunction::polynomial(0.35);
+    std::vector<double> ratios;
+    for (std::uint64_t n : {256u, 65536u}) {
+        bt::Machine m(f, 6 * n + 64);
+        m.reset_cost();
+        bt::fft_natural_planar(m, 2 * n + 32, n);
+        ratios.push_back(m.cost() / (static_cast<double>(n) * std::log2(n)));
+    }
+    EXPECT_LT(ratios.back() / ratios.front(), 2.5);
+    EXPECT_GT(ratios.back() / ratios.front(), 0.4);
+}
+
+}  // namespace
+}  // namespace dbsp

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algos/bitonic_sort.hpp"
+#include "algos/odd_even_sort.hpp"
+#include "core/hmm_simulator.hpp"
+#include "core/smoothing.hpp"
+#include "model/dbsp_machine.hpp"
+#include "util/rng.hpp"
+
+namespace dbsp::algo {
+namespace {
+
+using model::AccessFunction;
+using model::DbspMachine;
+using model::Word;
+
+class OddEvenParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OddEvenParam, SortsRandomKeys) {
+    const std::uint64_t v = GetParam();
+    SplitMix64 rng(v + 99);
+    std::vector<Word> keys(v);
+    for (auto& k : keys) k = rng.next_below(1 << 16);
+    OddEvenTranspositionSortProgram prog(keys);
+    DbspMachine machine(AccessFunction::logarithmic());
+    const auto result = machine.run(prog);
+    std::sort(keys.begin(), keys.end());
+    for (std::uint64_t p = 0; p < v; ++p) {
+        ASSERT_EQ(result.data_of(p)[0], keys[p]) << "v=" << v << " p=" << p;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, OddEvenParam, ::testing::Values(2, 4, 8, 32, 128, 512));
+
+TEST(OddEvenSort, WorstCaseInputSorts) {
+    std::vector<Word> keys(64);
+    for (std::uint64_t i = 0; i < 64; ++i) keys[i] = 63 - i;  // reversed
+    OddEvenTranspositionSortProgram prog(keys);
+    DbspMachine machine(AccessFunction::polynomial(0.5));
+    const auto result = machine.run(prog);
+    for (std::uint64_t p = 0; p < 64; ++p) EXPECT_EQ(result.data_of(p)[0], p);
+}
+
+TEST(OddEvenSort, OddRoundsAreGlobalSupersteps) {
+    OddEvenTranspositionSortProgram prog(std::vector<Word>(32, 0));
+    for (model::StepIndex s = 0; s + 1 < prog.num_supersteps(); ++s) {
+        if (s % 2 == 0) {
+            EXPECT_EQ(prog.label(s), 4u) << "even round " << s;  // log 32 - 1
+        } else {
+            EXPECT_EQ(prog.label(s), 0u) << "odd round " << s;
+        }
+    }
+}
+
+TEST(OddEvenSort, DbspTimeDominatedByGlobalRounds) {
+    // Half the rounds pay g(mu v): T ~ (v/2) g(mu v), far above bitonic.
+    SplitMix64 rng(1);
+    std::vector<Word> keys(256);
+    for (auto& k : keys) k = rng.next();
+    const auto g = AccessFunction::polynomial(0.5);
+    DbspMachine machine(g);
+    OddEvenTranspositionSortProgram flat(keys);
+    BitonicSortProgram structured(keys);
+    const auto rf = machine.run(flat);
+    const auto rs = machine.run(structured);
+    EXPECT_GT(rf.time, 5.0 * rs.time);
+}
+
+TEST(OddEvenSort, SimulatesEquivalentlyOnHmm) {
+    SplitMix64 rng(2);
+    std::vector<Word> keys(64);
+    for (auto& k : keys) k = rng.next();
+    const auto f = AccessFunction::polynomial(0.5);
+    OddEvenTranspositionSortProgram direct_prog(keys);
+    DbspMachine machine(f);
+    const auto direct = machine.run(direct_prog);
+
+    OddEvenTranspositionSortProgram sim_prog(keys);
+    auto smoothed = core::smooth(sim_prog, core::hmm_label_set(f, sim_prog.context_words(), 64));
+    const auto simulated = core::HmmSimulator(f).simulate(*smoothed);
+    for (std::uint64_t p = 0; p < 64; ++p) {
+        ASSERT_EQ(simulated.data_of(p), direct.data_of(p));
+    }
+}
+
+}  // namespace
+}  // namespace dbsp::algo

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algos/permutation.hpp"
+#include "core/smoothing.hpp"
+#include "model/dbsp_machine.hpp"
+
+namespace dbsp::core {
+namespace {
+
+using algo::RandomRoutingProgram;
+using model::AccessFunction;
+
+TEST(Smoothing, HmmLabelSetDecaysGeometrically) {
+    const auto f = AccessFunction::polynomial(0.5);
+    const std::uint64_t v = 1 << 12;
+    const std::size_t mu = 16;
+    const double c2 = 0.5;
+    const auto labels = hmm_label_set(f, mu, v, c2);
+    ASSERT_GE(labels.size(), 2u);
+    EXPECT_EQ(labels.front(), 0u);
+    EXPECT_EQ(labels.back(), 12u);
+    EXPECT_TRUE(std::is_sorted(labels.begin(), labels.end()));
+    // Property (a)+(b): f decays by a constant factor at each step (except
+    // possibly into the last label).
+    for (std::size_t i = 0; i + 2 < labels.size(); ++i) {
+        const double prev = f.at(static_cast<double>(mu) * static_cast<double>(v >> labels[i]));
+        const double next =
+            f.at(static_cast<double>(mu) * static_cast<double>(v >> labels[i + 1]));
+        EXPECT_LE(next, c2 * prev + 1e-9);
+        // (2,c)-uniformity implies the decay is bounded below as well.
+        EXPECT_GE(next, c2 / std::sqrt(2.0) * prev * 0.99);
+    }
+}
+
+TEST(Smoothing, LogLabelSetIsCoarse) {
+    // For f = log x the label set should skip aggressively (log halves only
+    // after a quadratic shrink of the argument).
+    const auto labels =
+        hmm_label_set(AccessFunction::logarithmic(), 8, std::uint64_t{1} << 16, 0.5);
+    EXPECT_LT(labels.size(), 8u);
+    EXPECT_EQ(labels.back(), 16u);
+}
+
+TEST(Smoothing, BtLabelSetSatisfiesPropertyC) {
+    const auto f = AccessFunction::polynomial(0.5);
+    const std::uint64_t v = 1 << 14;
+    const std::size_t mu = 16;
+    const double d2 = 2.0;
+    const auto labels = bt_label_set(f, mu, v, 0.5, 2.0, d2);
+    EXPECT_EQ(labels.front(), 0u);
+    EXPECT_EQ(labels.back(), 14u);
+    for (std::size_t i = 0; i + 1 < labels.size(); ++i) {
+        const double f_prev =
+            f.at(static_cast<double>(mu) * static_cast<double>(v >> labels[i]));
+        const double mem_next = static_cast<double>(mu) * static_cast<double>(v >> labels[i + 1]);
+        EXPECT_LE(f_prev, d2 * mem_next + 1e-9)
+            << "property (c) violated at i=" << i;
+    }
+}
+
+TEST(Smoothing, FullLabelSet) {
+    const auto labels = full_label_set(32);
+    EXPECT_EQ(labels, (std::vector<unsigned>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(Smoothing, SmoothedProgramSatisfiesDefinition3) {
+    RandomRoutingProgram prog(1 << 10, {7, 2, 9, 9, 0, 5, 10, 1}, 3);
+    const auto labels = hmm_label_set(AccessFunction::polynomial(0.35), 16, 1 << 10);
+    EXPECT_FALSE(is_smooth(prog, labels));
+    SmoothingStats stats;
+    auto smoothed = smooth(prog, labels, &stats);
+    EXPECT_TRUE(is_smooth(*smoothed, labels));
+    EXPECT_EQ(stats.original_supersteps, prog.num_supersteps());
+    EXPECT_GE(smoothed->num_supersteps(), prog.num_supersteps());
+    EXPECT_EQ(smoothed->num_supersteps(), prog.num_supersteps() + stats.dummies);
+}
+
+TEST(Smoothing, UpgradeNeverRaisesLabel) {
+    RandomRoutingProgram prog(64, {3, 5, 1, 6, 2}, 4);
+    const auto labels = std::vector<unsigned>{0, 2, 4, 6};
+    auto smoothed = smooth(prog, labels);
+    // Every real superstep's new label is <= its original label.
+    std::size_t orig = 0;
+    for (model::StepIndex s = 0; s < smoothed->num_supersteps(); ++s) {
+        if (smoothed->is_dummy(s)) continue;
+        EXPECT_LE(smoothed->label(s), prog.label(orig));
+        ++orig;
+    }
+    EXPECT_EQ(orig, prog.num_supersteps());
+}
+
+TEST(Smoothing, SmoothedProgramFunctionallyEquivalent) {
+    RandomRoutingProgram prog(256, {4, 1, 7, 0, 3, 8, 2}, 5);
+    model::DbspMachine machine(AccessFunction::polynomial(0.5));
+    const auto direct = machine.run(prog);
+
+    RandomRoutingProgram prog2(256, {4, 1, 7, 0, 3, 8, 2}, 5);
+    auto smoothed = smooth(prog2, hmm_label_set(AccessFunction::polynomial(0.5), 16, 256));
+    const auto via_smooth = machine.run(*smoothed);
+    for (std::uint64_t p = 0; p < 256; ++p) {
+        EXPECT_EQ(direct.data_of(p), via_smooth.data_of(p));
+    }
+}
+
+TEST(Smoothing, TrivialLabelSetInsertsOnlyDescentDummies) {
+    RandomRoutingProgram prog(16, {0, 4, 0}, 9);
+    SmoothingStats stats;
+    auto smoothed = smooth(prog, full_label_set(16), &stats);
+    EXPECT_EQ(stats.upgraded, 0u);
+    // One descent 4 -> 0 (then 0 -> final 0): labels 3, 2, 1 inserted once.
+    EXPECT_EQ(stats.dummies, 3u);
+    EXPECT_TRUE(is_smooth(*smoothed, full_label_set(16)));
+}
+
+}  // namespace
+}  // namespace dbsp::core

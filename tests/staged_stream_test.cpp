@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bt/primitives.hpp"
+#include "util/rng.hpp"
+
+namespace dbsp::bt {
+namespace {
+
+using model::AccessFunction;
+using model::Word;
+
+TEST(StageTower, SingleLevelForSmallChunks) {
+    Machine m(AccessFunction::logarithmic(), 4096);
+    StageTower t(m, 0, 16, 1, 0, 1);
+    EXPECT_EQ(t.levels.size(), 1u);
+    EXPECT_EQ(t.levels[0].addr, 0u);
+    EXPECT_EQ(t.levels[0].capacity, 16u);
+}
+
+TEST(StageTower, BuildsMultipleLevelsForDeepChunks) {
+    Machine m(AccessFunction::polynomial(0.5), 1 << 20);
+    StageTower t(m, 0, 4096, 1, 0, 1);
+    ASSERT_GE(t.levels.size(), 2u);
+    // Inner levels shrink and sit shallower than outer ones.
+    for (std::size_t k = 1; k < t.levels.size(); ++k) {
+        EXPECT_LT(t.levels[k].capacity, t.levels[k - 1].capacity);
+        EXPECT_LT(t.levels[k].addr, t.levels[k - 1].addr);
+    }
+    // The innermost level starts at the stage base.
+    EXPECT_EQ(t.levels.back().addr, 0u);
+    // Total footprint is exactly the chunk.
+    std::uint64_t total = 0;
+    for (const auto& level : t.levels) total += level.capacity;
+    EXPECT_EQ(total, 4096u);
+}
+
+TEST(StageTower, CapacitiesRespectAlignment) {
+    Machine m(AccessFunction::polynomial(0.5), 1 << 20);
+    StageTower t(m, 0, 4095, 5, 0, 1);  // chunk multiple of 5
+    for (const auto& level : t.levels) EXPECT_EQ(level.capacity % 5, 0u);
+}
+
+TEST(StageTower, LanesInterleaveDepthwise) {
+    Machine m(AccessFunction::polynomial(0.5), 1 << 20);
+    StageTower a(m, 0, 1024, 1, 0, 3);
+    StageTower b(m, 0, 1024, 1, 1, 3);
+    StageTower c(m, 0, 1024, 1, 2, 3);
+    ASSERT_EQ(a.levels.size(), b.levels.size());
+    ASSERT_EQ(a.levels.size(), c.levels.size());
+    for (std::size_t k = 0; k < a.levels.size(); ++k) {
+        // Same capacities, adjacent addresses per level.
+        EXPECT_EQ(a.levels[k].capacity, b.levels[k].capacity);
+        EXPECT_EQ(b.levels[k].addr, a.levels[k].addr + a.levels[k].capacity);
+        EXPECT_EQ(c.levels[k].addr, b.levels[k].addr + b.levels[k].capacity);
+    }
+    // All three innermost buffers sit in front of any outer buffer.
+    EXPECT_LT(c.levels.back().addr + c.levels.back().capacity,
+              a.levels.front().addr + 1);
+}
+
+TEST(StagedStream, RoundTripLargeRegion) {
+    const std::uint64_t n = 100000;
+    Machine m(AccessFunction::polynomial(0.5), 3 * n + 8192);
+    {
+        StagedWriter wr(m, 8192, n, 0, 512);
+        for (std::uint64_t i = 0; i < n; ++i) wr.push(i * 7 + 1);
+    }
+    StagedReader rd(m, 8192, n, 0, 512);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(rd.peek(), i * 7 + 1) << i;
+        rd.advance(1);
+    }
+    EXPECT_TRUE(rd.done());
+}
+
+TEST(StagedStream, AmortizedCostPerWordIsSmall) {
+    // The whole point of the tower: streaming n words from depth costs
+    // O(n) + small, even under x^0.5 where direct reads would cost n*f(n).
+    const auto f = AccessFunction::polynomial(0.5);
+    const std::uint64_t n = 1 << 17;
+    Machine m(f, 2 * n + 8192);
+    m.reset_cost();
+    const std::uint64_t chunk = chunk_words(m, 8192 + n, 2048);
+    StagedReader rd(m, 8192, n, 0, chunk);
+    Word acc = 0;
+    while (!rd.done()) {
+        acc ^= rd.peek();
+        rd.advance(1);
+    }
+    const double per_word = m.cost() / static_cast<double>(n);
+    EXPECT_LT(per_word, 12.0);  // vs f(n) ~ 360 for direct reads
+    const double direct_per_word = f(8192 + n / 2);
+    EXPECT_LT(per_word, direct_per_word / 20.0);
+}
+
+TEST(StagedStream, ThreeLaneMergePattern) {
+    // Reproduce the merge access pattern: two readers + one writer on shared
+    // lanes; interleaved consumption must stay correct.
+    const std::uint64_t n = 5000;
+    Machine m(AccessFunction::polynomial(0.35), 4 * n + 4096);
+    auto raw = m.raw();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        raw[4096 + i] = 2 * i;          // evens
+        raw[4096 + n + i] = 2 * i + 1;  // odds
+    }
+    const std::uint64_t chunk = 120;
+    StagedReader ra(m, 4096, n, 0, chunk, 1, 0, 3);
+    StagedReader rb(m, 4096 + n, n, 0, chunk, 1, 1, 3);
+    StagedWriter out(m, 4096 + 2 * n, 2 * n, 0, chunk, 1, 2, 3);
+    while (!ra.done() || !rb.done()) {
+        if (!ra.done() && (rb.done() || ra.peek() <= rb.peek())) {
+            out.push(ra.peek());
+            ra.advance(1);
+        } else {
+            out.push(rb.peek());
+            rb.advance(1);
+        }
+    }
+    out.flush();
+    for (std::uint64_t i = 0; i < 2 * n; ++i) {
+        ASSERT_EQ(m.raw()[4096 + 2 * n + i], i);
+    }
+}
+
+TEST(StagedStream, WriterDestructorFlushesPartial) {
+    Machine m(AccessFunction::logarithmic(), 4096);
+    {
+        StagedWriter wr(m, 2048, 33, 0, 64);
+        for (int i = 0; i < 33; ++i) wr.push(i);
+    }
+    for (int i = 0; i < 33; ++i) EXPECT_EQ(m.raw()[2048 + i], static_cast<Word>(i));
+}
+
+TEST(StagedStream, RecordPeeksNeverStraddle) {
+    // Records of 5 with chunk a multiple of 5: peek(0..4) always valid.
+    const std::uint64_t recs = 999, rw = 5;
+    Machine m(AccessFunction::polynomial(0.5), 2 * recs * rw + 4096);
+    auto raw = m.raw();
+    for (std::uint64_t i = 0; i < recs * rw; ++i) raw[4096 + i] = i;
+    StagedReader rd(m, 4096, recs * rw, 0, 125, rw);
+    for (std::uint64_t r = 0; r < recs; ++r) {
+        for (std::uint64_t t = 0; t < rw; ++t) {
+            ASSERT_EQ(rd.peek(t), r * rw + t);
+        }
+        rd.advance(rw);
+    }
+}
+
+}  // namespace
+}  // namespace dbsp::bt

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace dbsp {
+namespace {
+
+TEST(Bits, IsPow2) {
+    EXPECT_FALSE(is_pow2(0));
+    EXPECT_TRUE(is_pow2(1));
+    EXPECT_TRUE(is_pow2(2));
+    EXPECT_FALSE(is_pow2(3));
+    EXPECT_TRUE(is_pow2(1ull << 40));
+    EXPECT_FALSE(is_pow2((1ull << 40) + 1));
+}
+
+TEST(Bits, Ilog2) {
+    EXPECT_EQ(ilog2(1), 0u);
+    EXPECT_EQ(ilog2(2), 1u);
+    EXPECT_EQ(ilog2(3), 1u);
+    EXPECT_EQ(ilog2(4), 2u);
+    EXPECT_EQ(ilog2(1ull << 50), 50u);
+}
+
+TEST(Bits, NextPow2) {
+    EXPECT_EQ(next_pow2(1), 1u);
+    EXPECT_EQ(next_pow2(2), 2u);
+    EXPECT_EQ(next_pow2(3), 4u);
+    EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(Bits, ReverseBits) {
+    EXPECT_EQ(reverse_bits(0b001, 3), 0b100u);
+    EXPECT_EQ(reverse_bits(0b110, 3), 0b011u);
+    EXPECT_EQ(reverse_bits(5, 0), 0u);
+    // Involution property.
+    for (std::uint64_t x = 0; x < 64; ++x) {
+        EXPECT_EQ(reverse_bits(reverse_bits(x, 6), 6), x);
+    }
+}
+
+TEST(Bits, MortonRoundTrip) {
+    for (std::uint32_t r = 0; r < 20; ++r) {
+        for (std::uint32_t c = 0; c < 20; ++c) {
+            const auto code = morton_encode(r, c);
+            const auto rc = morton_decode(code);
+            EXPECT_EQ(rc.row, r);
+            EXPECT_EQ(rc.col, c);
+        }
+    }
+}
+
+TEST(Bits, MortonQuadrantStructure) {
+    // The two top bits of a Morton code over a 2^k x 2^k grid select the
+    // quadrant: (row msb << 1) | col msb.
+    const std::uint32_t side = 8;
+    for (std::uint32_t r = 0; r < side; ++r) {
+        for (std::uint32_t c = 0; c < side; ++c) {
+            const auto code = morton_encode(r, c);
+            const auto quadrant = (code >> 4) & 3;  // 64 cells -> 6 bits
+            EXPECT_EQ(quadrant, ((r >> 2) << 1) | (c >> 2));
+        }
+    }
+}
+
+TEST(Bits, Ipow) {
+    EXPECT_EQ(ipow(2, 10), 1024u);
+    EXPECT_EQ(ipow(3, 0), 1u);
+    EXPECT_EQ(ipow(10, 3), 1000u);
+}
+
+TEST(Rng, Deterministic) {
+    SplitMix64 a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, NextBelowRange) {
+    SplitMix64 rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.next_below(13), 13u);
+    }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+    SplitMix64 rng(7);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 4000; ++i) ++seen[rng.next_below(8)];
+    for (int count : seen) EXPECT_GT(count, 300);  // roughly uniform
+}
+
+TEST(Rng, NextDoubleUnit) {
+    SplitMix64 rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Stats, FitLogLogRecoversExponent) {
+    std::vector<double> xs, ys;
+    for (double x : {16.0, 64.0, 256.0, 1024.0, 8192.0}) {
+        xs.push_back(x);
+        ys.push_back(3.0 * std::pow(x, 1.5));
+    }
+    const auto fit = fit_loglog(xs, ys);
+    EXPECT_NEAR(fit.slope, 1.5, 1e-9);
+    EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-9);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Stats, MeanAndGeometricMean) {
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_NEAR(geometric_mean({1.0, 4.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, Spread) {
+    EXPECT_DOUBLE_EQ(spread({2.0, 8.0, 4.0}), 4.0);
+    EXPECT_DOUBLE_EQ(spread({5.0}), 1.0);
+}
+
+TEST(Table, RendersAlignedRows) {
+    Table t({"n", "cost", "ratio"});
+    t.add_row({"16", "123", "1.0"});
+    t.add_row_values({1024, 5.5, 0.333333});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("cost"), std::string::npos);
+    EXPECT_NE(s.find("1024"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, FmtModes) {
+    EXPECT_EQ(Table::fmt(42), "42");
+    EXPECT_EQ(Table::fmt(2.5), "2.5000");
+    EXPECT_EQ(Table::fmt(12345678.0), "12345678");  // integral: no notation
+    EXPECT_NE(Table::fmt(1.234567891e9 + 0.25).find("e"), std::string::npos);
+    EXPECT_NE(Table::fmt(0.0001).find("e"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dbsp

@@ -1,0 +1,178 @@
+/// dbsp_explore — command-line cost-model explorer.
+///
+/// Runs one of the built-in D-BSP workloads on a chosen machine size and
+/// reports the D-BSP time plus the simulated HMM and/or BT costs, the
+/// theorem bounds, and the superstep profile. A quick way to poke at the
+/// models without writing code.
+///
+/// Usage:
+///   dbsp_explore --program fft|fft-rec|matmul|bitonic|oddeven|route
+///                [--v N] [--f x^A | log] [--model hmm|bt|both|none]
+///                [--seed S] [--profile] [--rational]
+///
+/// Examples:
+///   dbsp_explore --program bitonic --v 1024 --f x^0.5 --model both
+///   dbsp_explore --program fft-rec --v 256 --f x^0.35 --model bt --rational
+///   dbsp_explore --program matmul --v 4096 --f log --profile
+
+#include <complex>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "algos/bitonic_sort.hpp"
+#include "algos/fft_direct.hpp"
+#include "algos/fft_recursive.hpp"
+#include "algos/matmul.hpp"
+#include "algos/odd_even_sort.hpp"
+#include "algos/permutation.hpp"
+#include "core/bounds.hpp"
+#include "core/bt_simulator.hpp"
+#include "core/hmm_simulator.hpp"
+#include "core/smoothing.hpp"
+#include "model/dbsp_machine.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dbsp;
+
+[[noreturn]] void usage(const char* self) {
+    std::fprintf(stderr,
+                 "usage: %s --program fft|fft-rec|matmul|bitonic|oddeven|route\n"
+                 "          [--v N] [--f x^A|log] [--model hmm|bt|both|none]\n"
+                 "          [--seed S] [--profile] [--rational]\n",
+                 self);
+    std::exit(2);
+}
+
+std::unique_ptr<model::Program> make_program(const std::string& name, std::uint64_t v,
+                                             std::uint64_t seed) {
+    SplitMix64 rng(seed);
+    if (name == "fft" || name == "fft-rec") {
+        std::vector<std::complex<double>> x(v);
+        for (auto& c : x) c = {rng.next_double() - 0.5, rng.next_double() - 0.5};
+        if (name == "fft") return std::make_unique<algo::FftDirectProgram>(x);
+        return std::make_unique<algo::FftRecursiveProgram>(x);
+    }
+    if (name == "matmul") {
+        std::vector<model::Word> a(v), b(v);
+        for (auto& w : a) w = rng.next_below(1 << 20);
+        for (auto& w : b) w = rng.next_below(1 << 20);
+        return std::make_unique<algo::MatMulProgram>(a, b);
+    }
+    if (name == "bitonic" || name == "oddeven") {
+        std::vector<model::Word> keys(v);
+        for (auto& k : keys) k = rng.next();
+        if (name == "bitonic") return std::make_unique<algo::BitonicSortProgram>(keys);
+        return std::make_unique<algo::OddEvenTranspositionSortProgram>(keys);
+    }
+    if (name == "route") {
+        std::vector<unsigned> labels;
+        for (unsigned l = 0; l <= ilog2(v); ++l) labels.push_back(ilog2(v) - l);
+        return std::make_unique<algo::RandomRoutingProgram>(v, labels, seed);
+    }
+    return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string program_name = "bitonic";
+    std::string f_name = "x^0.5";
+    std::string model_name = "both";
+    std::uint64_t v = 256;
+    std::uint64_t seed = 1;
+    bool profile = false;
+    bool rational = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--program") {
+            program_name = next();
+        } else if (arg == "--v") {
+            v = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--f") {
+            f_name = next();
+        } else if (arg == "--model") {
+            model_name = next();
+        } else if (arg == "--seed") {
+            seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--profile") {
+            profile = true;
+        } else if (arg == "--rational") {
+            rational = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (!is_pow2(v)) {
+        std::fprintf(stderr, "--v must be a power of two\n");
+        return 2;
+    }
+
+    model::AccessFunction f = model::AccessFunction::logarithmic();
+    if (f_name.rfind("x^", 0) == 0) {
+        f = model::AccessFunction::polynomial(std::strtod(f_name.c_str() + 2, nullptr));
+    } else if (f_name != "log") {
+        usage(argv[0]);
+    }
+
+    auto program = make_program(program_name, v, seed);
+    if (!program) usage(argv[0]);
+    const std::size_t mu = program->context_words();
+
+    // Direct execution + cost model.
+    model::DbspMachine machine(f);
+    const auto direct = machine.run(*program);
+    std::printf("program %-10s v=%llu  mu=%zu  supersteps=%zu\n", program_name.c_str(),
+                static_cast<unsigned long long>(v), mu, direct.supersteps.size());
+    std::printf("D-BSP(%llu, %zu, %s): T = %.4g (compute %.4g + communicate %.4g)\n",
+                static_cast<unsigned long long>(v), mu, f.name().c_str(), direct.time,
+                direct.computation_time(), direct.communication_time());
+
+    if (profile) {
+        std::map<unsigned, std::pair<std::size_t, double>> per_label;
+        for (const auto& s : direct.supersteps) {
+            auto& [count, cost] = per_label[s.label];
+            ++count;
+            cost += s.cost;
+        }
+        std::printf("%8s %10s %14s\n", "label", "count", "total cost");
+        for (const auto& [label, entry] : per_label) {
+            std::printf("%8u %10zu %14.4g\n", label, entry.first, entry.second);
+        }
+    }
+
+    if (model_name == "hmm" || model_name == "both") {
+        auto prog = make_program(program_name, v, seed);
+        auto smoothed = core::smooth(*prog, core::hmm_label_set(f, mu, v));
+        const auto res = core::HmmSimulator(f).simulate(*smoothed);
+        const double bound = core::theorem5_bound(direct, f, v, mu);
+        std::printf("%s-HMM simulation: cost %.4g  slowdown/v %.3g  cost/Thm5-bound %.3g\n",
+                    f.name().c_str(), res.hmm_cost,
+                    res.hmm_cost / (direct.time * static_cast<double>(v)),
+                    res.hmm_cost / bound);
+    }
+    if (model_name == "bt" || model_name == "both") {
+        auto prog = make_program(program_name, v, seed);
+        auto smoothed = core::smooth(*prog, core::bt_label_set(f, mu, v));
+        core::BtSimulator::Options options;
+        options.use_rational_permutations = rational;
+        const auto res = core::BtSimulator(f, options).simulate(*smoothed);
+        const double bound = core::theorem12_bound(direct, v, mu);
+        std::printf("%s-BT  simulation: cost %.4g  cost/Thm12-bound %.3g"
+                    "  (sorts %llu, transposes %llu)\n",
+                    f.name().c_str(), res.bt_cost, res.bt_cost / bound,
+                    static_cast<unsigned long long>(res.sort_invocations),
+                    static_cast<unsigned long long>(res.transpose_invocations));
+    }
+    return 0;
+}
