@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_bt_fft.dir/bench_e10_bt_fft.cpp.o"
+  "CMakeFiles/bench_e10_bt_fft.dir/bench_e10_bt_fft.cpp.o.d"
+  "bench_e10_bt_fft"
+  "bench_e10_bt_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_bt_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_rational_perm.dir/bench_e11_rational_perm.cpp.o"
+  "CMakeFiles/bench_e11_rational_perm.dir/bench_e11_rational_perm.cpp.o.d"
+  "bench_e11_rational_perm"
+  "bench_e11_rational_perm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_rational_perm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_smoothing.dir/bench_e12_smoothing.cpp.o"
+  "CMakeFiles/bench_e12_smoothing.dir/bench_e12_smoothing.cpp.o.d"
+  "bench_e12_smoothing"
+  "bench_e12_smoothing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_smoothing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_bt_touching.dir/bench_e2_bt_touching.cpp.o"
+  "CMakeFiles/bench_e2_bt_touching.dir/bench_e2_bt_touching.cpp.o.d"
+  "bench_e2_bt_touching"
+  "bench_e2_bt_touching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_bt_touching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

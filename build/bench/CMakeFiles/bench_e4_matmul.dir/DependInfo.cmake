@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e4_matmul.cpp" "bench/CMakeFiles/bench_e4_matmul.dir/bench_e4_matmul.cpp.o" "gcc" "bench/CMakeFiles/bench_e4_matmul.dir/bench_e4_matmul.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dbsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/algos/CMakeFiles/dbsp_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dbsp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/hmm/CMakeFiles/dbsp_hmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bt/CMakeFiles/dbsp_bt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_matmul.dir/bench_e4_matmul.cpp.o"
+  "CMakeFiles/bench_e4_matmul.dir/bench_e4_matmul.cpp.o.d"
+  "bench_e4_matmul"
+  "bench_e4_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_fft.dir/bench_e5_fft.cpp.o"
+  "CMakeFiles/bench_e5_fft.dir/bench_e5_fft.cpp.o.d"
+  "bench_e5_fft"
+  "bench_e5_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

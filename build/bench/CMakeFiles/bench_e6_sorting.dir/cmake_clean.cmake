@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_sorting.dir/bench_e6_sorting.cpp.o"
+  "CMakeFiles/bench_e6_sorting.dir/bench_e6_sorting.cpp.o.d"
+  "bench_e6_sorting"
+  "bench_e6_sorting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_sorting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

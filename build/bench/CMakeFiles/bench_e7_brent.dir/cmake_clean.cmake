@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_brent.dir/bench_e7_brent.cpp.o"
+  "CMakeFiles/bench_e7_brent.dir/bench_e7_brent.cpp.o.d"
+  "bench_e7_brent"
+  "bench_e7_brent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_brent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

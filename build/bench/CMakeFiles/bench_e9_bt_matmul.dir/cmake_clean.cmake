@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_bt_matmul.dir/bench_e9_bt_matmul.cpp.o"
+  "CMakeFiles/bench_e9_bt_matmul.dir/bench_e9_bt_matmul.cpp.o.d"
+  "bench_e9_bt_matmul"
+  "bench_e9_bt_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_bt_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brent_scaling.dir/brent_scaling.cpp.o"
+  "CMakeFiles/brent_scaling.dir/brent_scaling.cpp.o.d"
+  "brent_scaling"
+  "brent_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brent_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

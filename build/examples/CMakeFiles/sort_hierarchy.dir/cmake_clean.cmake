@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_hierarchy.dir/sort_hierarchy.cpp.o"
+  "CMakeFiles/sort_hierarchy.dir/sort_hierarchy.cpp.o.d"
+  "sort_hierarchy"
+  "sort_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/bitonic_sort.cpp" "src/algos/CMakeFiles/dbsp_algos.dir/bitonic_sort.cpp.o" "gcc" "src/algos/CMakeFiles/dbsp_algos.dir/bitonic_sort.cpp.o.d"
+  "/root/repo/src/algos/collectives.cpp" "src/algos/CMakeFiles/dbsp_algos.dir/collectives.cpp.o" "gcc" "src/algos/CMakeFiles/dbsp_algos.dir/collectives.cpp.o.d"
+  "/root/repo/src/algos/fft_direct.cpp" "src/algos/CMakeFiles/dbsp_algos.dir/fft_direct.cpp.o" "gcc" "src/algos/CMakeFiles/dbsp_algos.dir/fft_direct.cpp.o.d"
+  "/root/repo/src/algos/fft_recursive.cpp" "src/algos/CMakeFiles/dbsp_algos.dir/fft_recursive.cpp.o" "gcc" "src/algos/CMakeFiles/dbsp_algos.dir/fft_recursive.cpp.o.d"
+  "/root/repo/src/algos/matmul.cpp" "src/algos/CMakeFiles/dbsp_algos.dir/matmul.cpp.o" "gcc" "src/algos/CMakeFiles/dbsp_algos.dir/matmul.cpp.o.d"
+  "/root/repo/src/algos/odd_even_sort.cpp" "src/algos/CMakeFiles/dbsp_algos.dir/odd_even_sort.cpp.o" "gcc" "src/algos/CMakeFiles/dbsp_algos.dir/odd_even_sort.cpp.o.d"
+  "/root/repo/src/algos/permutation.cpp" "src/algos/CMakeFiles/dbsp_algos.dir/permutation.cpp.o" "gcc" "src/algos/CMakeFiles/dbsp_algos.dir/permutation.cpp.o.d"
+  "/root/repo/src/algos/serial_reference.cpp" "src/algos/CMakeFiles/dbsp_algos.dir/serial_reference.cpp.o" "gcc" "src/algos/CMakeFiles/dbsp_algos.dir/serial_reference.cpp.o.d"
+  "/root/repo/src/algos/transpose_program.cpp" "src/algos/CMakeFiles/dbsp_algos.dir/transpose_program.cpp.o" "gcc" "src/algos/CMakeFiles/dbsp_algos.dir/transpose_program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/dbsp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsp_algos.dir/bitonic_sort.cpp.o"
+  "CMakeFiles/dbsp_algos.dir/bitonic_sort.cpp.o.d"
+  "CMakeFiles/dbsp_algos.dir/collectives.cpp.o"
+  "CMakeFiles/dbsp_algos.dir/collectives.cpp.o.d"
+  "CMakeFiles/dbsp_algos.dir/fft_direct.cpp.o"
+  "CMakeFiles/dbsp_algos.dir/fft_direct.cpp.o.d"
+  "CMakeFiles/dbsp_algos.dir/fft_recursive.cpp.o"
+  "CMakeFiles/dbsp_algos.dir/fft_recursive.cpp.o.d"
+  "CMakeFiles/dbsp_algos.dir/matmul.cpp.o"
+  "CMakeFiles/dbsp_algos.dir/matmul.cpp.o.d"
+  "CMakeFiles/dbsp_algos.dir/odd_even_sort.cpp.o"
+  "CMakeFiles/dbsp_algos.dir/odd_even_sort.cpp.o.d"
+  "CMakeFiles/dbsp_algos.dir/permutation.cpp.o"
+  "CMakeFiles/dbsp_algos.dir/permutation.cpp.o.d"
+  "CMakeFiles/dbsp_algos.dir/serial_reference.cpp.o"
+  "CMakeFiles/dbsp_algos.dir/serial_reference.cpp.o.d"
+  "CMakeFiles/dbsp_algos.dir/transpose_program.cpp.o"
+  "CMakeFiles/dbsp_algos.dir/transpose_program.cpp.o.d"
+  "libdbsp_algos.a"
+  "libdbsp_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsp_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bt/align.cpp" "src/bt/CMakeFiles/dbsp_bt.dir/align.cpp.o" "gcc" "src/bt/CMakeFiles/dbsp_bt.dir/align.cpp.o.d"
+  "/root/repo/src/bt/fft.cpp" "src/bt/CMakeFiles/dbsp_bt.dir/fft.cpp.o" "gcc" "src/bt/CMakeFiles/dbsp_bt.dir/fft.cpp.o.d"
+  "/root/repo/src/bt/machine.cpp" "src/bt/CMakeFiles/dbsp_bt.dir/machine.cpp.o" "gcc" "src/bt/CMakeFiles/dbsp_bt.dir/machine.cpp.o.d"
+  "/root/repo/src/bt/primitives.cpp" "src/bt/CMakeFiles/dbsp_bt.dir/primitives.cpp.o" "gcc" "src/bt/CMakeFiles/dbsp_bt.dir/primitives.cpp.o.d"
+  "/root/repo/src/bt/sort.cpp" "src/bt/CMakeFiles/dbsp_bt.dir/sort.cpp.o" "gcc" "src/bt/CMakeFiles/dbsp_bt.dir/sort.cpp.o.d"
+  "/root/repo/src/bt/transpose.cpp" "src/bt/CMakeFiles/dbsp_bt.dir/transpose.cpp.o" "gcc" "src/bt/CMakeFiles/dbsp_bt.dir/transpose.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/dbsp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsp_bt.dir/align.cpp.o"
+  "CMakeFiles/dbsp_bt.dir/align.cpp.o.d"
+  "CMakeFiles/dbsp_bt.dir/fft.cpp.o"
+  "CMakeFiles/dbsp_bt.dir/fft.cpp.o.d"
+  "CMakeFiles/dbsp_bt.dir/machine.cpp.o"
+  "CMakeFiles/dbsp_bt.dir/machine.cpp.o.d"
+  "CMakeFiles/dbsp_bt.dir/primitives.cpp.o"
+  "CMakeFiles/dbsp_bt.dir/primitives.cpp.o.d"
+  "CMakeFiles/dbsp_bt.dir/sort.cpp.o"
+  "CMakeFiles/dbsp_bt.dir/sort.cpp.o.d"
+  "CMakeFiles/dbsp_bt.dir/transpose.cpp.o"
+  "CMakeFiles/dbsp_bt.dir/transpose.cpp.o.d"
+  "libdbsp_bt.a"
+  "libdbsp_bt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsp_bt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

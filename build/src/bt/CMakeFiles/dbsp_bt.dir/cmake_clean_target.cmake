@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdbsp_bt.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bounds.cpp" "src/core/CMakeFiles/dbsp_core.dir/bounds.cpp.o" "gcc" "src/core/CMakeFiles/dbsp_core.dir/bounds.cpp.o.d"
+  "/root/repo/src/core/bt_simulator.cpp" "src/core/CMakeFiles/dbsp_core.dir/bt_simulator.cpp.o" "gcc" "src/core/CMakeFiles/dbsp_core.dir/bt_simulator.cpp.o.d"
+  "/root/repo/src/core/hmm_simulator.cpp" "src/core/CMakeFiles/dbsp_core.dir/hmm_simulator.cpp.o" "gcc" "src/core/CMakeFiles/dbsp_core.dir/hmm_simulator.cpp.o.d"
+  "/root/repo/src/core/naive_bt_simulator.cpp" "src/core/CMakeFiles/dbsp_core.dir/naive_bt_simulator.cpp.o" "gcc" "src/core/CMakeFiles/dbsp_core.dir/naive_bt_simulator.cpp.o.d"
+  "/root/repo/src/core/naive_hmm_simulator.cpp" "src/core/CMakeFiles/dbsp_core.dir/naive_hmm_simulator.cpp.o" "gcc" "src/core/CMakeFiles/dbsp_core.dir/naive_hmm_simulator.cpp.o.d"
+  "/root/repo/src/core/self_simulator.cpp" "src/core/CMakeFiles/dbsp_core.dir/self_simulator.cpp.o" "gcc" "src/core/CMakeFiles/dbsp_core.dir/self_simulator.cpp.o.d"
+  "/root/repo/src/core/smoothing.cpp" "src/core/CMakeFiles/dbsp_core.dir/smoothing.cpp.o" "gcc" "src/core/CMakeFiles/dbsp_core.dir/smoothing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/dbsp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/hmm/CMakeFiles/dbsp_hmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bt/CMakeFiles/dbsp_bt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

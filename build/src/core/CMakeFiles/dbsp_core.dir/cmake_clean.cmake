@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsp_core.dir/bounds.cpp.o"
+  "CMakeFiles/dbsp_core.dir/bounds.cpp.o.d"
+  "CMakeFiles/dbsp_core.dir/bt_simulator.cpp.o"
+  "CMakeFiles/dbsp_core.dir/bt_simulator.cpp.o.d"
+  "CMakeFiles/dbsp_core.dir/hmm_simulator.cpp.o"
+  "CMakeFiles/dbsp_core.dir/hmm_simulator.cpp.o.d"
+  "CMakeFiles/dbsp_core.dir/naive_bt_simulator.cpp.o"
+  "CMakeFiles/dbsp_core.dir/naive_bt_simulator.cpp.o.d"
+  "CMakeFiles/dbsp_core.dir/naive_hmm_simulator.cpp.o"
+  "CMakeFiles/dbsp_core.dir/naive_hmm_simulator.cpp.o.d"
+  "CMakeFiles/dbsp_core.dir/self_simulator.cpp.o"
+  "CMakeFiles/dbsp_core.dir/self_simulator.cpp.o.d"
+  "CMakeFiles/dbsp_core.dir/smoothing.cpp.o"
+  "CMakeFiles/dbsp_core.dir/smoothing.cpp.o.d"
+  "libdbsp_core.a"
+  "libdbsp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

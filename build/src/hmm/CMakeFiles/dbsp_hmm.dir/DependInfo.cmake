@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hmm/fft.cpp" "src/hmm/CMakeFiles/dbsp_hmm.dir/fft.cpp.o" "gcc" "src/hmm/CMakeFiles/dbsp_hmm.dir/fft.cpp.o.d"
+  "/root/repo/src/hmm/machine.cpp" "src/hmm/CMakeFiles/dbsp_hmm.dir/machine.cpp.o" "gcc" "src/hmm/CMakeFiles/dbsp_hmm.dir/machine.cpp.o.d"
+  "/root/repo/src/hmm/matmul.cpp" "src/hmm/CMakeFiles/dbsp_hmm.dir/matmul.cpp.o" "gcc" "src/hmm/CMakeFiles/dbsp_hmm.dir/matmul.cpp.o.d"
+  "/root/repo/src/hmm/primitives.cpp" "src/hmm/CMakeFiles/dbsp_hmm.dir/primitives.cpp.o" "gcc" "src/hmm/CMakeFiles/dbsp_hmm.dir/primitives.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/dbsp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsp_hmm.dir/fft.cpp.o"
+  "CMakeFiles/dbsp_hmm.dir/fft.cpp.o.d"
+  "CMakeFiles/dbsp_hmm.dir/machine.cpp.o"
+  "CMakeFiles/dbsp_hmm.dir/machine.cpp.o.d"
+  "CMakeFiles/dbsp_hmm.dir/matmul.cpp.o"
+  "CMakeFiles/dbsp_hmm.dir/matmul.cpp.o.d"
+  "CMakeFiles/dbsp_hmm.dir/primitives.cpp.o"
+  "CMakeFiles/dbsp_hmm.dir/primitives.cpp.o.d"
+  "libdbsp_hmm.a"
+  "libdbsp_hmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsp_hmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/access_function.cpp" "src/model/CMakeFiles/dbsp_model.dir/access_function.cpp.o" "gcc" "src/model/CMakeFiles/dbsp_model.dir/access_function.cpp.o.d"
+  "/root/repo/src/model/cost_table.cpp" "src/model/CMakeFiles/dbsp_model.dir/cost_table.cpp.o" "gcc" "src/model/CMakeFiles/dbsp_model.dir/cost_table.cpp.o.d"
+  "/root/repo/src/model/dbsp_machine.cpp" "src/model/CMakeFiles/dbsp_model.dir/dbsp_machine.cpp.o" "gcc" "src/model/CMakeFiles/dbsp_model.dir/dbsp_machine.cpp.o.d"
+  "/root/repo/src/model/program.cpp" "src/model/CMakeFiles/dbsp_model.dir/program.cpp.o" "gcc" "src/model/CMakeFiles/dbsp_model.dir/program.cpp.o.d"
+  "/root/repo/src/model/recorded_program.cpp" "src/model/CMakeFiles/dbsp_model.dir/recorded_program.cpp.o" "gcc" "src/model/CMakeFiles/dbsp_model.dir/recorded_program.cpp.o.d"
+  "/root/repo/src/model/superstep_exec.cpp" "src/model/CMakeFiles/dbsp_model.dir/superstep_exec.cpp.o" "gcc" "src/model/CMakeFiles/dbsp_model.dir/superstep_exec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dbsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

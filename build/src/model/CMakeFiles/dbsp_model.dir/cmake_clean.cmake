@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsp_model.dir/access_function.cpp.o"
+  "CMakeFiles/dbsp_model.dir/access_function.cpp.o.d"
+  "CMakeFiles/dbsp_model.dir/cost_table.cpp.o"
+  "CMakeFiles/dbsp_model.dir/cost_table.cpp.o.d"
+  "CMakeFiles/dbsp_model.dir/dbsp_machine.cpp.o"
+  "CMakeFiles/dbsp_model.dir/dbsp_machine.cpp.o.d"
+  "CMakeFiles/dbsp_model.dir/program.cpp.o"
+  "CMakeFiles/dbsp_model.dir/program.cpp.o.d"
+  "CMakeFiles/dbsp_model.dir/recorded_program.cpp.o"
+  "CMakeFiles/dbsp_model.dir/recorded_program.cpp.o.d"
+  "CMakeFiles/dbsp_model.dir/superstep_exec.cpp.o"
+  "CMakeFiles/dbsp_model.dir/superstep_exec.cpp.o.d"
+  "libdbsp_model.a"
+  "libdbsp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsp_util.dir/bits.cpp.o"
+  "CMakeFiles/dbsp_util.dir/bits.cpp.o.d"
+  "CMakeFiles/dbsp_util.dir/stats.cpp.o"
+  "CMakeFiles/dbsp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dbsp_util.dir/table.cpp.o"
+  "CMakeFiles/dbsp_util.dir/table.cpp.o.d"
+  "libdbsp_util.a"
+  "libdbsp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/access_function_test.cpp" "tests/CMakeFiles/dbsp_tests.dir/access_function_test.cpp.o" "gcc" "tests/CMakeFiles/dbsp_tests.dir/access_function_test.cpp.o.d"
+  "/root/repo/tests/algos_test.cpp" "tests/CMakeFiles/dbsp_tests.dir/algos_test.cpp.o" "gcc" "tests/CMakeFiles/dbsp_tests.dir/algos_test.cpp.o.d"
+  "/root/repo/tests/align_test.cpp" "tests/CMakeFiles/dbsp_tests.dir/align_test.cpp.o" "gcc" "tests/CMakeFiles/dbsp_tests.dir/align_test.cpp.o.d"
+  "/root/repo/tests/bounds_test.cpp" "tests/CMakeFiles/dbsp_tests.dir/bounds_test.cpp.o" "gcc" "tests/CMakeFiles/dbsp_tests.dir/bounds_test.cpp.o.d"
+  "/root/repo/tests/bt_machine_test.cpp" "tests/CMakeFiles/dbsp_tests.dir/bt_machine_test.cpp.o" "gcc" "tests/CMakeFiles/dbsp_tests.dir/bt_machine_test.cpp.o.d"
+  "/root/repo/tests/bt_primitives_test.cpp" "tests/CMakeFiles/dbsp_tests.dir/bt_primitives_test.cpp.o" "gcc" "tests/CMakeFiles/dbsp_tests.dir/bt_primitives_test.cpp.o.d"
+  "/root/repo/tests/bt_simulator_test.cpp" "tests/CMakeFiles/dbsp_tests.dir/bt_simulator_test.cpp.o" "gcc" "tests/CMakeFiles/dbsp_tests.dir/bt_simulator_test.cpp.o.d"
+  "/root/repo/tests/cross_executor_test.cpp" "tests/CMakeFiles/dbsp_tests.dir/cross_executor_test.cpp.o" "gcc" "tests/CMakeFiles/dbsp_tests.dir/cross_executor_test.cpp.o.d"
+  "/root/repo/tests/dbsp_machine_test.cpp" "tests/CMakeFiles/dbsp_tests.dir/dbsp_machine_test.cpp.o" "gcc" "tests/CMakeFiles/dbsp_tests.dir/dbsp_machine_test.cpp.o.d"
+  "/root/repo/tests/edge_cases_test.cpp" "tests/CMakeFiles/dbsp_tests.dir/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/dbsp_tests.dir/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/hmm_machine_test.cpp" "tests/CMakeFiles/dbsp_tests.dir/hmm_machine_test.cpp.o" "gcc" "tests/CMakeFiles/dbsp_tests.dir/hmm_machine_test.cpp.o.d"
+  "/root/repo/tests/hmm_simulator_test.cpp" "tests/CMakeFiles/dbsp_tests.dir/hmm_simulator_test.cpp.o" "gcc" "tests/CMakeFiles/dbsp_tests.dir/hmm_simulator_test.cpp.o.d"
+  "/root/repo/tests/model_test.cpp" "tests/CMakeFiles/dbsp_tests.dir/model_test.cpp.o" "gcc" "tests/CMakeFiles/dbsp_tests.dir/model_test.cpp.o.d"
+  "/root/repo/tests/native_fft_test.cpp" "tests/CMakeFiles/dbsp_tests.dir/native_fft_test.cpp.o" "gcc" "tests/CMakeFiles/dbsp_tests.dir/native_fft_test.cpp.o.d"
+  "/root/repo/tests/native_matmul_test.cpp" "tests/CMakeFiles/dbsp_tests.dir/native_matmul_test.cpp.o" "gcc" "tests/CMakeFiles/dbsp_tests.dir/native_matmul_test.cpp.o.d"
+  "/root/repo/tests/odd_even_sort_test.cpp" "tests/CMakeFiles/dbsp_tests.dir/odd_even_sort_test.cpp.o" "gcc" "tests/CMakeFiles/dbsp_tests.dir/odd_even_sort_test.cpp.o.d"
+  "/root/repo/tests/recorded_program_test.cpp" "tests/CMakeFiles/dbsp_tests.dir/recorded_program_test.cpp.o" "gcc" "tests/CMakeFiles/dbsp_tests.dir/recorded_program_test.cpp.o.d"
+  "/root/repo/tests/self_simulator_test.cpp" "tests/CMakeFiles/dbsp_tests.dir/self_simulator_test.cpp.o" "gcc" "tests/CMakeFiles/dbsp_tests.dir/self_simulator_test.cpp.o.d"
+  "/root/repo/tests/smoothing_test.cpp" "tests/CMakeFiles/dbsp_tests.dir/smoothing_test.cpp.o" "gcc" "tests/CMakeFiles/dbsp_tests.dir/smoothing_test.cpp.o.d"
+  "/root/repo/tests/staged_stream_test.cpp" "tests/CMakeFiles/dbsp_tests.dir/staged_stream_test.cpp.o" "gcc" "tests/CMakeFiles/dbsp_tests.dir/staged_stream_test.cpp.o.d"
+  "/root/repo/tests/transpose_program_test.cpp" "tests/CMakeFiles/dbsp_tests.dir/transpose_program_test.cpp.o" "gcc" "tests/CMakeFiles/dbsp_tests.dir/transpose_program_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/dbsp_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/dbsp_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dbsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/algos/CMakeFiles/dbsp_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dbsp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/hmm/CMakeFiles/dbsp_hmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bt/CMakeFiles/dbsp_bt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsp_explore.dir/dbsp_explore.cpp.o"
+  "CMakeFiles/dbsp_explore.dir/dbsp_explore.cpp.o.d"
+  "dbsp_explore"
+  "dbsp_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsp_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool.explore_hmm "/root/repo/build/tools/dbsp_explore" "--program" "bitonic" "--v" "64" "--f" "x^0.5" "--model" "hmm")
+set_tests_properties(tool.explore_hmm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool.explore_bt_rational "/root/repo/build/tools/dbsp_explore" "--program" "fft-rec" "--v" "16" "--f" "x^0.35" "--model" "bt" "--rational")
+set_tests_properties(tool.explore_bt_rational PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool.explore_profile "/root/repo/build/tools/dbsp_explore" "--program" "matmul" "--v" "64" "--f" "log" "--profile" "--model" "none")
+set_tests_properties(tool.explore_profile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
