@@ -9,24 +9,50 @@
 #include "hmm/machine.hpp"
 #include "hmm/primitives.hpp"
 
+namespace {
+
+struct Point {
+    dbsp::model::AccessFunction f;
+    std::uint64_t n;
+};
+
+struct Row {
+    double cost;
+    double bound;
+};
+
+}  // namespace
+
 int main() {
     using namespace dbsp;
     bench::banner("E1  HMM touching (Fact 1)",
                   "time to access the first n cells of f(x)-HMM is Theta(n f(n))");
 
-    for (const auto& f : bench::case_study_functions()) {
+    const auto functions = bench::case_study_functions();
+    std::vector<Point> points;
+    for (const auto& f : functions) {
+        for (std::uint64_t n = 1 << 10; n <= (1 << 22); n <<= 2) {
+            points.push_back({f, n});
+        }
+    }
+    const auto rows = bench::parallel_sweep(points, [](const Point& pt) {
+        hmm::Machine m(pt.f, pt.n);
+        m.reset_cost();
+        hmm::touch_all(m, pt.n);
+        return Row{m.cost(), core::fact1_bound(pt.f, pt.n)};
+    });
+
+    std::size_t idx = 0;
+    for (const auto& f : functions) {
         bench::section("f(x) = " + f.name());
         Table table({"n", "measured cost", "n*f(n)", "ratio"});
         std::vector<double> ns, costs, ratios;
         for (std::uint64_t n = 1 << 10; n <= (1 << 22); n <<= 2) {
-            hmm::Machine m(f, n);
-            m.reset_cost();
-            hmm::touch_all(m, n);
-            const double bound = core::fact1_bound(f, n);
-            table.add_row_values({static_cast<double>(n), m.cost(), bound, m.cost() / bound});
+            const Row& r = rows[idx++];
+            table.add_row_values({static_cast<double>(n), r.cost, r.bound, r.cost / r.bound});
             ns.push_back(static_cast<double>(n));
-            costs.push_back(m.cost());
-            ratios.push_back(m.cost() / bound);
+            costs.push_back(r.cost);
+            ratios.push_back(r.cost / r.bound);
         }
         table.print();
         bench::report_band("measured / (n f(n))", ratios);

@@ -11,27 +11,53 @@
 #include "bt/primitives.hpp"
 #include "core/bounds.hpp"
 
+namespace {
+
+struct Point {
+    dbsp::model::AccessFunction f;
+    std::uint64_t n;
+};
+
+struct Row {
+    double bt_cost;
+    double bound;
+    double hmm_cost;
+};
+
+}  // namespace
+
 int main() {
     using namespace dbsp;
     bench::banner("E2  BT touching (Fact 2)",
                   "touching on f(x)-BT costs Theta(n f*(n)); block transfer hides "
                   "nearly all of the HMM's Theta(n f(n))");
 
-    for (const auto& f : bench::case_study_functions()) {
+    const auto functions = bench::case_study_functions();
+    std::vector<Point> points;
+    for (const auto& f : functions) {
+        for (std::uint64_t n = 1 << 12; n <= (1 << 22); n <<= 2) {
+            points.push_back({f, n});
+        }
+    }
+    const auto rows = bench::parallel_sweep(points, [](const Point& pt) {
+        bt::Machine m(pt.f, 2 * pt.n);
+        m.reset_cost();
+        bt::touch_region(m, pt.n, pt.n);
+        return Row{m.cost(), core::fact2_bound(pt.f, pt.n),
+                   core::fact1_bound(pt.f, pt.n)};
+    });
+
+    std::size_t idx = 0;
+    for (const auto& f : functions) {
         bench::section("f(x) = " + f.name());
         Table table({"n", "BT cost", "n*f*(n)", "BT ratio", "HMM cost", "HMM/BT"});
         std::vector<double> ratios, gaps;
         for (std::uint64_t n = 1 << 12; n <= (1 << 22); n <<= 2) {
-            bt::Machine m(f, 2 * n);
-            m.reset_cost();
-            bt::touch_region(m, n, n);
-            const double bt_cost = m.cost();
-            const double bound = core::fact2_bound(f, n);
-            const double hmm_cost = core::fact1_bound(f, n);
-            table.add_row_values({static_cast<double>(n), bt_cost, bound, bt_cost / bound,
-                                  hmm_cost, hmm_cost / bt_cost});
-            ratios.push_back(bt_cost / bound);
-            gaps.push_back(hmm_cost / bt_cost);
+            const Row& r = rows[idx++];
+            table.add_row_values({static_cast<double>(n), r.bt_cost, r.bound,
+                                  r.bt_cost / r.bound, r.hmm_cost, r.hmm_cost / r.bt_cost});
+            ratios.push_back(r.bt_cost / r.bound);
+            gaps.push_back(r.hmm_cost / r.bt_cost);
         }
         table.print();
         bench::report_band("BT measured / (n f*(n))", ratios);

@@ -37,6 +37,18 @@ std::vector<unsigned> workload_labels(std::uint64_t v, std::uint64_t seed) {
     return labels;
 }
 
+struct Point {
+    dbsp::model::AccessFunction f;
+    std::uint64_t v;
+};
+
+struct Row {
+    double direct_time;
+    double sim_cost;
+    double naive_cost;
+    double bound;
+};
+
 }  // namespace
 
 int main() {
@@ -45,36 +57,47 @@ int main() {
                   "any T-time fine-grained D-BSP(v, mu, f) program simulates on "
                   "f(x)-HMM in optimal Theta(T v) time");
 
-    for (const auto& f : bench::case_study_functions()) {
+    const auto functions = bench::case_study_functions();
+    std::vector<Point> points;
+    for (const auto& f : functions) {
+        for (std::uint64_t v = 1 << 6; v <= (1 << 12); v <<= 2) {
+            points.push_back({f, v});
+        }
+    }
+    const auto rows = bench::parallel_sweep(points, [](const Point& pt) {
+        const auto labels = workload_labels(pt.v, 7);
+        algo::RandomRoutingProgram direct_prog(pt.v, labels, 101);
+        model::DbspMachine machine(pt.f);
+        const auto direct = machine.run(direct_prog);
+
+        algo::RandomRoutingProgram sim_prog(pt.v, labels, 101);
+        auto smoothed = core::smooth(
+            sim_prog, core::hmm_label_set(pt.f, sim_prog.context_words(), pt.v));
+        const core::HmmSimulator sim(pt.f);
+        const auto simulated = sim.simulate(*smoothed);
+
+        algo::RandomRoutingProgram naive_prog(pt.v, labels, 101);
+        const core::NaiveHmmSimulator naive(pt.f);
+        const auto r_naive = naive.simulate(naive_prog);
+
+        const double bound =
+            core::theorem5_bound(direct, pt.f, pt.v, direct_prog.context_words());
+        return Row{direct.time, simulated.hmm_cost, r_naive.hmm_cost, bound};
+    });
+
+    std::size_t idx = 0;
+    for (const auto& f : functions) {
         bench::section("g(x) = f(x) = " + f.name());
         Table table({"v", "T (D-BSP)", "HMM sim", "slowdown/v", "Thm5 bound", "sim/bound",
                      "naive sim", "naive slowdown/v"});
         std::vector<double> smart_band, naive_trend, vs;
         for (std::uint64_t v = 1 << 6; v <= (1 << 12); v <<= 2) {
-            const auto labels = workload_labels(v, 7);
-            algo::RandomRoutingProgram direct_prog(v, labels, 101);
-            model::DbspMachine machine(f);
-            const auto direct = machine.run(direct_prog);
-
-            algo::RandomRoutingProgram sim_prog(v, labels, 101);
-            auto smoothed =
-                core::smooth(sim_prog, core::hmm_label_set(f, sim_prog.context_words(), v));
-            const core::HmmSimulator sim(f);
-            const auto simulated = sim.simulate(*smoothed);
-
-            algo::RandomRoutingProgram naive_prog(v, labels, 101);
-            const core::NaiveHmmSimulator naive(f);
-            const auto r_naive = naive.simulate(naive_prog);
-
-            const double bound =
-                core::theorem5_bound(direct, f, v, direct_prog.context_words());
-            const double slowdown_per_v =
-                simulated.hmm_cost / (static_cast<double>(v) * direct.time);
-            const double naive_per_v =
-                r_naive.hmm_cost / (static_cast<double>(v) * direct.time);
-            table.add_row_values({static_cast<double>(v), direct.time, simulated.hmm_cost,
-                                  slowdown_per_v, bound, simulated.hmm_cost / bound,
-                                  r_naive.hmm_cost, naive_per_v});
+            const Row& r = rows[idx++];
+            const double slowdown_per_v = r.sim_cost / (static_cast<double>(v) * r.direct_time);
+            const double naive_per_v = r.naive_cost / (static_cast<double>(v) * r.direct_time);
+            table.add_row_values({static_cast<double>(v), r.direct_time, r.sim_cost,
+                                  slowdown_per_v, r.bound, r.sim_cost / r.bound,
+                                  r.naive_cost, naive_per_v});
             smart_band.push_back(slowdown_per_v);
             naive_trend.push_back(naive_per_v);
             vs.push_back(static_cast<double>(v));

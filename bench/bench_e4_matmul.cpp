@@ -30,6 +30,17 @@ dbsp::algo::MatMulProgram make_program(std::uint64_t n, std::uint64_t seed) {
     return dbsp::algo::MatMulProgram(a, b);
 }
 
+struct Point {
+    dbsp::model::AccessFunction f;
+    std::uint64_t n;
+};
+
+struct SimRow {
+    double sim_cost;
+    double native_cost;
+    double oblivious_cost;
+};
+
 }  // namespace
 
 int main() {
@@ -45,69 +56,92 @@ int main() {
         {model::AccessFunction::polynomial(0.35), 0.5},       // T = Theta(sqrt n)
         {model::AccessFunction::logarithmic(), 0.5},          // T = Theta(sqrt n)
     };
-    for (const auto& [g, predicted_exp] : regimes) {
-        bench::section("D-BSP(n, O(1), " + g.name() + ") running time");
-        Table table({"n", "T (D-BSP)", "T / predicted-shape"});
-        std::vector<double> ns, ts;
-        for (std::uint64_t n = 1 << 4; n <= (1 << 12); n <<= 2) {
-            auto prog = make_program(n, n);
-            model::DbspMachine machine(g);
-            const auto run = machine.run(prog);
-            double shape;
-            const double dn = static_cast<double>(n);
-            if (g.name() == "x^0.75") {
-                shape = std::pow(dn, 0.75);
-            } else if (g.name() == "x^0.50") {
-                shape = std::sqrt(dn) * std::log2(dn);
-            } else {
-                shape = std::sqrt(dn);
-            }
-            table.add_row_values({dn, run.time, run.time / shape});
-            ns.push_back(dn);
-            ts.push_back(run.time);
+    {
+        std::vector<Point> points;
+        for (const auto& [g, predicted_exp] : regimes) {
+            (void)predicted_exp;
+            for (std::uint64_t n = 1 << 4; n <= (1 << 12); n <<= 2) points.push_back({g, n});
         }
-        table.print();
-        bench::report_slope("T vs n (log factors flatten the fit)", ns, ts, predicted_exp);
+        const auto times = bench::parallel_sweep(points, [](const Point& pt) {
+            auto prog = make_program(pt.n, pt.n);
+            model::DbspMachine machine(pt.f);
+            return machine.run(prog).time;
+        });
+        std::size_t idx = 0;
+        for (const auto& [g, predicted_exp] : regimes) {
+            bench::section("D-BSP(n, O(1), " + g.name() + ") running time");
+            Table table({"n", "T (D-BSP)", "T / predicted-shape"});
+            std::vector<double> ns, ts;
+            for (std::uint64_t n = 1 << 4; n <= (1 << 12); n <<= 2) {
+                const double t = times[idx++];
+                double shape;
+                const double dn = static_cast<double>(n);
+                if (g.name() == "x^0.75") {
+                    shape = std::pow(dn, 0.75);
+                } else if (g.name() == "x^0.50") {
+                    shape = std::sqrt(dn) * std::log2(dn);
+                } else {
+                    shape = std::sqrt(dn);
+                }
+                table.add_row_values({dn, t, t / shape});
+                ns.push_back(dn);
+                ts.push_back(t);
+            }
+            table.print();
+            bench::report_slope("T vs n (log factors flatten the fit)", ns, ts, predicted_exp);
+        }
     }
 
     // --- simulated HMM time vs the [AACS87] lower bound ---------------------
-    for (const auto& f :
-         {model::AccessFunction::polynomial(0.35), model::AccessFunction::polynomial(0.5),
-          model::AccessFunction::polynomial(0.75), model::AccessFunction::logarithmic()}) {
-        bench::section("simulation on " + f.name() + "-HMM vs lower bound");
-        Table table({"n", "HMM sim", "lower-bound shape", "ratio", "native blocked MM",
-                     "oblivious MM"});
-        std::vector<double> ratios;
-        for (std::uint64_t n = 1 << 4; n <= (1 << 12); n <<= 2) {
-            auto prog = make_program(n, n);
+    const std::vector<model::AccessFunction> sim_functions = {
+        model::AccessFunction::polynomial(0.35), model::AccessFunction::polynomial(0.5),
+        model::AccessFunction::polynomial(0.75), model::AccessFunction::logarithmic()};
+    {
+        std::vector<Point> points;
+        for (const auto& f : sim_functions) {
+            for (std::uint64_t n = 1 << 4; n <= (1 << 12); n <<= 2) points.push_back({f, n});
+        }
+        const auto rows = bench::parallel_sweep(points, [](const Point& pt) {
+            auto prog = make_program(pt.n, pt.n);
             auto smoothed =
-                core::smooth(prog, core::hmm_label_set(f, prog.context_words(), n));
-            const core::HmmSimulator sim(f);
+                core::smooth(prog, core::hmm_label_set(pt.f, prog.context_words(), pt.n));
+            const core::HmmSimulator sim(pt.f);
             const auto res = sim.simulate(*smoothed);
-            // [AACS87] lower bounds: n^(1+a) for x^a (communication bound
-            // n^(3/2) dominates when a < 1/2); sqrt(n)^3 = n^(3/2) for log x.
-            const double dn = static_cast<double>(n);
-            double shape;
-            if (f.name() == "x^0.50") {
-                shape = std::pow(dn, 1.5) * std::log2(dn);
-            } else if (f.name() == "x^0.75") {
-                shape = std::pow(dn, 1.75);  // n^(1+alpha)
-            } else {
-                shape = std::pow(dn, 1.5);  // computation bound dominates
-            }
-            const std::uint64_t s = std::uint64_t{1} << (ilog2(n) / 2);
+            const std::uint64_t s = std::uint64_t{1} << (ilog2(pt.n) / 2);
             // The hand-written blocked recursion (the [AACS87]-style optimum)
             // and the hierarchy-oblivious schoolbook loop, on the same machine.
-            hmm::Machine nat(f, 4 * n + 64);
-            hmm::blocked_matmul(nat, n, 2 * n, 3 * n, s);
-            hmm::Machine m(f, 3 * n + 16);
-            hmm::oblivious_matmul(m, 0, n, 2 * n, s);
-            table.add_row_values(
-                {dn, res.hmm_cost, shape, res.hmm_cost / shape, nat.cost(), m.cost()});
-            ratios.push_back(res.hmm_cost / shape);
+            hmm::Machine nat(pt.f, 4 * pt.n + 64);
+            hmm::blocked_matmul(nat, pt.n, 2 * pt.n, 3 * pt.n, s);
+            hmm::Machine m(pt.f, 3 * pt.n + 16);
+            hmm::oblivious_matmul(m, 0, pt.n, 2 * pt.n, s);
+            return SimRow{res.hmm_cost, nat.cost(), m.cost()};
+        });
+        std::size_t idx = 0;
+        for (const auto& f : sim_functions) {
+            bench::section("simulation on " + f.name() + "-HMM vs lower bound");
+            Table table({"n", "HMM sim", "lower-bound shape", "ratio", "native blocked MM",
+                         "oblivious MM"});
+            std::vector<double> ratios;
+            for (std::uint64_t n = 1 << 4; n <= (1 << 12); n <<= 2) {
+                const SimRow& r = rows[idx++];
+                // [AACS87] lower bounds: n^(1+a) for x^a (communication bound
+                // n^(3/2) dominates when a < 1/2); sqrt(n)^3 = n^(3/2) for log x.
+                const double dn = static_cast<double>(n);
+                double shape;
+                if (f.name() == "x^0.50") {
+                    shape = std::pow(dn, 1.5) * std::log2(dn);
+                } else if (f.name() == "x^0.75") {
+                    shape = std::pow(dn, 1.75);  // n^(1+alpha)
+                } else {
+                    shape = std::pow(dn, 1.5);  // computation bound dominates
+                }
+                table.add_row_values(
+                    {dn, r.sim_cost, shape, r.sim_cost / shape, r.native_cost, r.oblivious_cost});
+                ratios.push_back(r.sim_cost / shape);
+            }
+            table.print();
+            bench::report_band("simulated / optimal-shape", ratios);
         }
-        table.print();
-        bench::report_band("simulated / optimal-shape", ratios);
     }
     return 0;
 }

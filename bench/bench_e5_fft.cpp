@@ -42,15 +42,19 @@ int main() {
     bench::section("direct FFT schedule on D-BSP(n, O(1), x^0.5)");
     {
         const auto g = model::AccessFunction::polynomial(0.5);
+        std::vector<std::uint64_t> sizes;
+        for (std::uint64_t n = 1 << 6; n <= (1 << 14); n <<= 2) sizes.push_back(n);
+        const auto times = bench::parallel_sweep(sizes, [&](std::uint64_t n) {
+            algo::FftDirectProgram prog(signal(n, n));
+            return model::DbspMachine(g).run(prog).time;
+        });
         Table table({"n", "T (D-BSP)", "T / n^0.5"});
         std::vector<double> ns, ts;
-        for (std::uint64_t n = 1 << 6; n <= (1 << 14); n <<= 2) {
-            algo::FftDirectProgram prog(signal(n, n));
-            const auto run = model::DbspMachine(g).run(prog);
-            table.add_row_values({static_cast<double>(n), run.time,
-                                  run.time / std::sqrt(static_cast<double>(n))});
-            ns.push_back(static_cast<double>(n));
-            ts.push_back(run.time);
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            table.add_row_values({static_cast<double>(sizes[i]), times[i],
+                                  times[i] / std::sqrt(static_cast<double>(sizes[i]))});
+            ns.push_back(static_cast<double>(sizes[i]));
+            ts.push_back(times[i]);
         }
         table.print();
         bench::report_slope("T vs n", ns, ts, 0.5);
@@ -60,16 +64,24 @@ int main() {
     bench::section("direct vs recursive schedule on D-BSP(n, O(1), log x)");
     {
         const auto g = model::AccessFunction::logarithmic();
-        Table table({"n", "T direct", "~log^2 n", "T recursive", "~log n loglog n",
-                     "direct/recursive"});
-        for (std::uint64_t n : {16u, 256u, 65536u}) {
+        const std::vector<std::uint64_t> sizes = {16, 256, 65536};
+        struct Pair {
+            double direct;
+            double recursive;
+        };
+        const auto rows = bench::parallel_sweep(sizes, [&](std::uint64_t n) {
             algo::FftDirectProgram direct(signal(n, n));
             algo::FftRecursiveProgram recursive(signal(n, n));
-            const auto rd = model::DbspMachine(g).run(direct);
-            const auto rr = model::DbspMachine(g).run(recursive);
-            const double lg = std::log2(static_cast<double>(n));
-            table.add_row_values({static_cast<double>(n), rd.time, lg * lg, rr.time,
-                                  lg * std::log2(lg), rd.time / rr.time});
+            return Pair{model::DbspMachine(g).run(direct).time,
+                        model::DbspMachine(g).run(recursive).time};
+        });
+        Table table({"n", "T direct", "~log^2 n", "T recursive", "~log n loglog n",
+                     "direct/recursive"});
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            const double lg = std::log2(static_cast<double>(sizes[i]));
+            table.add_row_values({static_cast<double>(sizes[i]), rows[i].direct, lg * lg,
+                                  rows[i].recursive, lg * std::log2(lg),
+                                  rows[i].direct / rows[i].recursive});
         }
         table.print();
         std::printf("(the recursive schedule's advantage grows like log n / log log n)\n");
@@ -79,22 +91,30 @@ int main() {
     bench::section("simulation on x^0.5-HMM (predict Theta(n^1.5))");
     {
         const auto f = model::AccessFunction::polynomial(0.5);
-        Table table({"n", "HMM sim (direct alg)", "n^1.5", "ratio", "native HMM FFT"});
-        std::vector<double> ratios;
-        for (std::uint64_t n : {16u, 256u, 65536u}) {
+        const std::vector<std::uint64_t> sizes = {16, 256, 65536};
+        struct SimRow {
+            double sim_cost;
+            double native_cost;
+        };
+        const auto rows = bench::parallel_sweep(sizes, [&](std::uint64_t n) {
             algo::FftDirectProgram prog(signal(n, n));
             auto smoothed =
                 core::smooth(prog, core::hmm_label_set(f, prog.context_words(), n));
             const auto res = core::HmmSimulator(f).simulate(*smoothed);
-            const double shape = std::pow(static_cast<double>(n), 1.5);
             // The hand-written [AACS87]-style four-step FFT on the same
             // machine: the optimum the simulation is measured against.
             hmm::Machine native(f, 6 * n + 64);
             native.reset_cost();
             hmm::fft_natural(native, 2 * n + 32, n);
-            table.add_row_values({static_cast<double>(n), res.hmm_cost, shape,
-                                  res.hmm_cost / shape, native.cost()});
-            ratios.push_back(res.hmm_cost / shape);
+            return SimRow{res.hmm_cost, native.cost()};
+        });
+        Table table({"n", "HMM sim (direct alg)", "n^1.5", "ratio", "native HMM FFT"});
+        std::vector<double> ratios;
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            const double shape = std::pow(static_cast<double>(sizes[i]), 1.5);
+            table.add_row_values({static_cast<double>(sizes[i]), rows[i].sim_cost, shape,
+                                  rows[i].sim_cost / shape, rows[i].native_cost});
+            ratios.push_back(rows[i].sim_cost / shape);
         }
         table.print();
         bench::report_band("simulated / n^(1+alpha)", ratios);
@@ -103,17 +123,20 @@ int main() {
     bench::section("simulation on log x-HMM (predict Theta(n log n loglog n))");
     {
         const auto f = model::AccessFunction::logarithmic();
-        Table table({"n", "HMM sim (recursive alg)", "n logn loglogn", "ratio"});
-        std::vector<double> ratios;
-        for (std::uint64_t n : {16u, 256u, 65536u}) {
+        const std::vector<std::uint64_t> sizes = {16, 256, 65536};
+        const auto costs = bench::parallel_sweep(sizes, [&](std::uint64_t n) {
             algo::FftRecursiveProgram prog(signal(n, n));
             auto smoothed =
                 core::smooth(prog, core::hmm_label_set(f, prog.context_words(), n));
-            const auto res = core::HmmSimulator(f).simulate(*smoothed);
-            const double dn = static_cast<double>(n);
+            return core::HmmSimulator(f).simulate(*smoothed).hmm_cost;
+        });
+        Table table({"n", "HMM sim (recursive alg)", "n logn loglogn", "ratio"});
+        std::vector<double> ratios;
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            const double dn = static_cast<double>(sizes[i]);
             const double shape = dn * std::log2(dn) * std::log2(std::log2(dn) + 1.0);
-            table.add_row_values({dn, res.hmm_cost, shape, res.hmm_cost / shape});
-            ratios.push_back(res.hmm_cost / shape);
+            table.add_row_values({dn, costs[i], shape, costs[i] / shape});
+            ratios.push_back(costs[i] / shape);
         }
         table.print();
         bench::report_band("simulated / (n log n loglog n)", ratios);

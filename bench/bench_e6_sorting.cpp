@@ -24,6 +24,12 @@ std::vector<dbsp::model::Word> keys(std::uint64_t n, std::uint64_t seed) {
     return k;
 }
 
+std::vector<std::uint64_t> sweep_sizes() {
+    std::vector<std::uint64_t> sizes;
+    for (std::uint64_t n = 1 << 6; n <= (1 << 12); n <<= 2) sizes.push_back(n);
+    return sizes;
+}
+
 }  // namespace
 
 int main() {
@@ -32,18 +38,22 @@ int main() {
                   "bitonic n-sorting in O(n^a) on D-BSP(n, O(1), x^a); simulation on "
                   "x^a-HMM is optimal Theta(n^(1+a))");
 
+    const auto sizes = sweep_sizes();
+
     for (double alpha : {0.35, 0.5}) {
         const auto g = model::AccessFunction::polynomial(alpha);
         bench::section("D-BSP(n, O(1), " + g.name() + ") running time");
+        const auto times = bench::parallel_sweep(sizes, [&](std::uint64_t n) {
+            algo::BitonicSortProgram prog(keys(n, n));
+            return model::DbspMachine(g).run(prog).time;
+        });
         Table table({"n", "T (D-BSP)", "n^alpha", "ratio"});
         std::vector<double> ratios;
-        for (std::uint64_t n = 1 << 6; n <= (1 << 12); n <<= 2) {
-            algo::BitonicSortProgram prog(keys(n, n));
-            const auto run = model::DbspMachine(g).run(prog);
-            const double shape = std::pow(static_cast<double>(n), alpha);
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            const double shape = std::pow(static_cast<double>(sizes[i]), alpha);
             table.add_row_values(
-                {static_cast<double>(n), run.time, shape, run.time / shape});
-            ratios.push_back(run.time / shape);
+                {static_cast<double>(sizes[i]), times[i], shape, times[i] / shape});
+            ratios.push_back(times[i] / shape);
         }
         table.print();
         bench::report_band("T / n^alpha", ratios);
@@ -52,13 +62,15 @@ int main() {
     bench::section("D-BSP(n, O(1), log x): measured vs log^3 n (bitonic profile)");
     {
         const auto g = model::AccessFunction::logarithmic();
-        Table table({"n", "T (D-BSP)", "log^3 n", "ratio"});
-        for (std::uint64_t n = 1 << 6; n <= (1 << 12); n <<= 2) {
+        const auto times = bench::parallel_sweep(sizes, [&](std::uint64_t n) {
             algo::BitonicSortProgram prog(keys(n, n));
-            const auto run = model::DbspMachine(g).run(prog);
-            const double lg = std::log2(static_cast<double>(n));
-            table.add_row_values({static_cast<double>(n), run.time, lg * lg * lg,
-                                  run.time / (lg * lg * lg)});
+            return model::DbspMachine(g).run(prog).time;
+        });
+        Table table({"n", "T (D-BSP)", "log^3 n", "ratio"});
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            const double lg = std::log2(static_cast<double>(sizes[i]));
+            table.add_row_values({static_cast<double>(sizes[i]), times[i], lg * lg * lg,
+                                  times[i] / (lg * lg * lg)});
         }
         table.print();
         std::printf("(bitonic is a Theta(log^3 n) D-BSP(log x) algorithm; the paper "
@@ -69,14 +81,15 @@ int main() {
     for (double alpha : {0.35, 0.5}) {
         const auto f = model::AccessFunction::polynomial(alpha);
         bench::section("simulation on " + f.name() + "-HMM vs Theta(n^(1+alpha))");
-        Table table({"n", "HMM sim", "n^(1+a)", "ratio", "oblivious mergesort"});
-        std::vector<double> ratios;
-        for (std::uint64_t n = 1 << 6; n <= (1 << 12); n <<= 2) {
+        struct SimRow {
+            double sim_cost;
+            double oblivious_cost;
+        };
+        const auto rows = bench::parallel_sweep(sizes, [&](std::uint64_t n) {
             algo::BitonicSortProgram prog(keys(n, n));
             auto smoothed =
                 core::smooth(prog, core::hmm_label_set(f, prog.context_words(), n));
             const auto res = core::HmmSimulator(f).simulate(*smoothed);
-            const double shape = std::pow(static_cast<double>(n), 1.0 + alpha);
             // Flat-memory baseline: comparison mergesort run obliviously.
             hmm::Machine m(f, 2 * n);
             {
@@ -85,9 +98,15 @@ int main() {
             }
             m.reset_cost();
             hmm::oblivious_merge_sort(m, n);
-            table.add_row_values({static_cast<double>(n), res.hmm_cost, shape,
-                                  res.hmm_cost / shape, m.cost()});
-            ratios.push_back(res.hmm_cost / shape);
+            return SimRow{res.hmm_cost, m.cost()};
+        });
+        Table table({"n", "HMM sim", "n^(1+a)", "ratio", "oblivious mergesort"});
+        std::vector<double> ratios;
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            const double shape = std::pow(static_cast<double>(sizes[i]), 1.0 + alpha);
+            table.add_row_values({static_cast<double>(sizes[i]), rows[i].sim_cost, shape,
+                                  rows[i].sim_cost / shape, rows[i].oblivious_cost});
+            ratios.push_back(rows[i].sim_cost / shape);
         }
         table.print();
         bench::report_band("simulated / n^(1+alpha)", ratios);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "model/access_function.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -44,6 +45,21 @@ inline void report_band(const std::string& what, const std::vector<double>& rati
     std::printf("%-44s ratio band [%.3f, %.3f], spread %.2fx\n", what.c_str(),
                 *std::min_element(ratios.begin(), ratios.end()),
                 *std::max_element(ratios.begin(), ratios.end()), spread(ratios));
+}
+
+/// Evaluate `fn` over every sweep point concurrently and return the results
+/// in input order. Each point is an independent simulation (its own machine,
+/// its own cost tables via the shared cache), so the only cross-thread state
+/// is the mutex-guarded CostTableCache. Output stays deterministic because
+/// the caller prints from the ordered result vector, never from the workers.
+template <typename Point, typename Fn>
+auto parallel_sweep(const std::vector<Point>& points, Fn&& fn)
+    -> std::vector<decltype(fn(points[0]))> {
+    using Result = decltype(fn(points[0]));
+    std::vector<Result> results(points.size());
+    util::parallel_for(points.size(),
+                       [&](std::size_t i) { results[i] = fn(points[i]); });
+    return results;
 }
 
 /// The paper's case-study access functions.

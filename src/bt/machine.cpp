@@ -2,32 +2,52 @@
 
 #include <algorithm>
 
+#include "model/cost_table_cache.hpp"
 #include "util/contracts.hpp"
 
 namespace dbsp::bt {
 
 Machine::Machine(AccessFunction f, std::uint64_t capacity)
-    : table_(std::move(f), capacity), memory_(capacity, 0) {}
+    : table_(model::CostTableCache::global().get(f, capacity)), memory_(capacity, 0) {}
 
 Word Machine::read(Addr x) {
     DBSP_REQUIRE(x < capacity());
-    cost_ += table_.cost(x);
-    word_access_ += table_.cost(x);
+    cost_ += table_->cost(x);
+    word_access_ += table_->cost(x);
     return memory_[x];
 }
 
 void Machine::write(Addr x, Word value) {
     DBSP_REQUIRE(x < capacity());
-    cost_ += table_.cost(x);
-    word_access_ += table_.cost(x);
+    cost_ += table_->cost(x);
+    word_access_ += table_->cost(x);
     memory_[x] = value;
+}
+
+void Machine::read_range(Addr x, std::span<Word> out) {
+    if (out.empty()) return;
+    DBSP_REQUIRE(x + out.size() <= capacity());
+    // The two accumulators are independent in the per-word loop, so folding
+    // each one separately reproduces its value bit for bit.
+    cost_ = table_->accumulate(x, x + out.size(), cost_);
+    word_access_ = table_->accumulate(x, x + out.size(), word_access_);
+    std::copy_n(memory_.begin() + static_cast<std::ptrdiff_t>(x), out.size(), out.begin());
+}
+
+void Machine::write_range(Addr x, std::span<const Word> values) {
+    if (values.empty()) return;
+    DBSP_REQUIRE(x + values.size() <= capacity());
+    cost_ = table_->accumulate(x, x + values.size(), cost_);
+    word_access_ = table_->accumulate(x, x + values.size(), word_access_);
+    std::copy_n(values.begin(), values.size(),
+                memory_.begin() + static_cast<std::ptrdiff_t>(x));
 }
 
 void Machine::block_copy(Addr src, Addr dst, std::uint64_t len) {
     if (len == 0) return;
     DBSP_REQUIRE(src + len <= capacity() && dst + len <= capacity());
     DBSP_REQUIRE(src + len <= dst || dst + len <= src);  // disjoint, per the model
-    const double latency = std::max(table_.cost(src + len - 1), table_.cost(dst + len - 1));
+    const double latency = std::max(table_->cost(src + len - 1), table_->cost(dst + len - 1));
     cost_ += latency + static_cast<double>(len);
     transfer_latency_ += latency;
     transfer_volume_ += static_cast<double>(len);

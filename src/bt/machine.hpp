@@ -12,6 +12,7 @@
 /// model cost of every operation.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -32,6 +33,16 @@ public:
     /// --- charged word accesses (HMM-style) ---------------------------------
     Word read(Addr x);
     void write(Addr x, Word value);
+
+    /// --- charged bulk accesses ---------------------------------------------
+    /// Read [x, x + out.size()) into \p out; cost-equivalent (bit for bit,
+    /// including the word-access decomposition) to a read() loop in ascending
+    /// address order.
+    void read_range(Addr x, std::span<Word> out);
+
+    /// Write \p values onto [x, x + values.size()); cost-equivalent to a
+    /// write() loop in ascending address order.
+    void write_range(Addr x, std::span<const Word> values);
 
     /// --- block transfer ----------------------------------------------------
     /// Copy [src, src+len) onto the disjoint [dst, dst+len).
@@ -55,16 +66,16 @@ public:
     double word_access_cost() const { return word_access_; }
     double unit_op_cost() const { return unit_ops_; }
 
-    std::uint64_t capacity() const { return table_.capacity(); }
-    const model::CostTable& table() const { return table_; }
-    const AccessFunction& function() const { return table_.function(); }
+    std::uint64_t capacity() const { return table_->capacity(); }
+    const model::CostTable& table() const { return *table_; }
+    const AccessFunction& function() const { return table_->function(); }
 
     /// Uncharged raw access for test setup/verification only.
     std::span<Word> raw() { return memory_; }
     std::span<const Word> raw() const { return memory_; }
 
 private:
-    model::CostTable table_;
+    std::shared_ptr<const model::CostTable> table_;
     std::vector<Word> memory_;
     double cost_ = 0.0;
     double transfer_latency_ = 0.0;

@@ -56,6 +56,14 @@ public:
         DBSP_REQUIRE(index < mu_);
         m_.write(base_ + index, value);
     }
+    void get_range(std::size_t index, std::span<Word> out) const override {
+        DBSP_REQUIRE(index + out.size() <= mu_);
+        m_.read_range(base_ + index, out);
+    }
+    void set_range(std::size_t index, std::span<const Word> values) override {
+        DBSP_REQUIRE(index + values.size() <= mu_);
+        m_.write_range(base_ + index, values);
+    }
 
 private:
     bt::Machine& m_;

@@ -30,11 +30,38 @@ public:
         DBSP_REQUIRE(index < mu_);
         m_.write(base_ + index, value);
     }
+    void get_range(std::size_t index, std::span<Word> out) const override {
+        DBSP_REQUIRE(index + out.size() <= mu_);
+        m_.read_range(base_ + index, out);
+    }
+    void set_range(std::size_t index, std::span<const Word> values) override {
+        DBSP_REQUIRE(index + values.size() <= mu_);
+        m_.write_range(base_ + index, values);
+    }
+    void rebind(Addr base) { base_ = base; }
 
 private:
     hmm::Machine& m_;
     Addr base_;
     std::size_t mu_;
+};
+
+/// Accessor source over the simulation's block map: processor p's context
+/// lives at block_addr(block_of_proc[p]) at the moment of the call.
+class HmmAccessorSource final : public model::AccessorSource {
+public:
+    HmmAccessorSource(hmm::Machine& m, std::size_t mu,
+                      const std::vector<std::uint64_t>& block_of_proc)
+        : acc_(m, 0, mu), mu_(mu), block_of_proc_(block_of_proc) {}
+    ContextAccessor& at(ProcId p) override {
+        acc_.rebind(block_of_proc_[p] * mu_);
+        return acc_;
+    }
+
+private:
+    HmmContextAccessor acc_;
+    std::size_t mu_;
+    const std::vector<std::uint64_t>& block_of_proc_;
 };
 
 /// Mutable simulation state: the machine plus the block <-> processor maps.
@@ -107,11 +134,8 @@ HmmSimResult HmmSimulator::simulate_with(
     // sigma[p]: next superstep to simulate for processor p.
     std::vector<StepIndex> sigma(v, 0);
 
-    const model::AccessorFn with_accessor = [&](ProcId p,
-                                                const std::function<void(ContextAccessor&)>& fn) {
-        HmmContextAccessor acc(st.machine, st.block_addr(st.block_of_proc[p]), mu);
-        fn(acc);
-    };
+    HmmAccessorSource contexts(st.machine, mu, st.block_of_proc);
+    model::DeliveryScratch scratch;
 
     HmmSimResult result;
     result.data_words = program.data_words();
@@ -171,8 +195,8 @@ HmmSimResult HmmSimulator::simulate_with(
         // Step 2b: simulate the message exchange by scanning the outgoing
         // buffers and delivering into the incoming buffers; all traffic stays
         // within the topmost mu*|C| cells.
-        model::deliver_messages(layout, first, csize, with_accessor,
-                                program.proc_id_base());
+        model::deliver_messages(layout, first, csize, contexts,
+                                program.proc_id_base(), &scratch);
 
         for (ProcId p = first; p < first + csize; ++p) sigma[p] = s + 1;
         if (s + 1 == steps) continue;  // next iteration exits at Step 3
@@ -199,6 +223,7 @@ HmmSimResult HmmSimulator::simulate_with(
     }
 
     result.hmm_cost = st.machine.cost();
+    result.words_touched = st.machine.words_touched();
     result.contexts.resize(v);
     const auto raw = st.machine.raw();
     for (ProcId p = 0; p < v; ++p) {

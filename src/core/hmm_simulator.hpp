@@ -29,8 +29,9 @@ namespace dbsp::core {
 
 /// Result of a D-BSP -> HMM simulation.
 struct HmmSimResult {
-    double hmm_cost = 0.0;      ///< total charged f(x)-HMM time
-    std::uint64_t rounds = 0;   ///< simulation rounds executed
+    double hmm_cost = 0.0;            ///< total charged f(x)-HMM time
+    std::uint64_t rounds = 0;         ///< simulation rounds executed
+    std::uint64_t words_touched = 0;  ///< charged word accesses on the HMM
     std::size_t data_words = 0;
     std::vector<std::vector<model::Word>> contexts;  ///< final, processor order
 

@@ -27,6 +27,14 @@ public:
         DBSP_REQUIRE(i < mu_);
         m_.write(base_ + i, value);
     }
+    void get_range(std::size_t i, std::span<Word> out) const override {
+        DBSP_REQUIRE(i + out.size() <= mu_);
+        m_.read_range(base_ + i, out);
+    }
+    void set_range(std::size_t i, std::span<const Word> values) override {
+        DBSP_REQUIRE(i + values.size() <= mu_);
+        m_.write_range(base_ + i, values);
+    }
 
 private:
     bt::Machine& m_;
@@ -68,9 +76,12 @@ BtSimResult NaiveBtSimulator::simulate(model::Program& program) const {
     BtSimResult result;
     result.data_words = program.data_words();
 
+    const bool bulk = model::bulk_access_enabled();
+    std::vector<Message> pending;
+    std::vector<Word> words;
     for (model::StepIndex s = 0; s < steps; ++s) {
         ++result.rounds;
-        std::vector<Message> pending;
+        pending.clear();
         // Computation: every processor's step runs against its pinned
         // context, paying the access function at its resident depth.
         for (ProcId p = 0; p < v; ++p) {
@@ -80,14 +91,25 @@ BtSimResult NaiveBtSimulator::simulate(model::Program& program) const {
             machine.charge(static_cast<double>(out.ops));
             const auto cnt =
                 static_cast<std::size_t>(machine.read(base + layout.out_count_offset()));
-            for (std::size_t q = 0; q < cnt; ++q) {
-                const Addr off = base + layout.out_record_offset(q);
-                Message m;
-                m.src = p;
-                m.dest = machine.read(off);
-                m.payload0 = machine.read(off + 1);
-                m.payload1 = machine.read(off + 2);
-                pending.push_back(m);
+            if (bulk) {
+                // The out records are contiguous: one charged range read
+                // covers all 3*cnt words.
+                words.resize(3 * cnt);
+                machine.read_range(base + layout.out_record_offset(0), words);
+                for (std::size_t q = 0; q < cnt; ++q) {
+                    pending.push_back(Message{p, words[3 * q], words[3 * q + 1],
+                                              words[3 * q + 2]});
+                }
+            } else {
+                for (std::size_t q = 0; q < cnt; ++q) {
+                    const Addr off = base + layout.out_record_offset(q);
+                    Message m;
+                    m.src = p;
+                    m.dest = machine.read(off);
+                    m.payload0 = machine.read(off + 1);
+                    m.payload1 = machine.read(off + 2);
+                    pending.push_back(m);
+                }
             }
             if (cnt > 0) machine.write(base + layout.out_count_offset(), 0);
         }
@@ -98,9 +120,14 @@ BtSimResult NaiveBtSimulator::simulate(model::Program& program) const {
                 static_cast<std::size_t>(machine.read(base + layout.in_count_offset()));
             DBSP_REQUIRE(cnt < layout.max_messages);
             const Addr off = base + layout.in_record_offset(cnt);
-            machine.write(off, m.src);
-            machine.write(off + 1, m.payload0);
-            machine.write(off + 2, m.payload1);
+            if (bulk) {
+                const Word rec[3] = {m.src, m.payload0, m.payload1};
+                machine.write_range(off, rec);
+            } else {
+                machine.write(off, m.src);
+                machine.write(off + 1, m.payload0);
+                machine.write(off + 2, m.payload1);
+            }
             machine.write(base + layout.in_count_offset(), cnt + 1);
         }
     }

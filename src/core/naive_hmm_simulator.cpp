@@ -25,10 +25,33 @@ public:
         DBSP_REQUIRE(index < mu_);
         m_.write(base_ + index, value);
     }
+    void get_range(std::size_t index, std::span<Word> out) const override {
+        DBSP_REQUIRE(index + out.size() <= mu_);
+        m_.read_range(base_ + index, out);
+    }
+    void set_range(std::size_t index, std::span<const Word> values) override {
+        DBSP_REQUIRE(index + values.size() <= mu_);
+        m_.write_range(base_ + index, values);
+    }
+    void rebind(Addr base) { base_ = base; }
 
 private:
     hmm::Machine& m_;
     Addr base_;
+    std::size_t mu_;
+};
+
+/// Accessor source over pinned contexts: processor p lives at p * mu forever.
+class PinnedSource final : public model::AccessorSource {
+public:
+    PinnedSource(hmm::Machine& m, std::size_t mu) : acc_(m, 0, mu), mu_(mu) {}
+    ContextAccessor& at(ProcId p) override {
+        acc_.rebind(p * mu_);
+        return acc_;
+    }
+
+private:
+    PinnedAccessor acc_;
     std::size_t mu_;
 };
 
@@ -52,25 +75,23 @@ HmmSimResult NaiveHmmSimulator::simulate(model::Program& program) const {
         }
     }
 
-    const model::AccessorFn with_accessor =
-        [&](ProcId p, const std::function<void(ContextAccessor&)>& fn) {
-            PinnedAccessor acc(machine, p * mu, mu);
-            fn(acc);
-        };
+    PinnedSource contexts(machine, mu);
+    model::DeliveryScratch scratch;
 
     HmmSimResult result;
     result.data_words = program.data_words();
     for (model::StepIndex s = 0; s < steps; ++s) {
         ++result.rounds;
         for (ProcId p = 0; p < v; ++p) {
-            PinnedAccessor acc(machine, p * mu, mu);
-            const auto out = model::run_processor_step(program, layout, tree, s, p, acc);
+            const auto out =
+                model::run_processor_step(program, layout, tree, s, p, contexts.at(p));
             machine.charge(static_cast<double>(out.ops));
         }
-        model::deliver_messages(layout, 0, v, with_accessor, program.proc_id_base());
+        model::deliver_messages(layout, 0, v, contexts, program.proc_id_base(), &scratch);
     }
 
     result.hmm_cost = machine.cost();
+    result.words_touched = machine.words_touched();
     result.contexts.resize(v);
     const auto raw = machine.raw();
     for (ProcId p = 0; p < v; ++p) {

@@ -2,30 +2,51 @@
 
 #include <algorithm>
 
+#include "model/cost_table_cache.hpp"
 #include "util/contracts.hpp"
 
 namespace dbsp::hmm {
 
 Machine::Machine(AccessFunction f, std::uint64_t capacity)
-    : table_(std::move(f), capacity), memory_(capacity, 0) {}
+    : table_(model::CostTableCache::global().get(f, capacity)), memory_(capacity, 0) {}
 
 Word Machine::read(Addr x) {
     DBSP_REQUIRE(x < capacity());
-    cost_ += table_.cost(x);
+    cost_ += table_->cost(x);
+    ++words_touched_;
     return memory_[x];
 }
 
 void Machine::write(Addr x, Word value) {
     DBSP_REQUIRE(x < capacity());
-    cost_ += table_.cost(x);
+    cost_ += table_->cost(x);
+    ++words_touched_;
     memory_[x] = value;
+}
+
+void Machine::read_range(Addr x, std::span<Word> out) {
+    if (out.empty()) return;
+    DBSP_REQUIRE(x + out.size() <= capacity());
+    cost_ = table_->accumulate(x, x + out.size(), cost_);
+    words_touched_ += out.size();
+    std::copy_n(memory_.begin() + static_cast<std::ptrdiff_t>(x), out.size(), out.begin());
+}
+
+void Machine::write_range(Addr x, std::span<const Word> values) {
+    if (values.empty()) return;
+    DBSP_REQUIRE(x + values.size() <= capacity());
+    cost_ = table_->accumulate(x, x + values.size(), cost_);
+    words_touched_ += values.size();
+    std::copy_n(values.begin(), values.size(),
+                memory_.begin() + static_cast<std::ptrdiff_t>(x));
 }
 
 void Machine::swap_blocks(Addr a, Addr b, std::uint64_t len) {
     if (len == 0) return;
     DBSP_REQUIRE(a + len <= capacity() && b + len <= capacity());
     DBSP_REQUIRE(a + len <= b || b + len <= a);  // disjoint
-    cost_ += 2.0 * (table_.range_cost(a, a + len) + table_.range_cost(b, b + len));
+    cost_ += 2.0 * (table_->range_cost(a, a + len) + table_->range_cost(b, b + len));
+    words_touched_ += 4 * len;
     std::swap_ranges(memory_.begin() + static_cast<std::ptrdiff_t>(a),
                      memory_.begin() + static_cast<std::ptrdiff_t>(a + len),
                      memory_.begin() + static_cast<std::ptrdiff_t>(b));
@@ -35,7 +56,8 @@ void Machine::copy_block(Addr src, Addr dst, std::uint64_t len) {
     if (len == 0) return;
     DBSP_REQUIRE(src + len <= capacity() && dst + len <= capacity());
     DBSP_REQUIRE(src + len <= dst || dst + len <= src);  // disjoint
-    cost_ += table_.range_cost(src, src + len) + table_.range_cost(dst, dst + len);
+    cost_ += table_->range_cost(src, src + len) + table_->range_cost(dst, dst + len);
+    words_touched_ += 2 * len;
     std::copy(memory_.begin() + static_cast<std::ptrdiff_t>(src),
               memory_.begin() + static_cast<std::ptrdiff_t>(src + len),
               memory_.begin() + static_cast<std::ptrdiff_t>(dst));
@@ -43,7 +65,8 @@ void Machine::copy_block(Addr src, Addr dst, std::uint64_t len) {
 
 void Machine::charge_range(Addr begin, Addr end) {
     DBSP_REQUIRE(begin <= end && end <= capacity());
-    cost_ += table_.range_cost(begin, end);
+    cost_ += table_->range_cost(begin, end);
+    words_touched_ += end - begin;
 }
 
 void Machine::charge(double c) {

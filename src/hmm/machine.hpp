@@ -14,9 +14,18 @@
 ///  * an n-ary operation on cells x1..xn: 1 + sum f(xi) — expressed by the
 ///    caller as the accesses plus charge(1);
 ///  * bulk helpers (swap_blocks, copy_block, charge_scan) charge the exact
-///    per-cell sum of f over every range they touch, once per touch.
+///    per-cell sum of f over every range they touch, once per touch;
+///  * read_range/write_range charge the identical per-cell sum as a
+///    read()/write() loop, accumulated in the same ascending order — the
+///    charged total is bit-for-bit the per-word path's — while moving the
+///    data with one memcpy-able loop.
+///
+/// The cost table is obtained from the process-wide CostTableCache, so a
+/// sweep constructing many machines over the same access function builds the
+/// O(capacity) prefix array once.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -39,6 +48,15 @@ public:
     Word read(Addr x);
     void write(Addr x, Word value);
 
+    /// --- charged bulk accesses ---------------------------------------------
+    /// Read [x, x + out.size()) into \p out; cost-equivalent (bit for bit) to
+    /// a read() loop in ascending address order.
+    void read_range(Addr x, std::span<Word> out);
+
+    /// Write \p values onto [x, x + values.size()); cost-equivalent to a
+    /// write() loop in ascending address order.
+    void write_range(Addr x, std::span<const Word> values);
+
     /// --- charged bulk operations -------------------------------------------
     /// Swap the disjoint word ranges [a, a+len) and [b, b+len). Each cell is
     /// read and written once: charges 2 * (sum f over both ranges).
@@ -58,20 +76,28 @@ public:
 
     /// --- accounting --------------------------------------------------------
     double cost() const { return cost_; }
-    void reset_cost() { cost_ = 0.0; }
+    void reset_cost() {
+        cost_ = 0.0;
+        words_touched_ = 0;
+    }
 
-    std::uint64_t capacity() const { return table_.capacity(); }
-    const model::CostTable& table() const { return table_; }
-    const AccessFunction& function() const { return table_.function(); }
+    /// Number of charged word touches (reads + writes, including every cell
+    /// of the bulk operations). Host-throughput metric for bench_micro.
+    std::uint64_t words_touched() const { return words_touched_; }
+
+    std::uint64_t capacity() const { return table_->capacity(); }
+    const model::CostTable& table() const { return *table_; }
+    const AccessFunction& function() const { return table_->function(); }
 
     /// Uncharged raw access for test setup/verification only.
     std::span<Word> raw() { return memory_; }
     std::span<const Word> raw() const { return memory_; }
 
 private:
-    model::CostTable table_;
+    std::shared_ptr<const model::CostTable> table_;
     std::vector<Word> memory_;
     double cost_ = 0.0;
+    std::uint64_t words_touched_ = 0;
 };
 
 }  // namespace dbsp::hmm

@@ -1,14 +1,27 @@
 #include "model/access_function.hpp"
 
+#include <bit>
 #include <cmath>
+#include <cstdio>
 
 #include "util/contracts.hpp"
 
 namespace dbsp::model {
 
-AccessFunction::AccessFunction(std::string name, std::function<double(double)> charged,
+namespace {
+
+/// Fixed probe addresses for fingerprinting kCustom functions: a spread of
+/// shallow and deep addresses so that any two functions that differ anywhere
+/// an experiment can reach them almost surely differ on a probe.
+constexpr double kProbes[] = {0.0, 1.0, 7.0, 64.0, 4097.0, 1048576.0, 1e9};
+
+}  // namespace
+
+AccessFunction::AccessFunction(std::string name, Kind kind, double param,
+                               std::function<double(double)> charged,
                                std::function<double(double)> pure)
-    : name_(std::move(name)), charged_(std::move(charged)), pure_(std::move(pure)) {
+    : name_(std::move(name)), kind_(kind), param_(param), charged_(std::move(charged)),
+      pure_(std::move(pure)) {
     DBSP_REQUIRE(charged_ != nullptr);
     DBSP_REQUIRE(pure_ != nullptr);
 }
@@ -18,33 +31,67 @@ AccessFunction AccessFunction::polynomial(double alpha) {
     char name[32];
     std::snprintf(name, sizeof name, "x^%.2f", alpha);
     return AccessFunction(
-        name, [alpha](double x) { return std::pow(x + 1.0, alpha); },
+        name, Kind::kPolynomial, alpha,
+        [alpha](double x) { return std::pow(x + 1.0, alpha); },
         [alpha](double x) { return x > 0.0 ? std::pow(x, alpha) : 0.0; });
 }
 
 AccessFunction AccessFunction::logarithmic() {
     return AccessFunction(
-        "log x", [](double x) { return std::log2(x + 2.0); },
+        "log x", Kind::kLogarithmic, 0.0, [](double x) { return std::log2(x + 2.0); },
         [](double x) { return x > 1.0 ? std::log2(x) : 0.0; });
 }
 
 AccessFunction AccessFunction::constant(double c) {
     DBSP_REQUIRE(c > 0.0);
     return AccessFunction(
-        "const", [c](double) { return c; }, [](double) { return 0.0; });
+        "const", Kind::kConstant, c, [c](double) { return c; },
+        [](double) { return 0.0; });
 }
 
 AccessFunction AccessFunction::linear(double scale) {
     DBSP_REQUIRE(scale > 0.0);
     return AccessFunction(
-        "linear", [scale](double x) { return scale * (x + 1.0); },
+        "linear", Kind::kLinear, scale, [scale](double x) { return scale * (x + 1.0); },
         [scale](double x) { return scale * x; });
 }
 
 AccessFunction AccessFunction::custom(std::string name,
                                       std::function<double(double)> charged,
                                       std::function<double(double)> pure) {
-    return AccessFunction(std::move(name), std::move(charged), std::move(pure));
+    return AccessFunction(std::move(name), Kind::kCustom, 0.0, std::move(charged),
+                          std::move(pure));
+}
+
+bool AccessFunction::same_function(const AccessFunction& other) const {
+    if (kind_ != other.kind_ || name_ != other.name_) return false;
+    if (kind_ != Kind::kCustom) {
+        return std::bit_cast<std::uint64_t>(param_) ==
+               std::bit_cast<std::uint64_t>(other.param_);
+    }
+    for (double x : kProbes) {
+        if (std::bit_cast<std::uint64_t>(charged_(x)) !=
+            std::bit_cast<std::uint64_t>(other.charged_(x))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string AccessFunction::key() const {
+    std::string k = name_;
+    k += '#';
+    k += std::to_string(static_cast<int>(kind_));
+    if (kind_ != Kind::kCustom) {
+        k += '#';
+        k += std::to_string(std::bit_cast<std::uint64_t>(param_));
+        return k;
+    }
+    for (double x : kProbes) {
+        k += '#';
+        k += std::to_string(std::bit_cast<std::uint64_t>(charged_(x)));
+    }
+    return k;
 }
 
 double AccessFunction::iterate(double x, unsigned k) const {

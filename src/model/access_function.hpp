@@ -26,6 +26,12 @@ namespace dbsp::model {
 /// A nondecreasing memory access-cost function. Value-semantic; cheap to copy.
 class AccessFunction {
 public:
+    /// Closed-form family tag. The cost-table builder specializes its prefix
+    /// loop on this tag so the O(capacity) build runs on the raw expression
+    /// instead of a std::function call per address; kCustom falls back to the
+    /// type-erased path.
+    enum class Kind { kPolynomial, kLogarithmic, kConstant, kLinear, kCustom };
+
     /// f(x) = (x+1)^alpha, the paper's polynomial case study; 0 < alpha < 1.
     static AccessFunction polynomial(double alpha);
 
@@ -76,11 +82,33 @@ public:
 
     const std::string& name() const { return name_; }
 
+    /// Family tag and its numeric parameter (alpha for kPolynomial, c for
+    /// kConstant, scale for kLinear; unused otherwise).
+    Kind kind() const { return kind_; }
+    double param() const { return param_; }
+
+    /// The charged form without the operator() indirection layer; used by the
+    /// cost-table builder for kCustom functions.
+    const std::function<double(double)>& charged_fn() const { return charged_; }
+
+    /// True iff \p other is observably the same cost function: same family
+    /// tag and parameter for closed-form kinds; same name and bit-identical
+    /// charged values on a fixed probe set for kCustom. Used by the cost-table
+    /// cache to key shared prefix arrays safely.
+    bool same_function(const AccessFunction& other) const;
+
+    /// Stable identity string (name + family/probe fingerprint) suitable as a
+    /// cache key; two functions with equal key() satisfy same_function().
+    std::string key() const;
+
 private:
-    AccessFunction(std::string name, std::function<double(double)> charged,
+    AccessFunction(std::string name, Kind kind, double param,
+                   std::function<double(double)> charged,
                    std::function<double(double)> pure);
 
     std::string name_;
+    Kind kind_;
+    double param_;
     std::function<double(double)> charged_;
     std::function<double(double)> pure_;
 };

@@ -5,11 +5,19 @@
 /// bulk operations (scans, block swaps) the *exact* per-cell sum
 /// sum_{x=a}^{b-1} f(x); this table makes each such charge O(1) after an O(n)
 /// one-time build, keeping the cost accounting both exact and fast.
+///
+/// The prefix array is held behind a shared_ptr so that a table built once
+/// for a large capacity can be sliced into views for smaller capacities
+/// without rebuilding (see CostTableCache): the prefix loop is a running sum,
+/// so the first n+1 entries of a larger table are bit-identical to a fresh
+/// build at capacity n.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "model/access_function.hpp"
+#include "util/contracts.hpp"
 
 namespace dbsp::model {
 
@@ -18,12 +26,38 @@ public:
     /// Build prefix sums of \p f over addresses [0, capacity).
     CostTable(AccessFunction f, std::uint64_t capacity);
 
+    /// View of \p parent restricted to the first \p capacity addresses; shares
+    /// the parent's prefix storage (no rebuild, identical values).
+    CostTable(const CostTable& parent, std::uint64_t capacity);
+
     /// Access cost of a single address; requires x < capacity().
-    double cost(std::uint64_t x) const;
+    double cost(std::uint64_t x) const {
+        DBSP_REQUIRE(x < capacity_);
+        return prefix_[x + 1] - prefix_[x];
+    }
 
     /// Exact sum of f over the address range [begin, end); requires
     /// begin <= end <= capacity().
-    double range_cost(std::uint64_t begin, std::uint64_t end) const;
+    double range_cost(std::uint64_t begin, std::uint64_t end) const {
+        DBSP_REQUIRE(begin <= end);
+        DBSP_REQUIRE(end <= capacity_);
+        return prefix_[end] - prefix_[begin];
+    }
+
+    /// Fold the per-cell costs of [begin, end) into \p acc one cell at a time,
+    /// in ascending address order. This reproduces bit for bit the floating-
+    /// point sum a caller would get from `for (x) acc += cost(x)`, which is
+    /// what keeps the bulk accessor fast path's charged totals identical to
+    /// the per-word path (range_cost() is a single subtraction and rounds
+    /// differently).
+    double accumulate(std::uint64_t begin, std::uint64_t end, double acc) const {
+        DBSP_REQUIRE(begin <= end);
+        DBSP_REQUIRE(end <= capacity_);
+        for (std::uint64_t x = begin; x < end; ++x) {
+            acc += prefix_[x + 1] - prefix_[x];
+        }
+        return acc;
+    }
 
     /// Fact 1 quantity: time to access the first n cells = range_cost(0, n),
     /// which the paper shows is Theta(n f(n)) for (2,c)-uniform f.
@@ -35,7 +69,8 @@ public:
 private:
     AccessFunction f_;
     std::uint64_t capacity_;
-    std::vector<double> prefix_;  ///< prefix_[i] = sum of f over [0, i)
+    std::shared_ptr<const std::vector<double>> storage_;  ///< shared with slices
+    const double* prefix_;  ///< storage_->data(); prefix_[i] = sum of f over [0, i)
 };
 
 }  // namespace dbsp::model

@@ -1,0 +1,62 @@
+#include "model/cost_table_cache.hpp"
+
+namespace dbsp::model {
+
+CostTableCache& CostTableCache::global() {
+    static CostTableCache cache;
+    return cache;
+}
+
+std::shared_ptr<const CostTable> CostTableCache::get(const AccessFunction& f,
+                                                     std::uint64_t capacity) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!enabled_) {
+            ++stats_.builds;
+        } else {
+            auto it = tables_.find(f.key());
+            if (it != tables_.end() && it->second->capacity() >= capacity) {
+                if (it->second->capacity() == capacity) {
+                    ++stats_.hits;
+                    return it->second;
+                }
+                ++stats_.slices;
+                return std::make_shared<CostTable>(*it->second, capacity);
+            }
+            ++stats_.builds;
+        }
+    }
+    // Build outside the lock: prefix construction is O(capacity) and must not
+    // serialize unrelated workers. A racing build of the same table wastes one
+    // build but stays correct (last insert wins; both tables are identical).
+    auto table = std::make_shared<const CostTable>(f, capacity);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (enabled_) {
+        auto& slot = tables_[f.key()];
+        if (!slot || slot->capacity() < capacity) slot = table;
+    }
+    return table;
+}
+
+CostTableCache::Stats CostTableCache::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void CostTableCache::clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tables_.clear();
+}
+
+void CostTableCache::set_enabled(bool enabled) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    enabled_ = enabled;
+    if (!enabled) tables_.clear();
+}
+
+bool CostTableCache::enabled() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return enabled_;
+}
+
+}  // namespace dbsp::model

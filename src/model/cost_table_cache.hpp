@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file cost_table_cache.hpp
+/// Process-wide cache of CostTable prefix arrays. A sweep over
+/// n = 2^10 ... 2^22 with three access functions used to rebuild an
+/// O(capacity) prefix array for every (function, size) data point; the cache
+/// builds each function's table once at the largest capacity seen and hands
+/// out shared (or sliced) views for every other request. Slices are exact:
+/// the prefix loop is a running sum, so the first n+1 entries of a larger
+/// table equal a fresh build at capacity n bit for bit.
+///
+/// Identity is established with AccessFunction::key() — family tag and
+/// parameter for the closed-form functions, name plus a charged-value probe
+/// fingerprint for customs — so two lambdas that merely share a name cannot
+/// alias each other's tables.
+///
+/// Thread-safe: the parallel benchmark harness hits it from every worker.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "model/cost_table.hpp"
+
+namespace dbsp::model {
+
+class CostTableCache {
+public:
+    /// The singleton used by hmm::Machine / bt::Machine.
+    static CostTableCache& global();
+
+    /// A table for \p f over [0, capacity): cached, sliced from a larger
+    /// cached table, or freshly built (and cached) as needed. When the cache
+    /// is disabled every call builds a fresh private table (the seed
+    /// behaviour, kept for the bit-for-bit cross-checks).
+    std::shared_ptr<const CostTable> get(const AccessFunction& f, std::uint64_t capacity);
+
+    struct Stats {
+        std::uint64_t builds = 0;  ///< O(capacity) prefix constructions
+        std::uint64_t hits = 0;    ///< exact-capacity reuses
+        std::uint64_t slices = 0;  ///< smaller-capacity views of a cached table
+        /// Table builds a cacheless implementation would have performed.
+        std::uint64_t builds_avoided() const { return hits + slices; }
+    };
+    Stats stats() const;
+
+    /// Drop all cached tables (stats are kept).
+    void clear();
+
+    void set_enabled(bool enabled);
+    bool enabled() const;
+
+private:
+    mutable std::mutex mutex_;
+    bool enabled_ = true;
+    Stats stats_;
+    std::unordered_map<std::string, std::shared_ptr<const CostTable>> tables_;
+};
+
+/// RAII helper for tests: force the cache on/off within a scope.
+class ScopedCostTableCache {
+public:
+    explicit ScopedCostTableCache(bool enabled)
+        : previous_(CostTableCache::global().enabled()) {
+        CostTableCache::global().set_enabled(enabled);
+    }
+    ~ScopedCostTableCache() { CostTableCache::global().set_enabled(previous_); }
+    ScopedCostTableCache(const ScopedCostTableCache&) = delete;
+    ScopedCostTableCache& operator=(const ScopedCostTableCache&) = delete;
+
+private:
+    bool previous_;
+};
+
+}  // namespace dbsp::model

@@ -51,11 +51,8 @@ DbspResult DbspMachine::run(Program& program) const {
     result.data_words = program.data_words();
     result.contexts = initial_contexts(program);
 
-    const AccessorFn with_accessor = [&](ProcId p,
-                                         const std::function<void(ContextAccessor&)>& fn) {
-        FlatContextAccessor acc(result.contexts[p].data(), mu);
-        fn(acc);
-    };
+    VectorAccessorSource contexts(result.contexts, mu);
+    DeliveryScratch scratch;
 
     for (StepIndex s = 0; s < steps; ++s) {
         const unsigned label = program.label(s);
@@ -66,8 +63,8 @@ DbspResult DbspMachine::run(Program& program) const {
 
         std::size_t max_sent = 0;
         for (ProcId p = 0; p < v; ++p) {
-            FlatContextAccessor acc(result.contexts[p].data(), mu);
-            const StepOutcome out = run_processor_step(program, layout, tree, s, p, acc);
+            const StepOutcome out =
+                run_processor_step(program, layout, tree, s, p, contexts.at(p));
             stats.tau = std::max(stats.tau, out.ops);
             max_sent = std::max(max_sent, out.sent);
         }
@@ -75,7 +72,7 @@ DbspResult DbspMachine::run(Program& program) const {
         // Barrier + message exchange: messages become visible at the start of
         // superstep s+1.
         const std::size_t max_received =
-            deliver_messages(layout, 0, v, with_accessor, program.proc_id_base());
+            deliver_messages(layout, 0, v, contexts, program.proc_id_base(), &scratch);
 
         stats.h = std::max(max_sent, max_received);
         stats.comm_arg = static_cast<double>(mu) * static_cast<double>(tree.cluster_size(label));

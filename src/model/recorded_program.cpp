@@ -38,11 +38,8 @@ Trace record(Program& program) {
     trace.events.resize(steps);
 
     auto contexts = DbspMachine::initial_contexts(program);
-    const AccessorFn with_accessor = [&](ProcId p,
-                                         const std::function<void(ContextAccessor&)>& fn) {
-        FlatContextAccessor acc(contexts[p].data(), mu);
-        fn(acc);
-    };
+    VectorAccessorSource source(contexts, mu);
+    DeliveryScratch scratch;
 
     for (StepIndex s = 0; s < steps; ++s) {
         trace.labels.push_back(program.label(s));
@@ -68,7 +65,7 @@ Trace record(Program& program) {
                 ev.messages.push_back(m);
             }
         }
-        deliver_messages(layout, 0, v, with_accessor, program.proc_id_base());
+        deliver_messages(layout, 0, v, source, program.proc_id_base(), &scratch);
     }
     return trace;
 }

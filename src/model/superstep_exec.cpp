@@ -1,56 +1,94 @@
 #include "model/superstep_exec.hpp"
 
-#include <unordered_map>
-#include <vector>
+#include <atomic>
 
 #include "util/contracts.hpp"
 
 namespace dbsp::model {
 
+namespace {
+
+std::atomic<bool> g_bulk_access{true};
+
+}  // namespace
+
+bool bulk_access_enabled() { return g_bulk_access.load(std::memory_order_relaxed); }
+
+void set_bulk_access_enabled(bool enabled) {
+    g_bulk_access.store(enabled, std::memory_order_relaxed);
+}
+
 std::size_t deliver_messages(const ContextLayout& layout, ProcId first, std::uint64_t count,
-                             const AccessorFn& with_accessor, ProcId id_base) {
+                             AccessorSource& contexts, ProcId id_base,
+                             DeliveryScratch* scratch) {
+    DeliveryScratch local;
+    DeliveryScratch& sc = scratch ? *scratch : local;
+    const bool bulk = bulk_access_enabled();
+
     // Phase 1: collect messages from the senders' outgoing buffers, in
     // ascending sender order, and reset the outgoing counts. The intermediate
     // vector is executor bookkeeping only; every word it carries has been
     // charged on read and will be charged again on write, exactly as if the
     // message moved directly between buffers.
-    std::vector<Message> pending;
+    std::vector<Message>& pending = sc.pending;
+    pending.clear();
     for (ProcId p = first; p < first + count; ++p) {
-        with_accessor(p, [&](ContextAccessor& acc) {
-            const auto sent = static_cast<std::size_t>(acc.get(layout.out_count_offset()));
-            DBSP_ASSERT(sent <= layout.max_messages);
+        ContextAccessor& acc = contexts.at(p);
+        const auto sent = static_cast<std::size_t>(acc.get(layout.out_count_offset()));
+        DBSP_ASSERT(sent <= layout.max_messages);
+        if (bulk) {
+            // One range read covers the whole outgoing record block: the
+            // records are contiguous, and the fused per-cell charge loop
+            // walks the same ascending addresses as the per-word path.
+            sc.words.resize(ContextLayout::kRecordWords * sent);
+            acc.get_range(layout.out_record_offset(0), sc.words);
+            for (std::size_t k = 0; k < sent; ++k) {
+                const Word* rec = sc.words.data() + ContextLayout::kRecordWords * k;
+                Message m;
+                m.src = id_base + p;  // inboxes carry global source ids
+                m.dest = rec[0];
+                m.payload0 = rec[1];
+                m.payload1 = rec[2];
+                DBSP_ASSERT(m.dest >= first && m.dest < first + count);
+                pending.push_back(m);
+            }
+        } else {
             for (std::size_t k = 0; k < sent; ++k) {
                 const std::size_t off = layout.out_record_offset(k);
                 Message m;
-                m.src = id_base + p;  // inboxes carry global source ids
+                m.src = id_base + p;
                 m.dest = acc.get(off);
                 m.payload0 = acc.get(off + 1);
                 m.payload1 = acc.get(off + 2);
                 DBSP_ASSERT(m.dest >= first && m.dest < first + count);
                 pending.push_back(m);
             }
-            if (sent > 0) {
-                acc.set(layout.out_count_offset(), 0);
-            }
-        });
+        }
+        if (sent > 0) {
+            acc.set(layout.out_count_offset(), 0);
+        }
     }
 
     // Phase 2: append to destination inboxes. `pending` is already sorted by
     // (src, send order); appending in this order gives the canonical inbox
     // ordering that the sort-based BT delivery reproduces with tag keys.
     std::size_t max_received = 0;
-    std::unordered_map<ProcId, std::size_t> delivered;
+    sc.received.assign(count, 0);
     for (const Message& m : pending) {
-        with_accessor(m.dest, [&](ContextAccessor& acc) {
-            auto in_count = static_cast<std::size_t>(acc.get(layout.in_count_offset()));
-            DBSP_REQUIRE(in_count < layout.max_messages);
-            const std::size_t off = layout.in_record_offset(in_count);
+        ContextAccessor& acc = contexts.at(m.dest);
+        auto in_count = static_cast<std::size_t>(acc.get(layout.in_count_offset()));
+        DBSP_REQUIRE(in_count < layout.max_messages);
+        const std::size_t off = layout.in_record_offset(in_count);
+        if (bulk) {
+            const Word rec[ContextLayout::kRecordWords] = {m.src, m.payload0, m.payload1};
+            acc.set_range(off, rec);
+        } else {
             acc.set(off, m.src);
             acc.set(off + 1, m.payload0);
             acc.set(off + 2, m.payload1);
-            acc.set(layout.in_count_offset(), in_count + 1);
-        });
-        max_received = std::max(max_received, ++delivered[m.dest]);
+        }
+        acc.set(layout.in_count_offset(), in_count + 1);
+        max_received = std::max(max_received, ++sc.received[m.dest - first]);
     }
     return max_received;
 }

@@ -13,7 +13,7 @@
 ///    destination inboxes, then resets the sender's outgoing count, giving a
 ///    canonical (src, send-order) inbox ordering.
 
-#include <functional>
+#include <vector>
 
 #include "model/context_layout.hpp"
 #include "model/program.hpp"
@@ -40,10 +40,64 @@ inline StepOutcome run_processor_step(Program& program, const ContextLayout& lay
     return StepOutcome{ctx.ops(), ctx.sent()};
 }
 
-/// Accessor factory: maps a processor id to a (short-lived) accessor for its
-/// context storage. The callback owns the accessor's lifetime for the duration
-/// of the inner function call.
-using AccessorFn = std::function<void(ProcId, const std::function<void(ContextAccessor&)>&)>;
+/// Accessor source: maps a processor id to an accessor for its context
+/// storage. Replaces the former std::function-of-std::function AccessorFn —
+/// one devirtualizable call per processor, no type-erasure allocations on the
+/// delivery hot path. The returned reference stays valid until the next at()
+/// call (sources typically rebind a single accessor object).
+class AccessorSource {
+public:
+    virtual ~AccessorSource() = default;
+    virtual ContextAccessor& at(ProcId p) = 0;
+};
+
+/// AccessorSource over per-processor flat word vectors — the direct machine's
+/// storage shape, shared by trace recording and the unit tests.
+class VectorAccessorSource final : public AccessorSource {
+public:
+    VectorAccessorSource(std::vector<std::vector<Word>>& contexts, std::size_t mu)
+        : contexts_(contexts), mu_(mu) {}
+    ContextAccessor& at(ProcId p) override {
+        acc_.rebind(contexts_[p].data(), mu_);
+        return acc_;
+    }
+
+private:
+    std::vector<std::vector<Word>>& contexts_;
+    std::size_t mu_;
+    FlatContextAccessor acc_{nullptr, 0};
+};
+
+/// Reusable scratch space for deliver_messages. Executors that deliver every
+/// superstep keep one instance alive across the whole run so the message
+/// vector and the bulk-read staging buffer stop being reallocated per step.
+struct DeliveryScratch {
+    std::vector<Message> pending;
+    std::vector<Word> words;
+    std::vector<std::size_t> received;
+};
+
+/// Process-wide switch for the bulk (range) accessor fast path in
+/// deliver_messages and the simulators' buffer scans. On by default; the
+/// cross-check tests and the bench_micro baseline disable it to reproduce the
+/// seed per-word code path (whose charged totals the fast path matches bit
+/// for bit).
+bool bulk_access_enabled();
+void set_bulk_access_enabled(bool enabled);
+
+/// RAII helper: force the bulk fast path on/off within a scope.
+class ScopedBulkAccess {
+public:
+    explicit ScopedBulkAccess(bool enabled) : previous_(bulk_access_enabled()) {
+        set_bulk_access_enabled(enabled);
+    }
+    ~ScopedBulkAccess() { set_bulk_access_enabled(previous_); }
+    ScopedBulkAccess(const ScopedBulkAccess&) = delete;
+    ScopedBulkAccess& operator=(const ScopedBulkAccess&) = delete;
+
+private:
+    bool previous_;
+};
 
 /// Deliver all pending outgoing messages of processors [first, first + count)
 /// into their destination inboxes (destinations must lie in the same range for
@@ -51,8 +105,10 @@ using AccessorFn = std::function<void(ProcId, const std::function<void(ContextAc
 /// time). Processor ids here are tree-local; \p id_base (the program's
 /// proc_id_base) is added to the stored message source so inboxes always
 /// carry global ids. Returns the maximum number of messages received by any
-/// processor. \p with_accessor provides context access for the local range.
+/// processor. \p contexts provides context access for the local range;
+/// \p scratch (optional) lets callers reuse buffers across supersteps.
 std::size_t deliver_messages(const ContextLayout& layout, ProcId first, std::uint64_t count,
-                             const AccessorFn& with_accessor, ProcId id_base = 0);
+                             AccessorSource& contexts, ProcId id_base = 0,
+                             DeliveryScratch* scratch = nullptr);
 
 }  // namespace dbsp::model

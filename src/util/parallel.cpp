@@ -1,0 +1,58 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dbsp::util {
+
+std::size_t default_threads() {
+    for (const char* var : {"DBSP_BENCH_THREADS", "DBSP_THREADS"}) {
+        if (const char* env = std::getenv(var)) {
+            const long n = std::strtol(env, nullptr, 10);
+            if (n > 0) return static_cast<std::size_t>(n);
+        }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t threads) {
+    if (n == 0) return;
+    if (threads == 0) threads = default_threads();
+    if (threads > n) threads = n;
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < n; ++i) body(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto worker = [&] {
+        while (true) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n) return;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error) first_error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads - 1);
+    for (std::size_t t = 1; t < threads; ++t) pool.emplace_back(worker);
+    worker();
+    for (auto& th : pool) th.join();
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace dbsp::util

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file parallel.hpp
+/// Minimal thread-pool parallel-for used by the benchmark harness. The
+/// simulators themselves stay single-threaded (the cost models are
+/// sequential by definition); parallelism only exploits the independence of
+/// distinct (access function, size) sweep points.
+
+#include <cstddef>
+#include <functional>
+
+namespace dbsp::util {
+
+/// Number of worker threads parallel_for uses when `threads == 0`:
+/// the value of DBSP_BENCH_THREADS (or DBSP_THREADS) if set and positive,
+/// otherwise the hardware concurrency (at least 1).
+std::size_t default_threads();
+
+/// Run body(i) for i in [0, n) on up to `threads` workers (0 = default).
+/// Indices are handed out through an atomic counter, so the assignment of
+/// indices to threads is dynamic but every index runs exactly once. The
+/// first exception thrown by any body is rethrown on the caller's thread
+/// after all workers have joined.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace dbsp::util

@@ -35,7 +35,7 @@ TEST(BtMachine, BlockCopyCheaperThanElementwise) {
 }
 
 TEST(BtMachineDeathTest, OverlappingBlockCopyAborts) {
-    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     Machine m(AccessFunction::constant(), 64);
     EXPECT_DEATH(m.block_copy(0, 4, 8), "Precondition");
 }

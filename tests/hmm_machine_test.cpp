@@ -49,7 +49,7 @@ TEST(HmmMachine, CopyBlockCharges) {
 }
 
 TEST(HmmMachineDeathTest, OverlappingSwapAborts) {
-    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     Machine m(AccessFunction::constant(), 64);
     EXPECT_DEATH(m.swap_blocks(0, 4, 8), "Precondition");
 }

@@ -86,7 +86,7 @@ TEST(StepContext, SendValidatesClusterDiscipline) {
 }
 
 TEST(StepContextDeathTest, SendOutsideClusterAborts) {
-    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     const ContextLayout layout{1, 1};
     std::vector<Word> mem(layout.context_words(), 0);
     FlatContextAccessor acc(mem.data(), mem.size());
@@ -132,10 +132,7 @@ TEST(DeliverMessages, CanonicalOrderAndCounts) {
         mem[p][layout.out_record_offset(0)] = 0;      // dest
         mem[p][layout.out_record_offset(0) + 1] = p;  // payload
     }
-    const AccessorFn with = [&](ProcId p, const std::function<void(ContextAccessor&)>& fn) {
-        FlatContextAccessor acc(mem[p].data(), mu);
-        fn(acc);
-    };
+    VectorAccessorSource with(mem, mu);
     const std::size_t h = deliver_messages(layout, 0, 4, with);
     EXPECT_EQ(h, 3u);
     EXPECT_EQ(mem[0][layout.in_count_offset()], 3u);
@@ -156,10 +153,7 @@ TEST(DeliverMessages, AppendsToUnconsumedInbox) {
     mem[1][layout.out_count_offset()] = 1;
     mem[1][layout.out_record_offset(0)] = 0;
     mem[1][layout.out_record_offset(0) + 1] = 42;
-    const AccessorFn with = [&](ProcId p, const std::function<void(ContextAccessor&)>& fn) {
-        FlatContextAccessor acc(mem[p].data(), mu);
-        fn(acc);
-    };
+    VectorAccessorSource with(mem, mu);
     deliver_messages(layout, 0, 2, with);
     EXPECT_EQ(mem[0][layout.in_count_offset()], 2u);
     EXPECT_EQ(mem[0][layout.in_record_offset(1) + 1], 42u);
