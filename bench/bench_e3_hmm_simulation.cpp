@@ -108,5 +108,21 @@ int main() {
         std::printf("(the naive column's exponent is > 0: the pinned-context port pays a "
                     "growing hierarchy penalty; the Figure 1 schedule does not)\n");
     }
+
+    // Opt-in charge trace (DBSP_TRACE=1 or =path.json): re-run the largest
+    // sweep point serially with a sink attached and report the breakdown.
+    bench::EnvTrace env_trace;
+    if (env_trace.enabled()) {
+        const Point& pt = points.back();
+        const auto labels = workload_labels(pt.v, 7);
+        algo::RandomRoutingProgram prog(pt.v, labels, 101);
+        auto smoothed =
+            core::smooth(prog, core::hmm_label_set(pt.f, prog.context_words(), pt.v));
+        core::HmmSimulator::Options options;
+        options.trace = env_trace.sink();
+        const auto res = core::HmmSimulator(pt.f, options).simulate(*smoothed);
+        env_trace.report("HMM simulation, " + pt.f.name() + ", v=" + std::to_string(pt.v),
+                         res.hmm_cost);
+    }
     return 0;
 }

@@ -10,10 +10,16 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "model/access_function.hpp"
+#include "trace/aggregate.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/sink.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -61,6 +67,59 @@ auto parallel_sweep(const std::vector<Point>& points, Fn&& fn)
                        [&](std::size_t i) { results[i] = fn(points[i]); });
     return results;
 }
+
+/// Opt-in charge tracing for the experiment binaries, driven by the
+/// DBSP_TRACE environment variable:
+///   unset / "" / "0"  — tracing off (sink() returns nullptr, zero overhead);
+///   "1"               — print an aggregate charge-trace report;
+///   any other value   — treated as a path: print the report AND write a
+///                        Chrome trace_event JSON file there.
+/// The sink is not thread-safe, so binaries attach it to one representative
+/// configuration re-run serially after the parallel sweep, not to the sweep
+/// workers themselves.
+class EnvTrace {
+public:
+    EnvTrace() {
+        const char* env = std::getenv("DBSP_TRACE");
+        if (env == nullptr || *env == '\0' || std::string_view(env) == "0") return;
+        aggregate_ = std::make_unique<trace::AggregateSink>();
+        multi_.add(aggregate_.get());
+        if (std::string_view(env) != "1") {
+            path_ = env;
+            chrome_ = std::make_unique<trace::ChromeTraceSink>("bench");
+            multi_.add(chrome_.get());
+        }
+    }
+
+    bool enabled() const { return aggregate_ != nullptr; }
+    trace::Sink* sink() { return enabled() ? &multi_ : nullptr; }
+
+    /// Print the aggregate report for the traced run (and write the Chrome
+    /// file if a path was given). \p charged_cost is the simulator's own
+    /// total, audited against the mirror.
+    void report(const std::string& what, double charged_cost) const {
+        if (!enabled()) return;
+        section("charge trace: " + what);
+        aggregate_->print(stdout);
+        if (aggregate_->total() != charged_cost) {
+            std::fprintf(stderr, "DBSP_TRACE: trace total %.17g != charged cost %.17g\n",
+                         aggregate_->total(), charged_cost);
+        }
+        if (chrome_ != nullptr) {
+            if (chrome_->write(path_)) {
+                std::printf("wrote Chrome trace to %s\n", path_.c_str());
+            } else {
+                std::fprintf(stderr, "DBSP_TRACE: cannot write \"%s\"\n", path_.c_str());
+            }
+        }
+    }
+
+private:
+    std::unique_ptr<trace::AggregateSink> aggregate_;
+    std::unique_ptr<trace::ChromeTraceSink> chrome_;
+    trace::MultiSink multi_;
+    std::string path_;
+};
 
 /// The paper's case-study access functions.
 inline std::vector<model::AccessFunction> case_study_functions() {

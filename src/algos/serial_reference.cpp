@@ -43,6 +43,20 @@ std::vector<std::complex<double>> serial_dft_naive(
     return out;
 }
 
+std::vector<std::complex<double>> serial_dft_fast(
+    const std::vector<std::complex<double>>& x) {
+    const std::size_t n = x.size();
+    DBSP_REQUIRE(is_pow2(n));
+    std::vector<std::complex<double>> tmp = x;
+    serial_fft_dif_bitrev(tmp);
+    std::vector<std::complex<double>> out(n);
+    const unsigned bits = ilog2(n);
+    for (std::size_t p = 0; p < n; ++p) {
+        out[reverse_bits(p, bits)] = tmp[p];
+    }
+    return out;
+}
+
 std::vector<std::uint64_t> serial_matmul_morton(const std::vector<std::uint64_t>& a,
                                                 const std::vector<std::uint64_t>& b) {
     const std::size_t n = a.size();

@@ -20,6 +20,15 @@ void serial_fft_dif_bitrev(std::vector<std::complex<double>>& x);
 std::vector<std::complex<double>> serial_dft_naive(
     const std::vector<std::complex<double>>& x);
 
+/// Natural-order DFT in O(n log n): serial_fft_dif_bitrev followed by the
+/// bit-reversal unscramble. Numerically a different (better-conditioned)
+/// summation order than serial_dft_naive, so expect agreement to roundoff,
+/// not bit-for-bit; SerialReference.FastDftMatchesNaiveDft pins it against
+/// the naive sum so large-n tests can use it as ground truth without the
+/// O(n^2) wall time.
+std::vector<std::complex<double>> serial_dft_fast(
+    const std::vector<std::complex<double>>& x);
+
 /// C = A * B over the (mod 2^64) semiring, all three matrices in Morton
 /// order with n = s^2 entries (the MatMulProgram layout).
 std::vector<std::uint64_t> serial_matmul_morton(const std::vector<std::uint64_t>& a,

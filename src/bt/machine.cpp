@@ -10,17 +10,31 @@ namespace dbsp::bt {
 Machine::Machine(AccessFunction f, std::uint64_t capacity)
     : table_(model::CostTableCache::global().get(f, capacity)), memory_(capacity, 0) {}
 
+Word Machine::traced_read_tail(Addr x) {
+    trace_->access(x, table_->cost(x));
+    return memory_[x];
+}
+
+void Machine::traced_write_tail(Addr x, Word value) {
+    trace_->access(x, table_->cost(x));
+    memory_[x] = value;
+}
+
 Word Machine::read(Addr x) {
     DBSP_REQUIRE(x < capacity());
-    cost_ += table_->cost(x);
-    word_access_ += table_->cost(x);
+    const double delta = table_->cost(x);
+    cost_ += delta;
+    word_access_ += delta;
+    if (trace_ != nullptr) [[unlikely]] return traced_read_tail(x);
     return memory_[x];
 }
 
 void Machine::write(Addr x, Word value) {
     DBSP_REQUIRE(x < capacity());
-    cost_ += table_->cost(x);
-    word_access_ += table_->cost(x);
+    const double delta = table_->cost(x);
+    cost_ += delta;
+    word_access_ += delta;
+    if (trace_ != nullptr) [[unlikely]] { traced_write_tail(x, value); return; }
     memory_[x] = value;
 }
 
@@ -31,6 +45,7 @@ void Machine::read_range(Addr x, std::span<Word> out) {
     // each one separately reproduces its value bit for bit.
     cost_ = table_->accumulate(x, x + out.size(), cost_);
     word_access_ = table_->accumulate(x, x + out.size(), word_access_);
+    if (trace_ != nullptr) trace_->access_range(table_->prefix(), x, x + out.size());
     std::copy_n(memory_.begin() + static_cast<std::ptrdiff_t>(x), out.size(), out.begin());
 }
 
@@ -39,6 +54,7 @@ void Machine::write_range(Addr x, std::span<const Word> values) {
     DBSP_REQUIRE(x + values.size() <= capacity());
     cost_ = table_->accumulate(x, x + values.size(), cost_);
     word_access_ = table_->accumulate(x, x + values.size(), word_access_);
+    if (trace_ != nullptr) trace_->access_range(table_->prefix(), x, x + values.size());
     std::copy_n(values.begin(), values.size(),
                 memory_.begin() + static_cast<std::ptrdiff_t>(x));
 }
@@ -48,10 +64,12 @@ void Machine::block_copy(Addr src, Addr dst, std::uint64_t len) {
     DBSP_REQUIRE(src + len <= capacity() && dst + len <= capacity());
     DBSP_REQUIRE(src + len <= dst || dst + len <= src);  // disjoint, per the model
     const double latency = std::max(table_->cost(src + len - 1), table_->cost(dst + len - 1));
-    cost_ += latency + static_cast<double>(len);
+    const double delta = latency + static_cast<double>(len);
+    cost_ += delta;
     transfer_latency_ += latency;
     transfer_volume_ += static_cast<double>(len);
     ++block_transfers_;
+    if (trace_ != nullptr) trace_->block_transfer(src, dst, len, latency, delta);
     std::copy(memory_.begin() + static_cast<std::ptrdiff_t>(src),
               memory_.begin() + static_cast<std::ptrdiff_t>(src + len),
               memory_.begin() + static_cast<std::ptrdiff_t>(dst));
@@ -61,6 +79,7 @@ void Machine::charge(double c) {
     DBSP_REQUIRE(c >= 0.0);
     cost_ += c;
     unit_ops_ += c;
+    if (trace_ != nullptr) trace_->charge(c);
 }
 
 }  // namespace dbsp::bt

@@ -19,6 +19,8 @@
 #include "model/access_function.hpp"
 #include "model/cost_table.hpp"
 #include "model/types.hpp"
+#include "trace/sink.hpp"
+#include "util/contracts.hpp"
 
 namespace dbsp::bt {
 
@@ -54,7 +56,17 @@ public:
 
     /// --- accounting --------------------------------------------------------
     double cost() const { return cost_; }
-    void reset_cost() { cost_ = 0.0; transfer_latency_ = transfer_volume_ = word_access_ = unit_ops_ = 0.0; }
+    void reset_cost() {
+        cost_ = 0.0;
+        transfer_latency_ = transfer_volume_ = word_access_ = unit_ops_ = 0.0;
+        if (trace_ != nullptr) trace_->reset_total();
+    }
+
+    /// Attach (or detach, with nullptr) a charge-trace sink. Not owned; every
+    /// charge site is guarded by one branch on this pointer.
+    void set_trace(trace::Sink* sink) { trace_ = sink; }
+    trace::Sink* trace() const { return trace_; }
+
     /// Number of block_copy operations issued (for diagnostics/tests).
     std::uint64_t block_transfers() const { return block_transfers_; }
 
@@ -75,6 +87,12 @@ public:
     std::span<const Word> raw() const { return memory_; }
 
 private:
+    /// Out-of-line cold tails for the per-word trace hook; see the note in
+    /// hmm::Machine — the traced path finishes the operation in a tail call
+    /// so the null-sink read()/write() stay leaf functions.
+    [[gnu::cold]] [[gnu::noinline]] Word traced_read_tail(Addr x);
+    [[gnu::cold]] [[gnu::noinline]] void traced_write_tail(Addr x, Word value);
+
     std::shared_ptr<const model::CostTable> table_;
     std::vector<Word> memory_;
     double cost_ = 0.0;
@@ -83,6 +101,7 @@ private:
     double word_access_ = 0.0;
     double unit_ops_ = 0.0;
     std::uint64_t block_transfers_ = 0;
+    trace::Sink* trace_ = nullptr;  ///< not owned; nullptr = tracing off
 };
 
 }  // namespace dbsp::bt

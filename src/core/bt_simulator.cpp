@@ -91,7 +91,9 @@ public:
           pad_(compute_pad(f, v_, mu_)),
           total_slots_(2 * v_ + gap_slots(v_) + 2),
           machine_(f, pad_ + total_slots_ * mu_ + 64),
-          proc_of_slot_(total_slots_, kEmptySlot), slot_of_proc_(v_), sigma_(v_, 0) {}
+          proc_of_slot_(total_slots_, kEmptySlot), slot_of_proc_(v_), sigma_(v_, 0) {
+        machine_.set_trace(options_.trace);
+    }
 
     BtSimResult run();
 
@@ -146,6 +148,7 @@ private:
     std::vector<std::uint64_t> slot_of_proc_;
     std::vector<StepIndex> sigma_;
     BtSimResult result_;
+    std::uint64_t last_outgoing_ = 0;  ///< messages emitted by the last serialize
 };
 
 Addr BtSim::compute_pad(const model::AccessFunction& f, std::uint64_t v, std::size_t mu) {
@@ -314,6 +317,7 @@ std::uint64_t BtSim::serialize_cluster(ProcId first, std::uint64_t csize, Addr d
                         /*lane=*/1, /*lanes=*/2);
 
     std::uint64_t n_rec = 0;
+    last_outgoing_ = 0;
     auto emit = [&](Word k0, Word k1, Word w0, Word w1, Word w2) {
         wr.push(k0);
         wr.push(k1);
@@ -334,6 +338,7 @@ std::uint64_t BtSim::serialize_cluster(ProcId first, std::uint64_t csize, Addr d
             const auto& rec = ctx.old_inbox[k];
             emit(p, msg_key1(0, 0, k), rec[0], rec[1], rec[2]);
         }
+        last_outgoing_ += ctx.outgoing.size();
         for (std::size_t k = 0; k < ctx.outgoing.size(); ++k) {
             const auto& msg = ctx.outgoing[k];
             emit(msg.dest, msg_key1(1, p, k), p, msg.payload0, msg.payload1);
@@ -437,6 +442,7 @@ bool BtSim::deliver_transpose(ProcId first, std::uint64_t csize, std::uint64_t g
     if (lg % 2 != 0) return false;  // needs a square grid
     const std::uint64_t side = std::uint64_t{1} << (lg / 2);
     ++result_.transpose_invocations;
+    last_outgoing_ = csize;  // the kTranspose promise: one message per processor
 
     auto transpose_of = [&](std::uint64_t x) {
         const std::uint64_t block = x - x % grain;
@@ -538,6 +544,8 @@ BtSimResult BtSim::run() {
     DBSP_REQUIRE(steps > 0);
     DBSP_REQUIRE(program_.label(steps - 1) == 0);
     result_.data_words = d_;
+    // The machine is fresh (cost 0); a reused sink must restart its mirror.
+    if (options_.trace != nullptr) options_.trace->reset_total();
 
     // Load the initial memory image: contexts packed in slots [0, v).
     {
@@ -565,8 +573,19 @@ BtSimResult BtSim::run() {
 
         if (options_.check_invariants) check_round_invariants(first, csize, s);
 
+        trace::Sink* const sink = options_.trace;
+        // Rounds executing a smoothing-inserted dummy superstep attribute all
+        // their charges to the dummy-superstep phase.
+        const bool dummy_round = sink != nullptr && program_.is_dummy_step(s);
+        const auto ph = [dummy_round](trace::Phase p) {
+            return dummy_round ? trace::Phase::kDummyStep : p;
+        };
+
         const double c0 = machine_.cost();
-        pack(label);  // Step 1.a
+        {
+            trace::PhaseScope move(sink, ph(trace::Phase::kContextMove), label);
+            pack(label);  // Step 1.a
+        }
         if (options_.check_invariants) {
             for (std::uint64_t idx = 0; idx < csize; ++idx) {
                 DBSP_ASSERT(proc_of_slot_[idx] == static_cast<std::int64_t>(first + idx));
@@ -576,14 +595,23 @@ BtSimResult BtSim::run() {
         // Step 2: local computation, then communication.
         const double c1 = machine_.cost();
         result_.layout_cost += c1 - c0;
-        compute(s, csize);
+        {
+            trace::PhaseScope exec(sink, ph(trace::Phase::kStepExec), label);
+            compute(s, csize);
+        }
         const double c2 = machine_.cost();
         result_.compute_cost += c2 - c1;
-        const bool transposed =
-            options_.use_rational_permutations &&
-            program_.permutation_class(s) == model::PermutationClass::kTranspose &&
-            deliver_transpose(first, csize, program_.permutation_grain(s));
-        if (!transposed) deliver_sort(label, first, csize);
+        bool transposed = false;
+        if (options_.use_rational_permutations &&
+            program_.permutation_class(s) == model::PermutationClass::kTranspose) {
+            trace::PhaseScope deliver(sink, ph(trace::Phase::kDeliverTranspose), label);
+            transposed = deliver_transpose(first, csize, program_.permutation_grain(s));
+        }
+        if (!transposed) {
+            trace::PhaseScope deliver(sink, ph(trace::Phase::kDeliverSort), label);
+            deliver_sort(label, first, csize);
+        }
+        if (sink != nullptr) sink->messages(last_outgoing_);
         result_.deliver_cost += machine_.cost() - c2;
 
         for (ProcId p = first; p < first + csize; ++p) sigma_[p] = s + 1;
@@ -592,6 +620,7 @@ BtSimResult BtSim::run() {
         if (s + 1 < steps) {
             const unsigned next_label = program_.label(s + 1);
             if (next_label < label) {
+                trace::PhaseScope move(sink, ph(trace::Phase::kContextMove), next_label);
                 const std::uint64_t bsib = std::uint64_t{1} << (label - next_label);
                 const std::uint64_t jbar = tree_.cluster_of(top_proc, next_label);
                 const ProcId cbar_first = tree_.cluster_first(jbar, next_label);
@@ -612,7 +641,10 @@ BtSimResult BtSim::run() {
             (void)c3;
         }
         const double c4 = machine_.cost();
-        unpack(label);  // Step 5
+        {
+            trace::PhaseScope move(sink, ph(trace::Phase::kContextMove), label);
+            unpack(label);  // Step 5
+        }
         result_.layout_cost += machine_.cost() - c4;
     }
 

@@ -33,6 +33,7 @@
 #include "bt/machine.hpp"
 #include "model/dbsp_machine.hpp"
 #include "model/program.hpp"
+#include "trace/sink.hpp"
 
 namespace dbsp::core {
 
@@ -66,6 +67,12 @@ public:
 #else
             false;
 #endif
+        /// Charge-trace sink (not owned; must outlive simulate()). BT charges
+        /// are attributed to step execution (COMPUTE), context movement
+        /// (PACK/UNPACK/Step-4 swaps), sort-based or transpose-based delivery
+        /// — or dummy-superstep for smoothing-inserted rounds. The sink's
+        /// total() equals BtSimResult::bt_cost bit for bit.
+        trace::Sink* trace = nullptr;
     };
 
     explicit BtSimulator(model::AccessFunction f) : BtSimulator(std::move(f), Options{}) {}

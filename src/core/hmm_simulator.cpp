@@ -17,18 +17,30 @@ using model::ProcId;
 using model::StepIndex;
 using model::Word;
 
-/// Context accessor backed by HMM memory at a fixed base address.
-class HmmContextAccessor final : public ContextAccessor {
+/// Context accessor backed by HMM memory at a fixed base address. The traced
+/// instantiation routes word accesses through Machine::read_traced/
+/// write_traced (identical charging, plus the per-word sink event); the
+/// untraced one uses the hook-free read()/write(). The choice is made once
+/// per simulation, so the trace layer adds zero instructions to the untraced
+/// per-word path. Range accesses carry their (per-op) trace hook inside the
+/// machine either way.
+template <bool Traced>
+class HmmContextAccessorT final : public ContextAccessor {
 public:
-    HmmContextAccessor(hmm::Machine& m, Addr base, std::size_t mu)
+    HmmContextAccessorT(hmm::Machine& m, Addr base, std::size_t mu)
         : m_(m), base_(base), mu_(mu) {}
     Word get(std::size_t index) const override {
         DBSP_REQUIRE(index < mu_);
+        if constexpr (Traced) return m_.read_traced(base_ + index);
         return m_.read(base_ + index);
     }
     void set(std::size_t index, Word value) override {
         DBSP_REQUIRE(index < mu_);
-        m_.write(base_ + index, value);
+        if constexpr (Traced) {
+            m_.write_traced(base_ + index, value);
+        } else {
+            m_.write(base_ + index, value);
+        }
     }
     void get_range(std::size_t index, std::span<Word> out) const override {
         DBSP_REQUIRE(index + out.size() <= mu_);
@@ -48,10 +60,11 @@ private:
 
 /// Accessor source over the simulation's block map: processor p's context
 /// lives at block_addr(block_of_proc[p]) at the moment of the call.
-class HmmAccessorSource final : public model::AccessorSource {
+template <bool Traced>
+class HmmAccessorSourceT final : public model::AccessorSource {
 public:
-    HmmAccessorSource(hmm::Machine& m, std::size_t mu,
-                      const std::vector<std::uint64_t>& block_of_proc)
+    HmmAccessorSourceT(hmm::Machine& m, std::size_t mu,
+                       const std::vector<std::uint64_t>& block_of_proc)
         : acc_(m, 0, mu), mu_(mu), block_of_proc_(block_of_proc) {}
     ContextAccessor& at(ProcId p) override {
         acc_.rebind(block_of_proc_[p] * mu_);
@@ -59,7 +72,7 @@ public:
     }
 
 private:
-    HmmContextAccessor acc_;
+    HmmContextAccessorT<Traced> acc_;
     std::size_t mu_;
     const std::vector<std::uint64_t>& block_of_proc_;
 };
@@ -118,6 +131,10 @@ HmmSimResult HmmSimulator::simulate_with(
     DBSP_REQUIRE(program.label(steps - 1) == 0);
 
     SimState st(f_, v, mu);
+    trace::Sink* const sink = options_.trace;
+    st.machine.set_trace(sink);
+    // The machine is fresh (cost 0); a reused sink must restart its mirror.
+    if (sink != nullptr) sink->reset_total();
 
     // Load the initial contexts (the input configuration; uncharged, as the
     // simulated machine is assumed to start from this memory image).
@@ -134,7 +151,11 @@ HmmSimResult HmmSimulator::simulate_with(
     // sigma[p]: next superstep to simulate for processor p.
     std::vector<StepIndex> sigma(v, 0);
 
-    HmmAccessorSource contexts(st.machine, mu, st.block_of_proc);
+    HmmAccessorSourceT<false> contexts_plain(st.machine, mu, st.block_of_proc);
+    HmmAccessorSourceT<true> contexts_traced(st.machine, mu, st.block_of_proc);
+    model::AccessorSource& contexts =
+        sink != nullptr ? static_cast<model::AccessorSource&>(contexts_traced)
+                        : static_cast<model::AccessorSource&>(contexts_plain);
     model::DeliveryScratch scratch;
 
     HmmSimResult result;
@@ -149,6 +170,12 @@ HmmSimResult HmmSimulator::simulate_with(
         const std::uint64_t csize = tree.cluster_size(label);
         const ProcId first = tree.cluster_first(tree.cluster_of(top_proc, label), label);
         ++result.rounds;
+        // Rounds executing a smoothing-inserted dummy superstep attribute all
+        // their charges (swaps included) to the dummy-superstep phase.
+        const bool dummy_round = sink != nullptr && program.is_dummy_step(s);
+        const auto ph = [dummy_round](trace::Phase p) {
+            return dummy_round ? trace::Phase::kDummyStep : p;
+        };
 
         if (options_.check_invariants) {
             // Invariant 1: C is s-ready.
@@ -184,19 +211,37 @@ HmmSimResult HmmSimulator::simulate_with(
         for (std::uint64_t idx = 0; idx < csize; ++idx) {
             const ProcId p = st.proc_of_block[idx];
             DBSP_ASSERT(p == first + idx);
-            if (idx > 0) st.swap_block_runs(0, idx, 1);
-            HmmContextAccessor acc(st.machine, st.block_addr(0), mu);
-            const model::StepOutcome out =
-                model::run_processor_step(program, layout, tree, s, p, acc);
-            st.machine.charge(static_cast<double>(out.ops));  // unit op costs
-            if (idx > 0) st.swap_block_runs(0, idx, 1);
+            if (idx > 0) {
+                trace::PhaseScope move(sink, ph(trace::Phase::kContextMove), label);
+                st.swap_block_runs(0, idx, 1);
+            }
+            {
+                trace::PhaseScope exec(sink, ph(trace::Phase::kStepExec), label);
+                model::StepOutcome out;
+                if (sink != nullptr) {
+                    HmmContextAccessorT<true> acc(st.machine, st.block_addr(0), mu);
+                    out = model::run_processor_step(program, layout, tree, s, p, acc);
+                } else {
+                    HmmContextAccessorT<false> acc(st.machine, st.block_addr(0), mu);
+                    out = model::run_processor_step(program, layout, tree, s, p, acc);
+                }
+                st.machine.charge(static_cast<double>(out.ops));  // unit op costs
+            }
+            if (idx > 0) {
+                trace::PhaseScope move(sink, ph(trace::Phase::kContextMove), label);
+                st.swap_block_runs(0, idx, 1);
+            }
         }
 
         // Step 2b: simulate the message exchange by scanning the outgoing
         // buffers and delivering into the incoming buffers; all traffic stays
         // within the topmost mu*|C| cells.
-        model::deliver_messages(layout, first, csize, contexts,
-                                program.proc_id_base(), &scratch);
+        {
+            trace::PhaseScope deliver(sink, ph(trace::Phase::kDeliver), label);
+            model::deliver_messages(layout, first, csize, contexts,
+                                    program.proc_id_base(), &scratch);
+            if (sink != nullptr) sink->messages(scratch.pending.size());
+        }
 
         for (ProcId p = first; p < first + csize; ++p) sigma[p] = s + 1;
         if (s + 1 == steps) continue;  // next iteration exits at Step 3
@@ -205,6 +250,7 @@ HmmSimResult HmmSimulator::simulate_with(
         // clusters of the enclosing i_{s+1}-cluster through the top of memory.
         const unsigned next_label = program.label(s + 1);
         if (next_label < label) {
+            trace::PhaseScope move(sink, ph(trace::Phase::kContextMove), next_label);
             const std::uint64_t b = std::uint64_t{1} << (label - next_label);
             const std::uint64_t jbar = tree.cluster_of(top_proc, next_label);
             const ProcId cbar_first = tree.cluster_first(jbar, next_label);

@@ -24,6 +24,7 @@
 #include "hmm/machine.hpp"
 #include "model/dbsp_machine.hpp"
 #include "model/program.hpp"
+#include "trace/sink.hpp"
 
 namespace dbsp::core {
 
@@ -48,6 +49,12 @@ public:
 #else
             false;
 #endif
+        /// Charge-trace sink (not owned; must outlive simulate()). Every HMM
+        /// charge is attributed to a phase: step execution, context movement
+        /// (block swaps/rotations), message delivery — or dummy-superstep for
+        /// rounds executing a smoothing-inserted dummy. The sink's total()
+        /// equals HmmSimResult::hmm_cost bit for bit.
+        trace::Sink* trace = nullptr;
     };
 
     explicit HmmSimulator(model::AccessFunction f)

@@ -75,6 +75,10 @@ public:
         base_.step(map_[s], first_ + p, ctx);
     }
 
+    bool is_dummy_step(StepIndex s) const override {
+        return map_[s] == kDummy || base_.is_dummy_step(map_[s]);
+    }
+
 private:
     model::Program& base_;
     ProcId first_;
@@ -112,6 +116,8 @@ SelfSimResult SelfSimulator::simulate(model::Program& program) const {
 
     const HmmSimulator local_sim(g_);
     const bool bulk = model::bulk_access_enabled();
+    trace::Sink* const sink = trace_;
+    if (sink != nullptr) sink->reset_total();
     std::vector<Word> scan;  // reused out-buffer staging for the bulk path
 
     StepIndex s = 0;
@@ -121,6 +127,7 @@ SelfSimResult SelfSimulator::simulate(model::Program& program) const {
             StepIndex s_end = s;
             while (s_end < steps && program.label(s_end) >= log_vp) ++s_end;
             ++result.local_runs;
+            trace::PhaseScope run_scope(sink, trace::Phase::kLocalRun, log_vp);
             double local_max = 0.0;
             // Each host processor simulates its window with the Section 3
             // strategy; the window is L-smoothed first (Theorem 4's
@@ -140,8 +147,10 @@ SelfSimResult SelfSimulator::simulate(model::Program& program) const {
                 }
                 local_max = std::max(local_max, res.hmm_cost);
             }
-            result.local_time += local_max + 1.0;
-            result.host_time += local_max + 1.0;
+            const double t = local_max + 1.0;
+            result.local_time += t;
+            result.host_time += t;
+            if (sink != nullptr) sink->charge(t);
             s = s_end;
             continue;
         }
@@ -149,6 +158,7 @@ SelfSimResult SelfSimulator::simulate(model::Program& program) const {
         // --- global i-superstep (i < log v') --------------------------------
         ++result.global_supersteps;
         const unsigned label = program.label(s);
+        trace::PhaseScope step_scope(sink, trace::Phase::kGlobalStep, label);
         double phase1_max = 0.0;
         std::vector<Message> pending;  // canonical (src, seq) order
         std::vector<std::size_t> sent_by_host(v_prime_, 0), recv_by_host(v_prime_, 0);
@@ -233,38 +243,42 @@ SelfSimResult SelfSimulator::simulate(model::Program& program) const {
 
         // Delivery: each host processor files the messages received by its
         // guest processors into their incoming buffers (the log v'-superstep).
+        if (sink != nullptr) sink->messages(pending.size());
         double phase2_max = 0.0;
-        for (std::uint64_t j = 0; j < v_prime_; ++j) {
-            hmm::Machine mem(g_, w * mu);
-            auto raw = mem.raw();
-            for (std::uint64_t k = 0; k < w; ++k) {
-                std::copy(contexts[j * w + k].begin(), contexts[j * w + k].end(),
-                          raw.begin() + static_cast<std::ptrdiff_t>(k * mu));
-            }
-            for (const Message& msg : pending) {
-                if (msg.dest / w != j) continue;
-                const Addr base = (msg.dest - j * w) * mu;
-                const auto cnt = static_cast<std::size_t>(
-                    mem.read(base + layout.in_count_offset()));
-                DBSP_REQUIRE(cnt < layout.max_messages);
-                const Addr off = base + layout.in_record_offset(cnt);
-                if (bulk) {
-                    const Word rec[3] = {msg.src, msg.payload0, msg.payload1};
-                    mem.write_range(off, rec);
-                } else {
-                    mem.write(off, msg.src);
-                    mem.write(off + 1, msg.payload0);
-                    mem.write(off + 2, msg.payload1);
+        {
+            trace::PhaseScope deliver_scope(sink, trace::Phase::kDeliver, log_vp);
+            for (std::uint64_t j = 0; j < v_prime_; ++j) {
+                hmm::Machine mem(g_, w * mu);
+                auto raw = mem.raw();
+                for (std::uint64_t k = 0; k < w; ++k) {
+                    std::copy(contexts[j * w + k].begin(), contexts[j * w + k].end(),
+                              raw.begin() + static_cast<std::ptrdiff_t>(k * mu));
                 }
-                mem.write(base + layout.in_count_offset(), cnt + 1);
-                ++recv_by_host[j];
-            }
-            phase2_max = std::max(phase2_max, mem.cost());
-            raw = mem.raw();
-            for (std::uint64_t k = 0; k < w; ++k) {
-                contexts[j * w + k].assign(
-                    raw.begin() + static_cast<std::ptrdiff_t>(k * mu),
-                    raw.begin() + static_cast<std::ptrdiff_t>((k + 1) * mu));
+                for (const Message& msg : pending) {
+                    if (msg.dest / w != j) continue;
+                    const Addr base = (msg.dest - j * w) * mu;
+                    const auto cnt = static_cast<std::size_t>(
+                        mem.read(base + layout.in_count_offset()));
+                    DBSP_REQUIRE(cnt < layout.max_messages);
+                    const Addr off = base + layout.in_record_offset(cnt);
+                    if (bulk) {
+                        const Word rec[3] = {msg.src, msg.payload0, msg.payload1};
+                        mem.write_range(off, rec);
+                    } else {
+                        mem.write(off, msg.src);
+                        mem.write(off + 1, msg.payload0);
+                        mem.write(off + 2, msg.payload1);
+                    }
+                    mem.write(base + layout.in_count_offset(), cnt + 1);
+                    ++recv_by_host[j];
+                }
+                phase2_max = std::max(phase2_max, mem.cost());
+                raw = mem.raw();
+                for (std::uint64_t k = 0; k < w; ++k) {
+                    contexts[j * w + k].assign(
+                        raw.begin() + static_cast<std::ptrdiff_t>(k * mu),
+                        raw.begin() + static_cast<std::ptrdiff_t>((k + 1) * mu));
+                }
             }
         }
 
@@ -278,7 +292,9 @@ SelfSimResult SelfSimulator::simulate(model::Program& program) const {
              g_.at(static_cast<double>(mu) * static_cast<double>(w)));
         result.local_time += phase1_max + phase2_max;
         result.communication_time += comm;
-        result.host_time += phase1_max + phase2_max + comm + 1.0;
+        const double t = phase1_max + phase2_max + comm + 1.0;
+        result.host_time += t;
+        if (sink != nullptr) sink->charge(t);
         ++s;
     }
 

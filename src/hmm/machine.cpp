@@ -24,11 +24,30 @@ void Machine::write(Addr x, Word value) {
     memory_[x] = value;
 }
 
+Word Machine::read_traced(Addr x) {
+    DBSP_REQUIRE(x < capacity());
+    const double delta = table_->cost(x);
+    cost_ += delta;
+    ++words_touched_;
+    if (trace_ != nullptr) trace_->access(x, delta);
+    return memory_[x];
+}
+
+void Machine::write_traced(Addr x, Word value) {
+    DBSP_REQUIRE(x < capacity());
+    const double delta = table_->cost(x);
+    cost_ += delta;
+    ++words_touched_;
+    if (trace_ != nullptr) trace_->access(x, delta);
+    memory_[x] = value;
+}
+
 void Machine::read_range(Addr x, std::span<Word> out) {
     if (out.empty()) return;
     DBSP_REQUIRE(x + out.size() <= capacity());
     cost_ = table_->accumulate(x, x + out.size(), cost_);
     words_touched_ += out.size();
+    if (trace_ != nullptr) trace_->access_range(table_->prefix(), x, x + out.size());
     std::copy_n(memory_.begin() + static_cast<std::ptrdiff_t>(x), out.size(), out.begin());
 }
 
@@ -37,6 +56,7 @@ void Machine::write_range(Addr x, std::span<const Word> values) {
     DBSP_REQUIRE(x + values.size() <= capacity());
     cost_ = table_->accumulate(x, x + values.size(), cost_);
     words_touched_ += values.size();
+    if (trace_ != nullptr) trace_->access_range(table_->prefix(), x, x + values.size());
     std::copy_n(values.begin(), values.size(),
                 memory_.begin() + static_cast<std::ptrdiff_t>(x));
 }
@@ -45,8 +65,13 @@ void Machine::swap_blocks(Addr a, Addr b, std::uint64_t len) {
     if (len == 0) return;
     DBSP_REQUIRE(a + len <= capacity() && b + len <= capacity());
     DBSP_REQUIRE(a + len <= b || b + len <= a);  // disjoint
-    cost_ += 2.0 * (table_->range_cost(a, a + len) + table_->range_cost(b, b + len));
+    const double delta =
+        2.0 * (table_->range_cost(a, a + len) + table_->range_cost(b, b + len));
+    cost_ += delta;
     words_touched_ += 4 * len;
+    if (trace_ != nullptr) {
+        trace_->block_op(table_->prefix(), delta, 2, {{a, a + len}, {b, b + len}});
+    }
     std::swap_ranges(memory_.begin() + static_cast<std::ptrdiff_t>(a),
                      memory_.begin() + static_cast<std::ptrdiff_t>(a + len),
                      memory_.begin() + static_cast<std::ptrdiff_t>(b));
@@ -56,8 +81,13 @@ void Machine::copy_block(Addr src, Addr dst, std::uint64_t len) {
     if (len == 0) return;
     DBSP_REQUIRE(src + len <= capacity() && dst + len <= capacity());
     DBSP_REQUIRE(src + len <= dst || dst + len <= src);  // disjoint
-    cost_ += table_->range_cost(src, src + len) + table_->range_cost(dst, dst + len);
+    const double delta =
+        table_->range_cost(src, src + len) + table_->range_cost(dst, dst + len);
+    cost_ += delta;
     words_touched_ += 2 * len;
+    if (trace_ != nullptr) {
+        trace_->block_op(table_->prefix(), delta, 1, {{src, src + len}, {dst, dst + len}});
+    }
     std::copy(memory_.begin() + static_cast<std::ptrdiff_t>(src),
               memory_.begin() + static_cast<std::ptrdiff_t>(src + len),
               memory_.begin() + static_cast<std::ptrdiff_t>(dst));
@@ -65,13 +95,16 @@ void Machine::copy_block(Addr src, Addr dst, std::uint64_t len) {
 
 void Machine::charge_range(Addr begin, Addr end) {
     DBSP_REQUIRE(begin <= end && end <= capacity());
-    cost_ += table_->range_cost(begin, end);
+    const double delta = table_->range_cost(begin, end);
+    cost_ += delta;
     words_touched_ += end - begin;
+    if (trace_ != nullptr) trace_->block_op(table_->prefix(), delta, 1, {{begin, end}});
 }
 
 void Machine::charge(double c) {
     DBSP_REQUIRE(c >= 0.0);
     cost_ += c;
+    if (trace_ != nullptr) trace_->charge(c);
 }
 
 }  // namespace dbsp::hmm

@@ -32,6 +32,8 @@
 #include "model/access_function.hpp"
 #include "model/cost_table.hpp"
 #include "model/types.hpp"
+#include "trace/sink.hpp"
+#include "util/contracts.hpp"
 
 namespace dbsp::hmm {
 
@@ -45,8 +47,17 @@ public:
     Machine(AccessFunction f, std::uint64_t capacity);
 
     /// --- charged word accesses ---------------------------------------------
+    /// read()/write() deliberately carry NO trace hook: they are the
+    /// innermost few-cycle operations of every simulation loop, and even a
+    /// never-taken branch on the sink pointer measurably slows the untraced
+    /// harness (bench_micro). Per-word trace events are emitted by
+    /// read_traced()/write_traced(), which charge identically (same delta,
+    /// same fold order — the sink mirror stays bit-for-bit); the simulators
+    /// route word traffic through them only when a sink is attached.
     Word read(Addr x);
     void write(Addr x, Word value);
+    Word read_traced(Addr x);
+    void write_traced(Addr x, Word value);
 
     /// --- charged bulk accesses ---------------------------------------------
     /// Read [x, x + out.size()) into \p out; cost-equivalent (bit for bit) to
@@ -79,7 +90,16 @@ public:
     void reset_cost() {
         cost_ = 0.0;
         words_touched_ = 0;
+        if (trace_ != nullptr) trace_->reset_total();
     }
+
+    /// Attach (or detach, with nullptr) a charge-trace sink. The machine does
+    /// not own the sink. Bulk operations guard their (per-op, amortized) trace
+    /// hook with one branch on this pointer; per-word events come only from
+    /// read_traced()/write_traced(), so a detached machine pays no tracing
+    /// overhead at all.
+    void set_trace(trace::Sink* sink) { trace_ = sink; }
+    trace::Sink* trace() const { return trace_; }
 
     /// Number of charged word touches (reads + writes, including every cell
     /// of the bulk operations). Host-throughput metric for bench_micro.
@@ -98,6 +118,7 @@ private:
     std::vector<Word> memory_;
     double cost_ = 0.0;
     std::uint64_t words_touched_ = 0;
+    trace::Sink* trace_ = nullptr;  ///< not owned; nullptr = tracing off
 };
 
 }  // namespace dbsp::hmm

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "model/access_function.hpp"
@@ -65,6 +66,13 @@ public:
 
     std::uint64_t capacity() const { return capacity_; }
     const AccessFunction& function() const { return f_; }
+
+    /// The prefix-sum array itself (capacity() + 1 entries); lets a trace
+    /// sink replay accumulate()'s exact per-word fold without re-entering
+    /// the table on every word.
+    std::span<const double> prefix() const {
+        return {prefix_, static_cast<std::size_t>(capacity_) + 1};
+    }
 
 private:
     AccessFunction f_;

@@ -15,6 +15,16 @@
 /// alias each other's tables.
 ///
 /// Thread-safe: the parallel benchmark harness hits it from every worker.
+///
+/// Disabling: set_enabled(false) drops the cache's *own* references so later
+/// requests build fresh, but every table is handed out as a
+/// shared_ptr<const CostTable> — tables concurrent workers already hold stay
+/// alive and immutable for as long as they keep the pointer. A
+/// ScopedCostTableCache(false) inside one parallel_for worker therefore
+/// cannot invalidate another worker's table (regression test:
+/// CostTableCache.DisableInOneWorkerCannotInvalidateConcurrentTables). The
+/// enabled flag itself is process-global, so concurrent scoped toggles race
+/// on *cache effectiveness* (hit rates), never on correctness.
 
 #include <cstdint>
 #include <memory>

@@ -53,6 +53,7 @@ DbspResult DbspMachine::run(Program& program) const {
 
     VectorAccessorSource contexts(result.contexts, mu);
     DeliveryScratch scratch;
+    if (trace_ != nullptr) trace_->reset_total();
 
     for (StepIndex s = 0; s < steps; ++s) {
         const unsigned label = program.label(s);
@@ -79,6 +80,10 @@ DbspResult DbspMachine::run(Program& program) const {
         stats.cost = static_cast<double>(std::max<std::uint64_t>(stats.tau, 1)) +
                      static_cast<double>(stats.h) * g_.at(stats.comm_arg);
         result.time += stats.cost;
+        if (trace_ != nullptr) {
+            trace_->messages(scratch.pending.size());
+            trace_->superstep(label, stats.tau, stats.h, stats.comm_arg, stats.cost);
+        }
         result.supersteps.push_back(stats);
     }
     return result;

@@ -18,6 +18,7 @@
 #include "model/cluster_tree.hpp"
 #include "model/program.hpp"
 #include "model/types.hpp"
+#include "trace/sink.hpp"
 
 namespace dbsp::model {
 
@@ -64,8 +65,18 @@ public:
 
     const AccessFunction& bandwidth() const { return g_; }
 
+    /// Attach (or detach, with nullptr) a charge-trace sink: run() then emits
+    /// one superstep event per executed superstep — charged exactly
+    /// max(tau, 1) + h * g(comm_arg), the same double added to result.time —
+    /// and one messages event per delivery, and resets the sink's running
+    /// total on entry so total() mirrors that run's time bit for bit. The
+    /// sink is not owned and must outlive run().
+    void set_trace(trace::Sink* sink) { trace_ = sink; }
+    trace::Sink* trace() const { return trace_; }
+
 private:
     AccessFunction g_;
+    trace::Sink* trace_ = nullptr;  ///< not owned; nullptr = tracing off
 };
 
 }  // namespace dbsp::model

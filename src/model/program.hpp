@@ -152,6 +152,15 @@ public:
     /// step functions observe; nonzero only for sub-machine window adapters.
     virtual ProcId proc_id_base() const { return 0; }
 
+    /// True iff superstep \p s is a dummy inserted by a transformation
+    /// (L-smoothing) rather than part of the original computation. Executors
+    /// use this only for charge-trace attribution (Phase::kDummyStep), never
+    /// for behaviour.
+    virtual bool is_dummy_step(StepIndex s) const {
+        (void)s;
+        return false;
+    }
+
     /// Derived layout for this program's contexts.
     ContextLayout layout() const { return ContextLayout{data_words(), max_messages()}; }
 
@@ -188,6 +197,9 @@ public:
         return step_map_[s] == kDummy ? 0 : base_.permutation_grain(step_map_[s]);
     }
     ProcId proc_id_base() const override { return base_.proc_id_base(); }
+    bool is_dummy_step(StepIndex s) const override {
+        return step_map_[s] == kDummy || base_.is_dummy_step(step_map_[s]);
+    }
 
     /// True iff position s is an inserted dummy superstep.
     bool is_dummy(StepIndex s) const { return step_map_[s] == kDummy; }

@@ -1,0 +1,122 @@
+#include "trace/aggregate.hpp"
+
+#include <cinttypes>
+
+namespace dbsp::trace {
+
+void AggregateSink::on_bucket(unsigned level, std::uint64_t words, double cost) {
+    attributed_ += cost;
+    auto& l = levels_[level];
+    l.words += words;
+    l.cost += cost;
+    auto& p = phases_[current_()];
+    p.words += words;
+    p.cost += cost;
+    auto& pl = p.levels[level];
+    pl.words += words;
+    pl.cost += cost;
+}
+
+void AggregateSink::on_phase_begin(Phase phase, unsigned label, double model_time) {
+    (void)model_time;
+    stack_.push_back(PhaseKey{phase, label});
+    ++phases_[stack_.back()].scopes;
+}
+
+void AggregateSink::on_phase_end(Phase phase, double model_time) {
+    (void)phase, (void)model_time;
+    if (!stack_.empty()) stack_.pop_back();
+}
+
+void AggregateSink::on_transfer(std::uint64_t len, double latency) {
+    (void)latency;
+    ++transfers_;
+    transfer_volume_ += len;
+}
+
+void AggregateSink::on_messages(std::uint64_t count) { messages_ += count; }
+
+void AggregateSink::on_superstep(unsigned label, std::uint64_t tau, std::size_t h,
+                                 double comm_arg, double cost) {
+    (void)tau, (void)h, (void)comm_arg;
+    attributed_ += cost;
+    auto& p = phases_[PhaseKey{Phase::kSuperstep, label}];
+    ++p.scopes;
+    p.cost += cost;
+}
+
+double AggregateSink::phase_cost(Phase p) const {
+    double c = 0.0;
+    for (const auto& [key, stats] : phases_) {
+        if (key.phase == p) c += stats.cost;
+    }
+    return c;
+}
+
+namespace {
+
+void print_level_row(std::FILE* out, unsigned level, const AggregateSink::LevelStats& s,
+                     double total) {
+    const double pct = total > 0.0 ? 100.0 * s.cost / total : 0.0;
+    if (level == kNoLevel) {
+        std::fprintf(out, "  %7s %21s %12" PRIu64 " %14.6g %7.2f%%\n", "(ops)", "-",
+                     s.words, s.cost, pct);
+        return;
+    }
+    char range[32];
+    if (level == 0) {
+        std::snprintf(range, sizeof range, "[0, 1)");
+    } else {
+        std::snprintf(range, sizeof range, "[2^%u, 2^%u)", level - 1, level);
+    }
+    std::fprintf(out, "  %7u %21s %12" PRIu64 " %14.6g %7.2f%%\n", level, range, s.words,
+                 s.cost, pct);
+}
+
+}  // namespace
+
+void AggregateSink::print(std::FILE* out) const {
+    std::fprintf(out, "charge trace: total cost %.17g  (attributed %.17g)\n", total(),
+                 attributed_);
+    if (transfers_ > 0 || messages_ > 0) {
+        std::fprintf(out,
+                     "  block transfers %" PRIu64 " (volume %" PRIu64
+                     " words), messages delivered %" PRIu64 "\n",
+                     transfers_, transfer_volume_, messages_);
+    }
+
+    if (!levels_.empty()) {
+        std::fprintf(out, "per-level histogram:\n");
+        std::fprintf(out, "  %7s %21s %12s %14s %8s\n", "level", "addresses", "words",
+                     "cost", "% total");
+        for (const auto& [level, stats] : levels_) {
+            print_level_row(out, level, stats, total());
+        }
+    }
+
+    if (!phases_.empty()) {
+        std::fprintf(out, "per-phase breakdown:\n");
+        std::fprintf(out, "  %-18s %6s %9s %12s %14s %8s\n", "phase", "label", "scopes",
+                     "words", "cost", "% total");
+        for (const auto& [key, stats] : phases_) {
+            const double pct = total() > 0.0 ? 100.0 * stats.cost / total() : 0.0;
+            std::fprintf(out, "  %-18s %6u %9" PRIu64 " %12" PRIu64 " %14.6g %7.2f%%\n",
+                         phase_name(key.phase), key.label, stats.scopes, stats.words,
+                         stats.cost, pct);
+        }
+    }
+}
+
+std::string AggregateSink::to_string() const {
+    char* buf = nullptr;
+    std::size_t size = 0;
+    std::FILE* mem = open_memstream(&buf, &size);
+    if (mem == nullptr) return {};
+    print(mem);
+    std::fclose(mem);
+    std::string s(buf, size);
+    std::free(buf);
+    return s;
+}
+
+}  // namespace dbsp::trace

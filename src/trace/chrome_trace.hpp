@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file chrome_trace.hpp
+/// Chrome `trace_event` JSON writer (load the output into chrome://tracing or
+/// https://ui.perfetto.dev). Phase scopes become duration (B/E) events whose
+/// timestamps are the *model time* — the cumulative charged cost at scope
+/// entry/exit — so the timeline shows where charged cost accrues, not wall
+/// clock. Charge totals per scope land in the E event's args.
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/sink.hpp"
+
+namespace dbsp::trace {
+
+class ChromeTraceSink final : public Sink {
+public:
+    /// \p track names the timeline row ("tid" in the trace).
+    explicit ChromeTraceSink(std::string track = "model") : track_(std::move(track)) {}
+
+    /// Serialise the collected events as a `{"traceEvents": [...]}` document.
+    void write(std::FILE* out) const;
+    bool write(const std::string& path) const;
+    std::string to_json() const;
+
+    /// Serialise several sinks into one document; each sink's track becomes
+    /// its own timeline row. Used by dbsp_explore to put the D-BSP, HMM and
+    /// BT legs of one run side by side.
+    static void write_merged(std::span<const ChromeTraceSink* const> sinks,
+                             std::FILE* out);
+    static bool write_merged(std::span<const ChromeTraceSink* const> sinks,
+                             const std::string& path);
+
+    std::size_t event_count() const { return events_.size(); }
+
+protected:
+    void on_phase_begin(Phase phase, unsigned label, double model_time) override;
+    void on_phase_end(Phase phase, double model_time) override;
+    void on_superstep(unsigned label, std::uint64_t tau, std::size_t h, double comm_arg,
+                      double cost) override;
+
+private:
+    struct Event {
+        char type;  // 'B' or 'E' or 'X' (complete, for supersteps)
+        Phase phase;
+        unsigned label;
+        double ts;        // model time (cumulative charged cost)
+        double dur = 0.0;  // 'X' only
+    };
+
+    void append_events(std::FILE* out, bool* first) const;
+
+    std::string track_;
+    std::vector<Event> events_;
+};
+
+}  // namespace dbsp::trace

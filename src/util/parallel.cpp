@@ -1,6 +1,8 @@
 #include "util/parallel.hpp"
 
 #include <atomic>
+#include <charconv>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
@@ -9,11 +11,25 @@
 
 namespace dbsp::util {
 
+std::optional<std::size_t> parse_thread_count(std::string_view value) {
+    std::size_t n = 0;
+    const char* end = value.data() + value.size();
+    const auto [ptr, ec] = std::from_chars(value.data(), end, n, 10);
+    if (ec != std::errc{} || ptr != end || n == 0) return std::nullopt;
+    return n;
+}
+
 std::size_t default_threads() {
+    static std::once_flag warned;
     for (const char* var : {"DBSP_BENCH_THREADS", "DBSP_THREADS"}) {
         if (const char* env = std::getenv(var)) {
-            const long n = std::strtol(env, nullptr, 10);
-            if (n > 0) return static_cast<std::size_t>(n);
+            if (const auto n = parse_thread_count(env)) return *n;
+            std::call_once(warned, [var, env] {
+                std::fprintf(stderr,
+                             "dbsp: warning: ignoring %s=\"%s\" (expected a "
+                             "positive integer); using hardware concurrency\n",
+                             var, env);
+            });
         }
     }
     const unsigned hw = std::thread::hardware_concurrency();

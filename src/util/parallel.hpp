@@ -8,12 +8,22 @@
 
 #include <cstddef>
 #include <functional>
+#include <optional>
+#include <string_view>
 
 namespace dbsp::util {
 
+/// Strictly parse a thread-count override value: the entire string must be a
+/// positive base-10 integer (no sign, no trailing garbage, no empty string).
+/// Returns nullopt on any violation. Exposed for unit testing of the
+/// DBSP_BENCH_THREADS / DBSP_THREADS handling.
+std::optional<std::size_t> parse_thread_count(std::string_view value);
+
 /// Number of worker threads parallel_for uses when `threads == 0`:
-/// the value of DBSP_BENCH_THREADS (or DBSP_THREADS) if set and positive,
-/// otherwise the hardware concurrency (at least 1).
+/// the value of DBSP_BENCH_THREADS (or DBSP_THREADS) if set and valid per
+/// parse_thread_count, otherwise the hardware concurrency (at least 1).
+/// An invalid value (e.g. "abc", "4x", "0") is ignored with a one-time
+/// warning on stderr.
 std::size_t default_threads();
 
 /// Run body(i) for i in [0, n) on up to `threads` workers (0 = default).

@@ -239,6 +239,22 @@ TEST(SerialReference, DifMatchesNaiveDft) {
     }
 }
 
+TEST(SerialReference, FastDftMatchesNaiveDft) {
+    // Pins serial_dft_fast (the large-n ground truth in native_fft_test) to
+    // the O(n^2) naive sum across every small size.
+    for (std::uint64_t n : {1u, 2u, 4u, 8u, 32u, 128u, 256u}) {
+        const auto input = random_signal(n, 40 + n);
+        const auto fast = serial_dft_fast(input);
+        const auto naive = serial_dft_naive(input);
+        ASSERT_EQ(fast.size(), naive.size());
+        const double tol = 1e-8 * static_cast<double>(n);
+        for (std::uint64_t k = 0; k < n; ++k) {
+            EXPECT_NEAR(fast[k].real(), naive[k].real(), tol) << "n=" << n << " k=" << k;
+            EXPECT_NEAR(fast[k].imag(), naive[k].imag(), tol) << "n=" << n << " k=" << k;
+        }
+    }
+}
+
 TEST(SerialReference, ExclusivePrefix) {
     EXPECT_EQ(serial_exclusive_prefix({3, 4, 5}), (std::vector<Word>{0, 3, 7}));
     EXPECT_EQ(serial_exclusive_prefix({}), (std::vector<Word>{}));

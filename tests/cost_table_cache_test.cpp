@@ -82,6 +82,40 @@ TEST(CostTableCache, DisabledAlwaysBuildsFresh) {
     EXPECT_EQ(after.hits, before.hits);
 }
 
+TEST(CostTableCache, DisableInOneWorkerCannotInvalidateConcurrentTables) {
+    // Regression guard for the parallel_sweep scenario: one worker toggling
+    // ScopedCostTableCache(false) clears the cache's *own* references, but a
+    // table is handed out as shared_ptr<const CostTable>, so every table a
+    // concurrent worker already holds (or obtains mid-toggle) stays alive and
+    // immutable. See the "Disabling" note in cost_table_cache.hpp.
+    CostTableCache& cache = CostTableCache::global();
+    ScopedCostTableCache enabled(true);
+    cache.clear();
+    const auto f = AccessFunction::polynomial(0.43);
+    const CostTable reference(f, 1024);
+    util::parallel_for(
+        64,
+        [&](std::size_t i) {
+            if (i % 8 == 3) {
+                // This worker briefly disables (and thereby clears) the cache
+                // while the others are reading tables obtained from it.
+                ScopedCostTableCache disabled(false);
+                const auto t = cache.get(f, 256);
+                if (t->cost(255) != reference.cost(255)) {
+                    throw std::logic_error("fresh table drifted");
+                }
+                return;
+            }
+            const auto t = cache.get(f, 1024);
+            for (std::uint64_t x = 0; x < t->capacity(); x += 13) {
+                if (t->cost(x) != reference.cost(x)) {
+                    throw std::logic_error("cached table dropped or drifted");
+                }
+            }
+        },
+        8);
+}
+
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
     constexpr std::size_t n = 1000;
     std::vector<std::atomic<int>> touched(n);

@@ -21,6 +21,27 @@ std::vector<std::complex<double>> random_signal(std::size_t n, std::uint64_t see
     return x;
 }
 
+// The serial ground truth: the O(n log n) natural-order reference (pinned to
+// the O(n^2) naive sum in SerialReference.FastDftMatchesNaiveDft), with a
+// direct naive cross-check kept up to n = 4096 — beyond that the naive DFT
+// alone costs minutes (n = 65536 took ~110 s per machine) for no additional
+// functional coverage.
+constexpr std::uint64_t kNaiveCrossCheckLimit = 4096;
+
+std::vector<std::complex<double>> reference_dft(
+    const std::vector<std::complex<double>>& input) {
+    const auto expected = algo::serial_dft_fast(input);
+    if (input.size() <= kNaiveCrossCheckLimit) {
+        const auto naive = algo::serial_dft_naive(input);
+        const double tol = 1e-6 * static_cast<double>(input.size());
+        for (std::size_t k = 0; k < input.size(); ++k) {
+            EXPECT_NEAR(expected[k].real(), naive[k].real(), tol) << "k=" << k;
+            EXPECT_NEAR(expected[k].imag(), naive[k].imag(), tol) << "k=" << k;
+        }
+    }
+    return expected;
+}
+
 class HmmFftParam : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(HmmFftParam, MatchesNaiveDft) {
@@ -33,7 +54,7 @@ TEST_P(HmmFftParam, MatchesNaiveDft) {
         m.raw()[base + 2 * e + 1] = std::bit_cast<Word>(input[e].imag());
     }
     hmm::fft_natural(m, base, n);
-    const auto expected = algo::serial_dft_naive(input);
+    const auto expected = reference_dft(input);
     for (std::uint64_t k = 0; k < n; ++k) {
         const double re = std::bit_cast<double>(m.raw()[base + 2 * k]);
         const double im = std::bit_cast<double>(m.raw()[base + 2 * k + 1]);
@@ -56,7 +77,7 @@ TEST_P(BtFftParam, MatchesNaiveDft) {
         m.raw()[base + n + e] = std::bit_cast<Word>(input[e].imag());
     }
     bt::fft_natural_planar(m, base, n);
-    const auto expected = algo::serial_dft_naive(input);
+    const auto expected = reference_dft(input);
     for (std::uint64_t k = 0; k < n; ++k) {
         const double re = std::bit_cast<double>(m.raw()[base + k]);
         const double im = std::bit_cast<double>(m.raw()[base + n + k]);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/bits.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -122,6 +123,26 @@ TEST(Stats, MeanAndGeometricMean) {
 TEST(Stats, Spread) {
     EXPECT_DOUBLE_EQ(spread({2.0, 8.0, 4.0}), 4.0);
     EXPECT_DOUBLE_EQ(spread({5.0}), 1.0);
+}
+
+TEST(ParseThreadCount, AcceptsOnlyFullPositiveIntegers) {
+    // The DBSP_BENCH_THREADS / DBSP_THREADS override must be parsed strictly:
+    // "abc" and "4x" used to be treated as unset with no diagnostic.
+    EXPECT_EQ(util::parse_thread_count("1"), 1u);
+    EXPECT_EQ(util::parse_thread_count("8"), 8u);
+    EXPECT_EQ(util::parse_thread_count("64"), 64u);
+
+    EXPECT_EQ(util::parse_thread_count(""), std::nullopt);
+    EXPECT_EQ(util::parse_thread_count("0"), std::nullopt);
+    EXPECT_EQ(util::parse_thread_count("abc"), std::nullopt);
+    EXPECT_EQ(util::parse_thread_count("4x"), std::nullopt);
+    EXPECT_EQ(util::parse_thread_count("x4"), std::nullopt);
+    EXPECT_EQ(util::parse_thread_count("-2"), std::nullopt);
+    EXPECT_EQ(util::parse_thread_count("+4"), std::nullopt);
+    EXPECT_EQ(util::parse_thread_count(" 4"), std::nullopt);
+    EXPECT_EQ(util::parse_thread_count("4 "), std::nullopt);
+    EXPECT_EQ(util::parse_thread_count("0x4"), std::nullopt);
+    EXPECT_EQ(util::parse_thread_count("3.5"), std::nullopt);
 }
 
 TEST(Table, RendersAlignedRows) {

@@ -2,25 +2,28 @@
 ///
 /// Runs one of the built-in D-BSP workloads on a chosen machine size and
 /// reports the D-BSP time plus the simulated HMM and/or BT costs, the
-/// theorem bounds, and the superstep profile. A quick way to poke at the
-/// models without writing code.
+/// theorem bounds, and (with --trace) the full charge-trace breakdown. A
+/// quick way to poke at the models without writing code.
 ///
 /// Usage:
 ///   dbsp_explore --program fft|fft-rec|matmul|bitonic|oddeven|route
 ///                [--v N] [--f x^A | log] [--model hmm|bt|both|none]
-///                [--seed S] [--profile] [--rational]
+///                [--seed S] [--trace[=chrome.json]] [--rational]
 ///
 /// Examples:
 ///   dbsp_explore --program bitonic --v 1024 --f x^0.5 --model both
 ///   dbsp_explore --program fft-rec --v 256 --f x^0.35 --model bt --rational
-///   dbsp_explore --program matmul --v 4096 --f log --profile
+///   dbsp_explore --program matmul --v 4096 --f log --trace
+///   dbsp_explore --program fft --v 256 --model both --trace=trace.json
 
+#include <charconv>
 #include <complex>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "algos/bitonic_sort.hpp"
 #include "algos/fft_direct.hpp"
@@ -33,6 +36,9 @@
 #include "core/hmm_simulator.hpp"
 #include "core/smoothing.hpp"
 #include "model/dbsp_machine.hpp"
+#include "trace/aggregate.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/sink.hpp"
 #include "util/bits.hpp"
 #include "util/rng.hpp"
 
@@ -44,9 +50,41 @@ using namespace dbsp;
     std::fprintf(stderr,
                  "usage: %s --program fft|fft-rec|matmul|bitonic|oddeven|route\n"
                  "          [--v N] [--f x^A|log] [--model hmm|bt|both|none]\n"
-                 "          [--seed S] [--profile] [--rational]\n",
+                 "          [--seed S] [--trace[=chrome.json]] [--rational]\n",
                  self);
     std::exit(2);
+}
+
+[[noreturn]] void bad_arg(const char* flag, const char* value, const char* expected) {
+    std::fprintf(stderr, "dbsp_explore: invalid %s \"%s\" (expected %s)\n", flag, value,
+                 expected);
+    std::exit(2);
+}
+
+/// Strict base-10 unsigned parse: the whole string must be digits, no sign,
+/// no trailing garbage, no empty string. Exits 2 on violation.
+std::uint64_t parse_u64(const char* flag, const char* value) {
+    std::uint64_t n = 0;
+    const char* end = value + std::strlen(value);
+    const auto [ptr, ec] = std::from_chars(value, end, n, 10);
+    if (ec != std::errc{} || ptr != end || value == end) {
+        bad_arg(flag, value, "an unsigned integer");
+    }
+    return n;
+}
+
+/// Strict access-function parse: "log" or "x^A" with A a full nonnegative
+/// floating-point literal (no trailing garbage). Exits 2 on violation.
+model::AccessFunction parse_access_function(const char* value) {
+    if (std::strcmp(value, "log") == 0) return model::AccessFunction::logarithmic();
+    if (std::strncmp(value, "x^", 2) == 0 && value[2] != '\0') {
+        char* end = nullptr;
+        const double alpha = std::strtod(value + 2, &end);
+        if (end != nullptr && *end == '\0' && alpha >= 0.0) {
+            return model::AccessFunction::polynomial(alpha);
+        }
+    }
+    bad_arg("--f", value, "x^A with A a nonnegative number, or log");
 }
 
 std::unique_ptr<model::Program> make_program(const std::string& name, std::uint64_t v,
@@ -78,16 +116,51 @@ std::unique_ptr<model::Program> make_program(const std::string& name, std::uint6
     return nullptr;
 }
 
+/// Per-leg tracing bundle: an aggregate table always, plus a Chrome track
+/// when a JSON path was requested. Null sink when tracing is off.
+class LegTrace {
+public:
+    LegTrace(bool enabled, bool chrome, std::string track) {
+        if (!enabled) return;
+        aggregate_ = std::make_unique<trace::AggregateSink>();
+        multi_.add(aggregate_.get());
+        if (chrome) {
+            chrome_ = std::make_unique<trace::ChromeTraceSink>(std::move(track));
+            multi_.add(chrome_.get());
+        }
+    }
+
+    trace::Sink* sink() { return aggregate_ ? &multi_ : nullptr; }
+    const trace::ChromeTraceSink* chrome() const { return chrome_.get(); }
+
+    /// Print the aggregate report and audit the mirrored total.
+    void report(double charged_cost) const {
+        if (!aggregate_) return;
+        aggregate_->print(stdout);
+        if (aggregate_->total() != charged_cost) {
+            std::fprintf(stderr,
+                         "dbsp_explore: trace total %.17g != charged cost %.17g\n",
+                         aggregate_->total(), charged_cost);
+        }
+    }
+
+private:
+    std::unique_ptr<trace::AggregateSink> aggregate_;
+    std::unique_ptr<trace::ChromeTraceSink> chrome_;
+    trace::MultiSink multi_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
     std::string program_name = "bitonic";
-    std::string f_name = "x^0.5";
     std::string model_name = "both";
     std::uint64_t v = 256;
     std::uint64_t seed = 1;
-    bool profile = false;
+    bool trace_enabled = false;
+    std::string trace_path;
     bool rational = false;
+    model::AccessFunction f = model::AccessFunction::polynomial(0.5);
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -98,15 +171,20 @@ int main(int argc, char** argv) {
         if (arg == "--program") {
             program_name = next();
         } else if (arg == "--v") {
-            v = std::strtoull(next(), nullptr, 10);
+            v = parse_u64("--v", next());
+            if (v == 0) bad_arg("--v", "0", "a positive power of two");
         } else if (arg == "--f") {
-            f_name = next();
+            f = parse_access_function(next());
         } else if (arg == "--model") {
             model_name = next();
         } else if (arg == "--seed") {
-            seed = std::strtoull(next(), nullptr, 10);
-        } else if (arg == "--profile") {
-            profile = true;
+            seed = parse_u64("--seed", next());
+        } else if (arg == "--trace") {
+            trace_enabled = true;
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            trace_enabled = true;
+            trace_path = arg.substr(std::strlen("--trace="));
+            if (trace_path.empty()) bad_arg("--trace", arg.c_str(), "a file path");
         } else if (arg == "--rational") {
             rational = true;
         } else {
@@ -114,58 +192,54 @@ int main(int argc, char** argv) {
         }
     }
     if (!is_pow2(v)) {
-        std::fprintf(stderr, "--v must be a power of two\n");
+        std::fprintf(stderr, "dbsp_explore: --v must be a power of two (got %llu)\n",
+                     static_cast<unsigned long long>(v));
         return 2;
     }
-
-    model::AccessFunction f = model::AccessFunction::logarithmic();
-    if (f_name.rfind("x^", 0) == 0) {
-        f = model::AccessFunction::polynomial(std::strtod(f_name.c_str() + 2, nullptr));
-    } else if (f_name != "log") {
-        usage(argv[0]);
+    if (model_name != "hmm" && model_name != "bt" && model_name != "both" &&
+        model_name != "none") {
+        bad_arg("--model", model_name.c_str(), "hmm, bt, both, or none");
     }
 
     auto program = make_program(program_name, v, seed);
     if (!program) usage(argv[0]);
     const std::size_t mu = program->context_words();
 
+    const bool chrome = !trace_path.empty();
+
     // Direct execution + cost model.
+    LegTrace direct_trace(trace_enabled, chrome, "dbsp");
     model::DbspMachine machine(f);
+    machine.set_trace(direct_trace.sink());
     const auto direct = machine.run(*program);
     std::printf("program %-10s v=%llu  mu=%zu  supersteps=%zu\n", program_name.c_str(),
                 static_cast<unsigned long long>(v), mu, direct.supersteps.size());
     std::printf("D-BSP(%llu, %zu, %s): T = %.4g (compute %.4g + communicate %.4g)\n",
                 static_cast<unsigned long long>(v), mu, f.name().c_str(), direct.time,
                 direct.computation_time(), direct.communication_time());
+    direct_trace.report(direct.time);
 
-    if (profile) {
-        std::map<unsigned, std::pair<std::size_t, double>> per_label;
-        for (const auto& s : direct.supersteps) {
-            auto& [count, cost] = per_label[s.label];
-            ++count;
-            cost += s.cost;
-        }
-        std::printf("%8s %10s %14s\n", "label", "count", "total cost");
-        for (const auto& [label, entry] : per_label) {
-            std::printf("%8u %10zu %14.4g\n", label, entry.first, entry.second);
-        }
-    }
-
+    LegTrace hmm_trace(trace_enabled, chrome, "hmm");
     if (model_name == "hmm" || model_name == "both") {
         auto prog = make_program(program_name, v, seed);
         auto smoothed = core::smooth(*prog, core::hmm_label_set(f, mu, v));
-        const auto res = core::HmmSimulator(f).simulate(*smoothed);
+        core::HmmSimulator::Options options;
+        options.trace = hmm_trace.sink();
+        const auto res = core::HmmSimulator(f, options).simulate(*smoothed);
         const double bound = core::theorem5_bound(direct, f, v, mu);
         std::printf("%s-HMM simulation: cost %.4g  slowdown/v %.3g  cost/Thm5-bound %.3g\n",
                     f.name().c_str(), res.hmm_cost,
                     res.hmm_cost / (direct.time * static_cast<double>(v)),
                     res.hmm_cost / bound);
+        hmm_trace.report(res.hmm_cost);
     }
+    LegTrace bt_trace(trace_enabled, chrome, "bt");
     if (model_name == "bt" || model_name == "both") {
         auto prog = make_program(program_name, v, seed);
         auto smoothed = core::smooth(*prog, core::bt_label_set(f, mu, v));
         core::BtSimulator::Options options;
         options.use_rational_permutations = rational;
+        options.trace = bt_trace.sink();
         const auto res = core::BtSimulator(f, options).simulate(*smoothed);
         const double bound = core::theorem12_bound(direct, v, mu);
         std::printf("%s-BT  simulation: cost %.4g  cost/Thm12-bound %.3g"
@@ -173,6 +247,18 @@ int main(int argc, char** argv) {
                     f.name().c_str(), res.bt_cost, res.bt_cost / bound,
                     static_cast<unsigned long long>(res.sort_invocations),
                     static_cast<unsigned long long>(res.transpose_invocations));
+        bt_trace.report(res.bt_cost);
+    }
+
+    if (chrome) {
+        const std::vector<const trace::ChromeTraceSink*> tracks = {
+            direct_trace.chrome(), hmm_trace.chrome(), bt_trace.chrome()};
+        if (!trace::ChromeTraceSink::write_merged(tracks, trace_path)) {
+            std::fprintf(stderr, "dbsp_explore: cannot write trace file \"%s\"\n",
+                         trace_path.c_str());
+            return 1;
+        }
+        std::printf("wrote Chrome trace to %s\n", trace_path.c_str());
     }
     return 0;
 }
