@@ -1,0 +1,430 @@
+#include "check/differential.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/bounds.hpp"
+#include "core/bt_simulator.hpp"
+#include "core/hmm_simulator.hpp"
+#include "core/naive_bt_simulator.hpp"
+#include "core/naive_hmm_simulator.hpp"
+#include "core/self_simulator.hpp"
+#include "core/smoothing.hpp"
+#include "model/cost_table_cache.hpp"
+#include "model/dbsp_machine.hpp"
+#include "model/recorded_program.hpp"
+#include "model/superstep_exec.hpp"
+#include "trace/sink.hpp"
+#include "util/contracts.hpp"
+
+namespace dbsp::check {
+
+using model::ContextLayout;
+using model::ProcId;
+using model::StepIndex;
+using model::Word;
+
+namespace {
+
+/// Empirical slack for the Theorem 5/12 tripwires. The theorems are O()
+/// statements; these constants were calibrated by sweeping the fuzzer's own
+/// program distribution and sit an order of magnitude above the largest
+/// observed simulator/bound ratio, so a trip means a gross charging
+/// regression, not an unlucky constant.
+constexpr double kTheorem5Slack = 64.0;
+constexpr double kTheorem12Slack = 64.0;
+
+/// Machines the theorem tripwires apply to: below this the BT staging pad
+/// (>= 4096 words) and per-round fixed costs dominate the asymptotic terms.
+constexpr std::uint64_t kBoundMinProcessors = 8;
+
+std::string describe_word_diff(const std::vector<Word>& a, const std::vector<Word>& b) {
+    std::ostringstream os;
+    if (a.size() != b.size()) {
+        os << "image sizes differ: " << a.size() << " vs " << b.size();
+        return os.str();
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i]) {
+            os << "word " << i << ": " << a[i] << " vs " << b[i];
+            return os.str();
+        }
+    }
+    os << "identical";
+    return os.str();
+}
+
+/// Collects failures with a shared context prefix (access-function name).
+class Reporter {
+public:
+    Reporter(DiffReport& report, std::string context)
+        : report_(report), context_(std::move(context)) {}
+
+    void fail(const std::string& tag, const std::string& detail) {
+        report_.failures.push_back({tag, "[" + context_ + "] " + detail});
+    }
+
+    void check_cost(const std::string& tag, const std::string& what, double expected,
+                    double actual) {
+        // Bit-identical, not approximately equal: the mode axes promise the
+        // exact same fold of the exact same doubles.
+        if (expected != actual) {
+            std::ostringstream os;
+            os.precision(17);
+            os << what << ": expected " << expected << ", got " << actual;
+            fail(tag, os.str());
+        }
+    }
+
+    void check_images(const std::string& tag, const std::string& what,
+                      const std::vector<std::vector<Word>>& expected,
+                      const std::vector<std::vector<Word>>& actual) {
+        DBSP_REQUIRE(expected.size() == actual.size());
+        for (ProcId p = 0; p < expected.size(); ++p) {
+            if (expected[p] != actual[p]) {
+                std::ostringstream os;
+                os << what << ": processor " << p << " diverges ("
+                   << describe_word_diff(expected[p], actual[p]) << ")";
+                fail(tag, os.str());
+                return;  // one image failure per comparison is enough
+            }
+        }
+    }
+
+private:
+    DiffReport& report_;
+    std::string context_;
+};
+
+std::vector<std::vector<Word>> images_of(const std::vector<std::vector<Word>>& contexts,
+                                         const ContextLayout& layout) {
+    std::vector<std::vector<Word>> images;
+    images.reserve(contexts.size());
+    for (const auto& ctx : contexts) images.push_back(functional_image(ctx, layout));
+    return images;
+}
+
+/// Self-simulation host sizes to exercise: the degenerate single-HMM host,
+/// the identity host, and one strictly intermediate size when it exists.
+std::vector<std::uint64_t> self_sim_hosts(std::uint64_t v) {
+    std::vector<std::uint64_t> hosts{1};
+    const std::uint64_t mid = std::uint64_t{1} << (ilog2(v) / 2);
+    if (mid > 1 && mid < v) hosts.push_back(mid);
+    if (v > 1) hosts.push_back(v);
+    return hosts;
+}
+
+}  // namespace
+
+bool DiffReport::has_tag(const std::string& tag) const {
+    return std::any_of(failures.begin(), failures.end(),
+                       [&](const DiffFailure& f) { return f.tag == tag; });
+}
+
+std::string DiffReport::summary() const {
+    std::ostringstream os;
+    for (const auto& f : failures) os << f.tag << ": " << f.detail << "\n";
+    return os.str();
+}
+
+std::vector<Word> functional_image(const std::vector<Word>& context,
+                                   const ContextLayout& layout) {
+    DBSP_REQUIRE(context.size() == layout.context_words());
+    std::vector<Word> image(context.begin(),
+                            context.begin() + static_cast<std::ptrdiff_t>(layout.data_words));
+    const Word in_count = context[layout.in_count_offset()];
+    DBSP_REQUIRE(in_count <= layout.max_messages);
+    image.push_back(in_count);
+    for (Word k = 0; k < in_count; ++k) {
+        const std::size_t off = layout.in_record_offset(k);
+        image.push_back(context[off]);
+        image.push_back(context[off + 1]);
+        image.push_back(context[off + 2]);
+    }
+    image.push_back(context[layout.out_count_offset()]);
+    return image;
+}
+
+DiffReport check_program(model::Program& program, const DiffConfig& config) {
+    DiffReport report;
+    const std::vector<model::AccessFunction> functions =
+        config.functions.empty()
+            ? std::vector<model::AccessFunction>{model::AccessFunction::polynomial(0.35),
+                                                 model::AccessFunction::polynomial(0.5),
+                                                 model::AccessFunction::logarithmic()}
+            : config.functions;
+
+    const std::uint64_t v = program.num_processors();
+    const ContextLayout layout = program.layout();
+    const std::size_t mu = layout.context_words();
+
+    for (const model::AccessFunction& f : functions) {
+        Reporter rep(report, "f=" + f.name());
+
+        // --- direct executor: the functional + cost reference -------------
+        const auto run_direct = [&](bool bulk, bool cache,
+                                    trace::Sink* sink) -> model::DbspResult {
+            model::ScopedBulkAccess sb(bulk);
+            model::ScopedCostTableCache sc(cache);
+            model::DbspMachine machine(f);
+            machine.set_trace(sink);
+            return machine.run(program);
+        };
+        const model::DbspResult ref = run_direct(true, true, nullptr);
+        const auto ref_images = images_of(ref.contexts, layout);
+
+        {
+            // Monotone accumulation: every superstep adds >= 1, and the total
+            // is exactly the in-order fold of the per-superstep costs.
+            double fold = 0.0;
+            for (const auto& s : ref.supersteps) {
+                if (!(s.cost >= 1.0)) {
+                    std::ostringstream os;
+                    os.precision(17);
+                    os << "superstep cost " << s.cost << " < 1";
+                    rep.fail("direct-cost-monotone", os.str());
+                }
+                fold += s.cost;
+            }
+            rep.check_cost("direct-cost-fold", "sum of superstep costs vs total", ref.time,
+                           fold);
+        }
+        for (const bool bulk : {false, true}) {
+            const model::DbspResult alt = run_direct(bulk, /*cache=*/bulk, nullptr);
+            rep.check_cost("direct-cost-mode",
+                           bulk ? "bulk direct time" : "per-word direct time", ref.time,
+                           alt.time);
+            rep.check_images("direct-image-mode",
+                             bulk ? "bulk direct image" : "per-word direct image",
+                             ref.contexts, alt.contexts);
+        }
+        {
+            trace::Sink sink;
+            const model::DbspResult traced = run_direct(true, true, &sink);
+            rep.check_cost("direct-trace", "trace mirror vs direct time", traced.time,
+                           sink.total());
+            rep.check_cost("direct-cost-mode", "traced direct time", ref.time, traced.time);
+        }
+
+        // --- HMM simulator on an hmm_label_set smoothing ------------------
+        {
+            const std::vector<unsigned> labels = core::hmm_label_set(f, mu, v);
+            auto smoothed = core::smooth(program, labels);
+            if (!core::is_smooth(*smoothed, labels)) {
+                rep.fail("smooth-hmm-def3", "hmm_label_set smoothing is not L-smooth");
+            }
+            // Smoothing must be functionally invisible.
+            const model::DbspResult sm_direct = [&] {
+                model::DbspMachine machine(f);
+                return machine.run(*smoothed);
+            }();
+            rep.check_images("smooth-hmm-image", "direct run of smoothed program",
+                             ref_images, images_of(sm_direct.contexts, layout));
+
+            const auto run_hmm = [&](bool bulk, bool cache,
+                                     trace::Sink* sink) -> core::HmmSimResult {
+                model::ScopedBulkAccess sb(bulk);
+                model::ScopedCostTableCache sc(cache);
+                core::HmmSimulator::Options opt;
+                opt.trace = sink;
+                return core::HmmSimulator(f, opt).simulate(*smoothed);
+            };
+            const core::HmmSimResult hmm = run_hmm(true, true, nullptr);
+            rep.check_images("hmm-image", "HMM simulation image", ref_images,
+                             images_of(hmm.contexts, layout));
+            for (const auto& [bulk, cache] :
+                 {std::pair{false, true}, std::pair{true, false}, std::pair{false, false}}) {
+                const core::HmmSimResult alt = run_hmm(bulk, cache, nullptr);
+                std::ostringstream what;
+                what << "HMM cost (bulk=" << bulk << " cache=" << cache << ")";
+                rep.check_cost("hmm-cost-mode", what.str(), hmm.hmm_cost, alt.hmm_cost);
+                rep.check_images("hmm-image-mode", what.str() + " image", hmm.contexts,
+                                 alt.contexts);
+            }
+            {
+                trace::Sink sink;
+                const core::HmmSimResult traced = run_hmm(true, true, &sink);
+                rep.check_cost("hmm-trace", "trace mirror vs hmm_cost", traced.hmm_cost,
+                               sink.total());
+                rep.check_cost("hmm-cost-mode", "traced HMM cost", hmm.hmm_cost,
+                               traced.hmm_cost);
+            }
+            if (config.check_bounds && v >= kBoundMinProcessors) {
+                const double bound =
+                    kTheorem5Slack * core::theorem5_bound(sm_direct, f, v, mu);
+                if (!(hmm.hmm_cost <= bound)) {
+                    std::ostringstream os;
+                    os.precision(17);
+                    os << "hmm_cost " << hmm.hmm_cost << " exceeds slacked Theorem 5 bound "
+                       << bound;
+                    rep.fail("hmm-bound", os.str());
+                }
+            }
+        }
+
+        // --- BT simulator on a bt_label_set smoothing ---------------------
+        {
+            const std::vector<unsigned> labels = core::bt_label_set(f, mu, v);
+            auto smoothed = core::smooth(program, labels);
+            if (!core::is_smooth(*smoothed, labels)) {
+                rep.fail("smooth-bt-def3", "bt_label_set smoothing is not L-smooth");
+            }
+            const model::DbspResult sm_direct = [&] {
+                model::DbspMachine machine(f);
+                return machine.run(*smoothed);
+            }();
+            rep.check_images("smooth-bt-image", "direct run of BT-smoothed program",
+                             ref_images, images_of(sm_direct.contexts, layout));
+
+            const auto run_bt = [&](bool bulk, bool cache,
+                                    trace::Sink* sink) -> core::BtSimResult {
+                model::ScopedBulkAccess sb(bulk);
+                model::ScopedCostTableCache sc(cache);
+                core::BtSimulator::Options opt;
+                opt.trace = sink;
+                return core::BtSimulator(f, opt).simulate(*smoothed);
+            };
+            const core::BtSimResult bt = run_bt(true, true, nullptr);
+            rep.check_images("bt-image", "BT simulation image", ref_images,
+                             images_of(bt.contexts, layout));
+            for (const auto& [bulk, cache] :
+                 {std::pair{false, true}, std::pair{true, false}, std::pair{false, false}}) {
+                const core::BtSimResult alt = run_bt(bulk, cache, nullptr);
+                std::ostringstream what;
+                what << "BT cost (bulk=" << bulk << " cache=" << cache << ")";
+                rep.check_cost("bt-cost-mode", what.str(), bt.bt_cost, alt.bt_cost);
+                rep.check_images("bt-image-mode", what.str() + " image", bt.contexts,
+                                 alt.contexts);
+            }
+            {
+                trace::Sink sink;
+                const core::BtSimResult traced = run_bt(true, true, &sink);
+                rep.check_cost("bt-trace", "trace mirror vs bt_cost", traced.bt_cost,
+                               sink.total());
+                rep.check_cost("bt-cost-mode", "traced BT cost", bt.bt_cost, traced.bt_cost);
+            }
+            {
+                // Component attribution must account for the whole charge.
+                // The components are window differences of one accumulator
+                // summed in separate buckets, so allow only fp re-association
+                // noise, not a structural gap.
+                const double components =
+                    bt.compute_cost + bt.deliver_cost + bt.layout_cost;
+                const double tol = 1e-9 * std::max(1.0, bt.bt_cost);
+                if (!(std::abs(components - bt.bt_cost) <= tol)) {
+                    std::ostringstream os;
+                    os.precision(17);
+                    os << "compute+deliver+layout = " << components << " vs bt_cost "
+                       << bt.bt_cost;
+                    rep.fail("bt-components", os.str());
+                }
+            }
+            if (config.check_bounds && v >= kBoundMinProcessors) {
+                const double bound = kTheorem12Slack * core::theorem12_bound(sm_direct, v, mu);
+                if (!(bt.bt_cost <= bound)) {
+                    std::ostringstream os;
+                    os.precision(17);
+                    os << "bt_cost " << bt.bt_cost << " exceeds slacked Theorem 12 bound "
+                       << bound;
+                    rep.fail("bt-bound", os.str());
+                }
+            }
+        }
+
+        // --- naive (pinned-context) baselines -----------------------------
+        {
+            const auto run_naive_hmm = [&](bool bulk, bool cache) -> core::HmmSimResult {
+                model::ScopedBulkAccess sb(bulk);
+                model::ScopedCostTableCache sc(cache);
+                return core::NaiveHmmSimulator(f).simulate(program);
+            };
+            const core::HmmSimResult nh = run_naive_hmm(true, true);
+            rep.check_images("naive-hmm-image", "naive HMM image", ref_images,
+                             images_of(nh.contexts, layout));
+            const core::HmmSimResult nh_alt = run_naive_hmm(false, false);
+            rep.check_cost("naive-hmm-cost-mode", "per-word naive HMM cost", nh.hmm_cost,
+                           nh_alt.hmm_cost);
+            rep.check_images("naive-hmm-image", "per-word naive HMM image", nh.contexts,
+                             nh_alt.contexts);
+
+            const auto run_naive_bt = [&](bool bulk, bool cache) -> core::BtSimResult {
+                model::ScopedBulkAccess sb(bulk);
+                model::ScopedCostTableCache sc(cache);
+                return core::NaiveBtSimulator(f).simulate(program);
+            };
+            const core::BtSimResult nb = run_naive_bt(true, true);
+            rep.check_images("naive-bt-image", "naive BT image", ref_images,
+                             images_of(nb.contexts, layout));
+            const core::BtSimResult nb_alt = run_naive_bt(false, false);
+            rep.check_cost("naive-bt-cost-mode", "per-word naive BT cost", nb.bt_cost,
+                           nb_alt.bt_cost);
+            rep.check_images("naive-bt-image", "per-word naive BT image", nb.contexts,
+                             nb_alt.contexts);
+        }
+
+        // --- Section 4 self-simulation ------------------------------------
+        if (config.check_self_sim) {
+            for (const std::uint64_t v_prime : self_sim_hosts(v)) {
+                const auto run_self = [&](bool bulk, bool cache,
+                                          trace::Sink* sink) -> core::SelfSimResult {
+                    model::ScopedBulkAccess sb(bulk);
+                    model::ScopedCostTableCache sc(cache);
+                    core::SelfSimulator sim(f, v_prime);
+                    sim.set_trace(sink);
+                    return sim.simulate(program);
+                };
+                const core::SelfSimResult self = run_self(true, true, nullptr);
+                std::ostringstream what;
+                what << "self-sim v'=" << v_prime;
+                rep.check_images("self-image", what.str() + " image", ref_images,
+                                 images_of(self.contexts, layout));
+                const core::SelfSimResult alt = run_self(false, false, nullptr);
+                rep.check_cost("self-cost-mode", what.str() + " per-word host time",
+                               self.host_time, alt.host_time);
+                rep.check_images("self-image", what.str() + " per-word image",
+                                 self.contexts, alt.contexts);
+                trace::Sink sink;
+                const core::SelfSimResult traced = run_self(true, true, &sink);
+                rep.check_cost("self-trace", what.str() + " trace mirror", traced.host_time,
+                               sink.total());
+                rep.check_cost("self-cost-mode", what.str() + " traced host time",
+                               self.host_time, traced.host_time);
+            }
+        }
+
+        // --- recorded-trace replay ----------------------------------------
+        if (config.check_recorded) {
+            model::Trace trace = model::record(program);
+            model::RecordedProgram replay(std::move(trace));
+            model::DbspMachine machine(f);
+            const model::DbspResult rr = machine.run(replay);
+            if (rr.supersteps.size() != ref.supersteps.size()) {
+                std::ostringstream os;
+                os << "replay has " << rr.supersteps.size() << " supersteps, original "
+                   << ref.supersteps.size();
+                rep.fail("recorded-shape", os.str());
+            } else {
+                for (StepIndex s = 0; s < rr.supersteps.size(); ++s) {
+                    if (rr.supersteps[s].label != ref.supersteps[s].label) {
+                        std::ostringstream os;
+                        os << "superstep " << s << " label " << rr.supersteps[s].label
+                           << " vs " << ref.supersteps[s].label;
+                        rep.fail("recorded-labels", os.str());
+                        break;
+                    }
+                    if (rr.supersteps[s].h != ref.supersteps[s].h) {
+                        std::ostringstream os;
+                        os << "superstep " << s << " h " << rr.supersteps[s].h << " vs "
+                           << ref.supersteps[s].h;
+                        rep.fail("recorded-h", os.str());
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    return report;
+}
+
+}  // namespace dbsp::check

@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file program_gen.hpp
+/// Seedable random D-BSP program generation for the differential fuzzing
+/// oracle (tools/dbsp_fuzz, tests/fuzz_oracle_test.cpp).
+///
+/// A generated computation is described by a fully explicit ProgramSpec —
+/// machine geometry plus one event per (superstep, processor) — so a failing
+/// program can be mutated structurally by the shrinker and serialized as a
+/// regression repro. GeneratedProgram replays a spec as a model::Program
+/// whose step callbacks are pure functions of (superstep, processor, context,
+/// inbox), as the executors require: every data flow (inbox digests, data-
+/// word mixing, payload salting) is derived from context state, so any
+/// divergence an executor introduces propagates into the final memory image
+/// instead of washing out.
+///
+/// The generator deliberately over-samples the paper's adversarial edge
+/// geometries: tiny machines (v in {1, 2, 4}), empty supersteps (h = 0),
+/// max-degree funnels (in-degree = B), descending-label runs that force
+/// L-smoothing to insert dummy supersteps, and inboxes left unread across
+/// supersteps so stale messages must survive cluster scheduling.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/program.hpp"
+
+namespace dbsp::check {
+
+/// Fully explicit description of one generated D-BSP computation.
+struct ProgramSpec {
+    std::uint64_t processors = 1;  ///< v; power of two
+    std::size_t data_words = 2;    ///< D >= 1
+    std::size_t max_messages = 1;  ///< B >= 1
+    std::uint64_t seed = 0;        ///< generator seed (init() values, reporting)
+    std::vector<unsigned> labels;  ///< per superstep; last must be 0
+
+    struct Send {
+        model::ProcId dest = 0;
+        model::Word payload0 = 0;
+        model::Word payload1 = 0;
+    };
+    struct Event {
+        std::uint64_t extra_ops = 0;  ///< charge_ops() on top of implicit ops
+        bool read_inbox = false;      ///< fold the inbox into data word 0
+        bool touch_data = false;      ///< mix every data word in place
+        std::vector<Send> sends;
+    };
+    std::vector<std::vector<Event>> events;  ///< [superstep][processor]
+
+    std::uint64_t total_messages() const;
+
+    /// One-line geometry summary for failure reports, e.g.
+    /// "v=4 D=3 B=2 steps=5 labels=[2,1,2,0,0] msgs=11".
+    std::string describe() const;
+};
+
+/// Validate the executor discipline a spec must respect to be runnable at
+/// all (as opposed to divergence-free): power-of-two v, labels in range with
+/// a final 0, per-sender message counts <= B, destinations inside the
+/// sender's label-cluster, and inbox occupancy never exceeding B under the
+/// read-clears / unread-persists rule. The shrinker uses this to discard
+/// candidate mutations that would abort an executor on a contract violation
+/// instead of reproducing a divergence. Returns false and fills \p why (if
+/// non-null) on the first violation.
+bool spec_valid(const ProgramSpec& spec, std::string* why = nullptr);
+
+/// Knobs for generate_spec. Defaults keep programs small enough that a full
+/// differential check (every executor, every mode combination) runs in a few
+/// milliseconds while still covering every cluster level of a 16-processor
+/// tree.
+struct GenConfig {
+    std::vector<std::uint64_t> v_choices{1, 2, 4, 4, 8, 16};  ///< duplicates = weight
+    std::size_t max_supersteps = 8;   ///< supersteps per program, >= 1
+    std::size_t max_data_words = 7;   ///< D range [1, max_data_words]
+    std::size_t max_buffer = 3;       ///< B range [1, max_buffer]
+    std::uint64_t max_extra_ops = 4;  ///< extra_ops range [0, max_extra_ops]
+};
+
+/// Deterministically generate a valid spec from \p seed. The same
+/// (config, seed) pair yields an identical spec on every platform.
+ProgramSpec generate_spec(const GenConfig& config, std::uint64_t seed);
+
+/// Replay a ProgramSpec as a D-BSP program. Step behaviour per event:
+///  1. read_inbox: fold (src, payloads) of every received message into data
+///     word 0 with an order-sensitive hash — inbox-ordering divergence
+///     becomes memory-image divergence;
+///  2. touch_data: chain-mix all data words in place — any stale or
+///     misplaced word poisons every later word;
+///  3. charge extra_ops;
+///  4. sends: payload0 is XOR-salted with data word 0, so messages carry
+///     state forward and delivery bugs cascade.
+class GeneratedProgram final : public model::Program {
+public:
+    /// Requires spec_valid(spec).
+    explicit GeneratedProgram(ProgramSpec spec);
+
+    std::string name() const override { return "fuzz-gen"; }
+    std::uint64_t num_processors() const override { return spec_.processors; }
+    std::size_t data_words() const override { return spec_.data_words; }
+    std::size_t max_messages() const override { return spec_.max_messages; }
+    model::StepIndex num_supersteps() const override { return spec_.labels.size(); }
+    unsigned label(model::StepIndex s) const override { return spec_.labels[s]; }
+    void init(model::ProcId p, std::span<model::Word> data) const override;
+    void step(model::StepIndex s, model::ProcId p, model::StepContext& ctx) override;
+
+    const ProgramSpec& spec() const { return spec_; }
+
+private:
+    ProgramSpec spec_;
+};
+
+}  // namespace dbsp::check

@@ -1,0 +1,199 @@
+#include "check/shrinker.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+#include "util/contracts.hpp"
+
+namespace dbsp::check {
+
+using model::ProcId;
+using model::StepIndex;
+
+namespace {
+
+/// Drop supersteps [begin, begin+count) and re-anchor the final label to 0.
+ProgramSpec drop_steps(const ProgramSpec& spec, StepIndex begin, StepIndex count) {
+    ProgramSpec out = spec;
+    out.labels.erase(out.labels.begin() + static_cast<std::ptrdiff_t>(begin),
+                     out.labels.begin() + static_cast<std::ptrdiff_t>(begin + count));
+    out.events.erase(out.events.begin() + static_cast<std::ptrdiff_t>(begin),
+                     out.events.begin() + static_cast<std::ptrdiff_t>(begin + count));
+    if (!out.labels.empty()) out.labels.back() = 0;
+    return out;
+}
+
+/// Restrict to the first half of the machine: keep processors [0, v/2) and
+/// every event among them. Valid only when no surviving send crosses into
+/// the dropped half (spec_valid re-checks cluster membership afterwards).
+ProgramSpec halve_processors(const ProgramSpec& spec) {
+    ProgramSpec out = spec;
+    const std::uint64_t half = spec.processors / 2;
+    out.processors = half;
+    for (auto& step : out.events) {
+        step.resize(half);
+        for (auto& ev : step) {
+            for (const ProgramSpec::Send& send : ev.sends) {
+                if (send.dest >= half) return spec;  // crossing send; reject
+            }
+        }
+    }
+    for (unsigned& l : out.labels) l = std::min(l, half == 0 ? 0u : ilog2(half));
+    return out;
+}
+
+}  // namespace
+
+DiffReport check_spec(const ProgramSpec& spec, const DiffConfig& config) {
+    GeneratedProgram program(spec);
+    return check_program(program, config);
+}
+
+ShrinkResult shrink(const ProgramSpec& spec, const std::string& tag,
+                    const DiffConfig& config, std::uint64_t max_attempts) {
+    DBSP_REQUIRE(check_spec(spec, config).has_tag(tag));
+    ShrinkResult result = shrink_with(
+        spec,
+        [&](const ProgramSpec& candidate) { return check_spec(candidate, config).has_tag(tag); },
+        max_attempts);
+    result.tag = tag;
+    DBSP_ENSURE(check_spec(result.spec, config).has_tag(tag));
+    return result;
+}
+
+ShrinkResult shrink_with(const ProgramSpec& spec,
+                         const std::function<bool(const ProgramSpec&)>& predicate,
+                         std::uint64_t max_attempts) {
+    ShrinkResult result;
+    result.spec = spec;
+
+    const auto still_fails = [&](const ProgramSpec& candidate) -> bool {
+        if (result.attempts >= max_attempts) return false;
+        if (!spec_valid(candidate)) return false;
+        ++result.attempts;
+        const bool fails = predicate(candidate);
+        if (fails) ++result.accepted;
+        return fails;
+    };
+
+    bool progressed = true;
+    while (progressed && result.attempts < max_attempts) {
+        progressed = false;
+
+        // Pass 1: bisect supersteps — try dropping runs, largest first.
+        for (StepIndex run = result.spec.labels.size(); run >= 1; run /= 2) {
+            for (StepIndex begin = 0; begin + run <= result.spec.labels.size();) {
+                if (result.spec.labels.size() == run) break;  // keep >= 1 step
+                const ProgramSpec candidate = drop_steps(result.spec, begin, run);
+                if (still_fails(candidate)) {
+                    result.spec = candidate;
+                    progressed = true;
+                } else {
+                    begin += run;
+                }
+            }
+            if (run == 1) break;
+        }
+
+        // Pass 2: drop individual messages.
+        for (StepIndex s = 0; s < result.spec.labels.size(); ++s) {
+            for (ProcId p = 0; p < result.spec.processors; ++p) {
+                auto& sends = result.spec.events[s][p];
+                for (std::size_t k = 0; k < sends.sends.size();) {
+                    ProgramSpec candidate = result.spec;
+                    auto& cs = candidate.events[s][p].sends;
+                    cs.erase(cs.begin() + static_cast<std::ptrdiff_t>(k));
+                    if (still_fails(candidate)) {
+                        result.spec = candidate;
+                        progressed = true;
+                    } else {
+                        ++k;
+                    }
+                }
+            }
+        }
+
+        // Pass 3: clear per-event flags and work.
+        for (StepIndex s = 0; s < result.spec.labels.size(); ++s) {
+            for (ProcId p = 0; p < result.spec.processors; ++p) {
+                const ProgramSpec::Event& ev = result.spec.events[s][p];
+                if (ev.extra_ops > 0) {
+                    ProgramSpec candidate = result.spec;
+                    candidate.events[s][p].extra_ops = 0;
+                    if (still_fails(candidate)) {
+                        result.spec = candidate;
+                        progressed = true;
+                    }
+                }
+                if (ev.touch_data) {
+                    ProgramSpec candidate = result.spec;
+                    candidate.events[s][p].touch_data = false;
+                    if (still_fails(candidate)) {
+                        result.spec = candidate;
+                        progressed = true;
+                    }
+                }
+                if (ev.read_inbox) {
+                    ProgramSpec candidate = result.spec;
+                    candidate.events[s][p].read_inbox = false;
+                    if (still_fails(candidate)) {
+                        result.spec = candidate;
+                        progressed = true;
+                    }
+                }
+            }
+        }
+
+        // Pass 4: shrink the geometry.
+        while (result.spec.processors > 1) {
+            const ProgramSpec candidate = halve_processors(result.spec);
+            if (candidate.processors != result.spec.processors && still_fails(candidate)) {
+                result.spec = candidate;
+                progressed = true;
+            } else {
+                break;
+            }
+        }
+        while (result.spec.data_words > 1) {
+            ProgramSpec candidate = result.spec;
+            --candidate.data_words;
+            if (still_fails(candidate)) {
+                result.spec = candidate;
+                progressed = true;
+            } else {
+                break;
+            }
+        }
+        while (result.spec.max_messages > 1) {
+            ProgramSpec candidate = result.spec;
+            --candidate.max_messages;
+            if (still_fails(candidate)) {
+                result.spec = candidate;
+                progressed = true;
+            } else {
+                break;
+            }
+        }
+
+        // Pass 5: canonicalize payloads toward small constants.
+        for (StepIndex s = 0; s < result.spec.labels.size(); ++s) {
+            for (ProcId p = 0; p < result.spec.processors; ++p) {
+                for (std::size_t k = 0; k < result.spec.events[s][p].sends.size(); ++k) {
+                    const ProgramSpec::Send& send = result.spec.events[s][p].sends[k];
+                    if (send.payload0 == 0 && send.payload1 == 0) continue;
+                    ProgramSpec candidate = result.spec;
+                    candidate.events[s][p].sends[k].payload0 = 0;
+                    candidate.events[s][p].sends[k].payload1 = 0;
+                    if (still_fails(candidate)) {
+                        result.spec = candidate;
+                        progressed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    return result;
+}
+
+}  // namespace dbsp::check

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file shrinker.hpp
+/// Automatic test-case reduction for differential-oracle failures.
+///
+/// Given a failing ProgramSpec, the shrinker searches for a smaller spec
+/// that (a) still satisfies the executor discipline (spec_valid) and (b)
+/// still fails the oracle *with the same failure tag* — so reduction cannot
+/// wander from one bug to a different one. Reduction passes, iterated to a
+/// fixed point:
+///  * bisect the superstep sequence (drop contiguous runs, largest first);
+///  * drop whole messages, then clear read_inbox/touch_data flags and zero
+///    extra_ops per event;
+///  * shrink the geometry (halve v onto the first cluster, drop trailing
+///    data words, lower B to the live maximum) and canonicalize payloads
+///    toward small constants.
+///
+/// Every candidate evaluation runs the full differential matrix, so
+/// shrinking a failure costs (candidates tried) x (matrix cost); the passes
+/// are ordered to discard the most work per accepted candidate first.
+
+#include <cstdint>
+#include <functional>
+
+#include "check/differential.hpp"
+#include "check/program_gen.hpp"
+
+namespace dbsp::check {
+
+struct ShrinkResult {
+    ProgramSpec spec;         ///< minimal failing spec found
+    std::string tag;          ///< failure tag being preserved
+    std::uint64_t attempts = 0;  ///< candidate specs evaluated
+    std::uint64_t accepted = 0;  ///< candidates that kept the failure
+};
+
+/// Reduce \p spec, preserving failure \p tag (which check_program(spec) must
+/// currently produce). \p max_attempts bounds the total candidate
+/// evaluations, so shrinking always terminates quickly even when every
+/// reduction is rejected.
+ShrinkResult shrink(const ProgramSpec& spec, const std::string& tag,
+                    const DiffConfig& config = {}, std::uint64_t max_attempts = 2000);
+
+/// Predicate-driven core of shrink(): reduce \p spec while \p still_fails
+/// keeps holding. The predicate sees only spec_valid candidates and the
+/// returned spec always satisfies it. Exposed so the reduction passes can be
+/// exercised against synthetic predicates (and reused by custom oracles).
+ShrinkResult shrink_with(const ProgramSpec& spec,
+                         const std::function<bool(const ProgramSpec&)>& still_fails,
+                         std::uint64_t max_attempts = 2000);
+
+/// Convenience: run the oracle on a spec (wraps it in a GeneratedProgram).
+DiffReport check_spec(const ProgramSpec& spec, const DiffConfig& config = {});
+
+}  // namespace dbsp::check

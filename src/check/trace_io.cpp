@@ -1,0 +1,312 @@
+#include "check/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace dbsp::check {
+
+using model::Message;
+using model::ProcId;
+using model::StepIndex;
+using model::Word;
+
+namespace {
+
+constexpr const char* kSpecHeader = "dbsp-spec v1";
+constexpr const char* kTraceHeader = "dbsp-trace v2";
+
+/// Line-oriented reader with one-token lookahead on the line keyword.
+/// Comment lines (leading '#') and blank lines are skipped.
+class LineReader {
+public:
+    explicit LineReader(const std::string& text) : in_(text) { advance(); }
+
+    bool eof() const { return eof_; }
+    const std::string& keyword() const { return keyword_; }
+    std::istringstream& rest() { return rest_; }
+
+    void advance() {
+        std::string line;
+        while (std::getline(in_, line)) {
+            std::size_t i = line.find_first_not_of(" \t\r");
+            if (i == std::string::npos || line[i] == '#') continue;
+            rest_ = std::istringstream(line);
+            rest_ >> keyword_;
+            return;
+        }
+        eof_ = true;
+        keyword_.clear();
+    }
+
+    /// Extract trailing integer fields from the current line.
+    template <typename... Ts>
+    bool fields(Ts&... out) {
+        return static_cast<bool>((rest_ >> ... >> out));
+    }
+
+private:
+    std::istringstream in_;
+    std::istringstream rest_;
+    std::string keyword_;
+    bool eof_ = false;
+};
+
+bool fail(std::string* error, const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+}
+
+struct Header {
+    std::uint64_t v = 0;
+    std::size_t data_words = 0;
+    std::size_t max_messages = 0;
+    std::uint64_t seed = 0;
+    std::vector<unsigned> labels;
+};
+
+/// Parse the shared v/D/B/seed/steps/labels preamble; stops before the first
+/// "event" line.
+bool parse_header(LineReader& reader, Header* h, std::string* error) {
+    std::size_t steps = 0;
+    bool have_steps = false;
+    while (!reader.eof()) {
+        const std::string& kw = reader.keyword();
+        if (kw == "event" || kw == "end") break;
+        if (kw == "v") {
+            if (!reader.fields(h->v)) return fail(error, "bad v line");
+        } else if (kw == "D") {
+            if (!reader.fields(h->data_words)) return fail(error, "bad D line");
+        } else if (kw == "B") {
+            if (!reader.fields(h->max_messages)) return fail(error, "bad B line");
+        } else if (kw == "seed") {
+            if (!reader.fields(h->seed)) return fail(error, "bad seed line");
+        } else if (kw == "steps") {
+            if (!reader.fields(steps)) return fail(error, "bad steps line");
+            have_steps = true;
+        } else if (kw == "labels") {
+            unsigned l = 0;
+            while (reader.rest() >> l) h->labels.push_back(l);
+        } else {
+            return fail(error, "unknown header keyword: " + kw);
+        }
+        reader.advance();
+    }
+    if (h->v == 0) return fail(error, "missing v");
+    if (h->max_messages == 0) return fail(error, "missing B");
+    if (!have_steps || h->labels.size() != steps) {
+        return fail(error, "steps/labels mismatch");
+    }
+    if (h->labels.empty()) return fail(error, "no supersteps");
+    return true;
+}
+
+void write_header(std::ostringstream& os, std::uint64_t v, std::size_t data_words,
+                  std::size_t max_messages, std::uint64_t seed,
+                  const std::vector<unsigned>& labels) {
+    os << "v " << v << "\n";
+    os << "D " << data_words << "\n";
+    os << "B " << max_messages << "\n";
+    if (seed != 0) os << "seed " << seed << "\n";
+    os << "steps " << labels.size() << "\n";
+    os << "labels";
+    for (unsigned l : labels) os << " " << l;
+    os << "\n";
+}
+
+}  // namespace
+
+std::string serialize_spec(const ProgramSpec& spec) {
+    std::ostringstream os;
+    os << kSpecHeader << "\n";
+    os << "# " << spec.describe() << "\n";
+    write_header(os, spec.processors, spec.data_words, spec.max_messages, spec.seed,
+                 spec.labels);
+    for (StepIndex s = 0; s < spec.events.size(); ++s) {
+        for (ProcId p = 0; p < spec.events[s].size(); ++p) {
+            const ProgramSpec::Event& ev = spec.events[s][p];
+            if (ev.extra_ops == 0 && !ev.read_inbox && !ev.touch_data && ev.sends.empty()) {
+                continue;  // all-default events are implicit
+            }
+            os << "event " << s << " " << p << " " << ev.extra_ops << " "
+               << int{ev.read_inbox} << " " << int{ev.touch_data} << " "
+               << ev.sends.size() << "\n";
+            for (const ProgramSpec::Send& send : ev.sends) {
+                os << "send " << send.dest << " " << send.payload0 << " " << send.payload1
+                   << "\n";
+            }
+        }
+    }
+    os << "end\n";
+    return os.str();
+}
+
+bool parse_spec(const std::string& text, ProgramSpec* out, std::string* error) {
+    LineReader reader(text);
+    if (reader.eof() || reader.keyword() != "dbsp-spec") {
+        return fail(error, "not a dbsp-spec file");
+    }
+    std::string version;
+    reader.fields(version);
+    if (version != "v1") return fail(error, "unsupported dbsp-spec version");
+    reader.advance();
+
+    Header h;
+    if (!parse_header(reader, &h, error)) return false;
+    ProgramSpec spec;
+    spec.processors = h.v;
+    spec.data_words = h.data_words;
+    spec.max_messages = h.max_messages;
+    spec.seed = h.seed;
+    spec.labels = h.labels;
+    spec.events.assign(spec.labels.size(), std::vector<ProgramSpec::Event>(spec.processors));
+
+    while (!reader.eof() && reader.keyword() == "event") {
+        StepIndex s = 0;
+        ProcId p = 0;
+        std::uint64_t extra_ops = 0;
+        int read_inbox = 0;
+        int touch_data = 0;
+        std::size_t nsends = 0;
+        if (!reader.fields(s, p, extra_ops, read_inbox, touch_data, nsends)) {
+            return fail(error, "bad event line");
+        }
+        if (s >= spec.labels.size() || p >= spec.processors) {
+            return fail(error, "event index out of range");
+        }
+        ProgramSpec::Event& ev = spec.events[s][p];
+        ev.extra_ops = extra_ops;
+        ev.read_inbox = read_inbox != 0;
+        ev.touch_data = touch_data != 0;
+        reader.advance();
+        for (std::size_t k = 0; k < nsends; ++k) {
+            if (reader.eof() || reader.keyword() != "send") {
+                return fail(error, "missing send line");
+            }
+            ProgramSpec::Send send;
+            if (!reader.fields(send.dest, send.payload0, send.payload1)) {
+                return fail(error, "bad send line");
+            }
+            ev.sends.push_back(send);
+            reader.advance();
+        }
+    }
+    if (reader.eof() || reader.keyword() != "end") return fail(error, "missing end line");
+
+    std::string why;
+    if (!spec_valid(spec, &why)) return fail(error, "invalid spec: " + why);
+    *out = std::move(spec);
+    return true;
+}
+
+std::string serialize_trace(const model::Trace& trace) {
+    std::ostringstream os;
+    os << kTraceHeader << "\n";
+    write_header(os, trace.processors, trace.data_words, trace.max_messages, /*seed=*/0,
+                 trace.labels);
+    for (StepIndex s = 0; s < trace.events.size(); ++s) {
+        for (ProcId p = 0; p < trace.events[s].size(); ++p) {
+            const model::Trace::Event& ev = trace.events[s][p];
+            if (ev.ops == 0 && !ev.read_inbox && ev.messages.empty()) continue;
+            os << "event " << s << " " << p << " " << ev.ops << " " << int{ev.read_inbox}
+               << " " << ev.messages.size() << "\n";
+            for (const Message& m : ev.messages) {
+                os << "msg " << m.src << " " << m.dest << " " << m.payload0 << " "
+                   << m.payload1 << "\n";
+            }
+        }
+    }
+    os << "end\n";
+    return os.str();
+}
+
+bool parse_trace(const std::string& text, model::Trace* out, std::string* error) {
+    LineReader reader(text);
+    if (reader.eof() || reader.keyword() != "dbsp-trace") {
+        return fail(error, "not a dbsp-trace file");
+    }
+    std::string version;
+    reader.fields(version);
+    if (version != "v2") return fail(error, "unsupported dbsp-trace version");
+    reader.advance();
+
+    Header h;
+    if (!parse_header(reader, &h, error)) return false;
+    model::Trace trace;
+    trace.processors = h.v;
+    trace.max_messages = h.max_messages;
+    trace.data_words = h.data_words == 0 ? 2 : h.data_words;
+    trace.labels = h.labels;
+    if (trace.labels.back() != 0) return fail(error, "last label != 0");
+    trace.events.assign(trace.labels.size(),
+                        std::vector<model::Trace::Event>(trace.processors));
+
+    while (!reader.eof() && reader.keyword() == "event") {
+        StepIndex s = 0;
+        ProcId p = 0;
+        std::uint64_t ops = 0;
+        int read_inbox = 0;
+        std::size_t nmsgs = 0;
+        if (!reader.fields(s, p, ops, read_inbox, nmsgs)) {
+            return fail(error, "bad event line");
+        }
+        if (s >= trace.labels.size() || p >= trace.processors) {
+            return fail(error, "event index out of range");
+        }
+        model::Trace::Event& ev = trace.events[s][p];
+        ev.ops = ops;
+        ev.read_inbox = read_inbox != 0;
+        reader.advance();
+        for (std::size_t k = 0; k < nmsgs; ++k) {
+            if (reader.eof() || reader.keyword() != "msg") {
+                return fail(error, "missing msg line");
+            }
+            Message m;
+            if (!reader.fields(m.src, m.dest, m.payload0, m.payload1)) {
+                return fail(error, "bad msg line");
+            }
+            if (m.dest >= trace.processors) return fail(error, "msg dest out of range");
+            ev.messages.push_back(m);
+            reader.advance();
+        }
+    }
+    if (reader.eof() || reader.keyword() != "end") return fail(error, "missing end line");
+    *out = std::move(trace);
+    return true;
+}
+
+std::unique_ptr<model::Program> Repro::make_program() const {
+    if (spec.has_value()) return std::make_unique<GeneratedProgram>(*spec);
+    if (trace.has_value()) return std::make_unique<model::RecordedProgram>(*trace);
+    return nullptr;
+}
+
+bool parse_repro(const std::string& text, Repro* out, std::string* error) {
+    // Sniff the first non-blank, non-comment line.
+    LineReader reader(text);
+    if (reader.eof()) return fail(error, "empty repro");
+    if (reader.keyword() == "dbsp-spec") {
+        ProgramSpec spec;
+        if (!parse_spec(text, &spec, error)) return false;
+        out->spec = std::move(spec);
+        out->trace.reset();
+        return true;
+    }
+    if (reader.keyword() == "dbsp-trace") {
+        model::Trace trace;
+        if (!parse_trace(text, &trace, error)) return false;
+        out->trace = std::move(trace);
+        out->spec.reset();
+        return true;
+    }
+    return fail(error, "unrecognized repro header: " + reader.keyword());
+}
+
+bool load_repro_file(const std::string& path, Repro* out, std::string* error) {
+    std::ifstream in(path);
+    if (!in) return fail(error, "cannot open " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse_repro(buf.str(), out, error);
+}
+
+}  // namespace dbsp::check

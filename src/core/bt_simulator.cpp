@@ -558,7 +558,12 @@ BtSimResult BtSim::run() {
             slot_of_proc_[p] = p;
         }
     }
-    unpack(0);  // Step 0 of Fig. 5
+    const double cload = machine_.cost();
+    {
+        trace::PhaseScope move(options_.trace, trace::Phase::kContextMove, 0);
+        unpack(0);  // Step 0 of Fig. 5
+    }
+    result_.layout_cost += machine_.cost() - cload;
 
     while (true) {
         const std::int64_t top = proc_of_slot_[0];
@@ -616,6 +621,12 @@ BtSimResult BtSim::run() {
 
         for (ProcId p = first; p < first + csize; ++p) sigma_[p] = s + 1;
 
+        // Step 4 swaps and the Step 5 unpack are both layout maintenance;
+        // everything charged from here to the end of the round goes to
+        // layout_cost, closing the component attribution (compute_cost +
+        // deliver_cost + layout_cost folds back to the full bt_cost).
+        const double c3 = machine_.cost();
+
         // Step 4: rotate sibling clusters when the next label is coarser.
         if (s + 1 < steps) {
             const unsigned next_label = program_.label(s + 1);
@@ -637,15 +648,10 @@ BtSimResult BtSim::run() {
         }
 
         {
-            const double c3 = machine_.cost();
-            (void)c3;
-        }
-        const double c4 = machine_.cost();
-        {
             trace::PhaseScope move(sink, ph(trace::Phase::kContextMove), label);
             unpack(label);  // Step 5
         }
-        result_.layout_cost += machine_.cost() - c4;
+        result_.layout_cost += machine_.cost() - c3;
     }
 
     result_.bt_cost = machine_.cost();

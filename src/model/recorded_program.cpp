@@ -35,6 +35,7 @@ Trace record(Program& program) {
     Trace trace;
     trace.processors = v;
     trace.max_messages = program.max_messages();
+    trace.data_words = std::max<std::size_t>(program.data_words(), 2);
     trace.events.resize(steps);
 
     auto contexts = DbspMachine::initial_contexts(program);

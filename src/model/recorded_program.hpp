@@ -22,6 +22,7 @@
 /// the data words it produces are the recorded payloads, not recomputed
 /// values — replaying is about the *computation's shape*.
 
+#include <algorithm>
 #include <vector>
 
 #include "model/program.hpp"
@@ -38,6 +39,7 @@ struct Trace {
 
     std::uint64_t processors = 0;
     std::size_t max_messages = 0;              ///< buffer bound B observed
+    std::size_t data_words = 2;                ///< context D to replay with (>= 2)
     std::vector<unsigned> labels;              ///< per superstep
     std::vector<std::vector<Event>> events;    ///< [superstep][processor]
 
@@ -53,14 +55,18 @@ Trace record(Program& program);
 /// Replays a Trace as a Program. Data words: word 0 holds the number of
 /// messages received so far, word 1 an order-sensitive digest of their
 /// payloads — enough to make functional equivalence across executors a
-/// meaningful check without carrying the original program's state.
+/// meaningful check without carrying the original program's state. The
+/// replay context carries trace.data_words user words (minimum 2, for the
+/// count and digest; words beyond 2 stay untouched) so the recorded
+/// program's mu — and with it every charged cost — matches the original's
+/// context geometry.
 class RecordedProgram final : public Program {
 public:
     explicit RecordedProgram(Trace trace);
 
     std::string name() const override { return "recorded-trace"; }
     std::uint64_t num_processors() const override { return trace_.processors; }
-    std::size_t data_words() const override { return 2; }
+    std::size_t data_words() const override { return std::max<std::size_t>(trace_.data_words, 2); }
     std::size_t max_messages() const override { return trace_.max_messages; }
     StepIndex num_supersteps() const override { return trace_.labels.size(); }
     unsigned label(StepIndex s) const override { return trace_.labels[s]; }

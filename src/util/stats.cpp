@@ -25,6 +25,18 @@ LogLogFit fit_loglog(const std::vector<double>& xs, const std::vector<double>& y
     const double dn = static_cast<double>(n);
     const double denom = dn * sxx - sx * sx;
     LogLogFit fit;
+    // denom = n * variance of the log-xs: it vanishes when all xs are equal
+    // (and can round to a tiny non-zero either side of 0), leaving the slope
+    // undefined. Return the degenerate horizontal fit through the mean
+    // instead of dividing — a NaN here used to poison every downstream bench
+    // report silently. The threshold is relative to sxx so it scales with
+    // the magnitude of the data.
+    if (std::abs(denom) <= 1e-12 * std::max(1.0, dn * sxx)) {
+        fit.slope = 0.0;
+        fit.intercept = sy / dn;
+        fit.r_squared = 0.0;
+        return fit;
+    }
     fit.slope = (dn * sxy - sx * sy) / denom;
     fit.intercept = (sy - fit.slope * sx) / dn;
     const double ss_tot = syy - sy * sy / dn;

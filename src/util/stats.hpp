@@ -20,7 +20,10 @@ struct LogLogFit {
 };
 
 /// Least-squares fit of log(ys[i]) vs log(xs[i]). Requires xs.size() ==
-/// ys.size() >= 2 and all values strictly positive.
+/// ys.size() >= 2 and all values strictly positive. When the xs are all
+/// (numerically) equal the slope is undefined; the fit degenerates to the
+/// horizontal line through the mean of log(ys) with r_squared = 0 instead of
+/// returning NaNs.
 LogLogFit fit_loglog(const std::vector<double>& xs, const std::vector<double>& ys);
 
 /// Arithmetic mean; requires non-empty input.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "algos/permutation.hpp"
+#include "core/hmm_simulator.hpp"
 #include "core/smoothing.hpp"
 #include "model/dbsp_machine.hpp"
 
@@ -101,6 +102,86 @@ TEST(Smoothing, SmoothedProgramFunctionallyEquivalent) {
     const auto via_smooth = machine.run(*smoothed);
     for (std::uint64_t p = 0; p < 256; ++p) {
         EXPECT_EQ(direct.data_of(p), via_smooth.data_of(p));
+    }
+}
+
+TEST(Smoothing, LabelSetsOnDegenerateMachines) {
+    // v = 1 (log v = 0): every construction must return exactly {0} — the
+    // set is required to start at 0 and end at log v, which coincide.
+    for (const auto& f : {AccessFunction::polynomial(0.35), AccessFunction::polynomial(0.5),
+                          AccessFunction::logarithmic(), AccessFunction::constant(1.0)}) {
+        EXPECT_EQ(hmm_label_set(f, 8, 1), (std::vector<unsigned>{0})) << f.name();
+        EXPECT_EQ(bt_label_set(f, 8, 1), (std::vector<unsigned>{0})) << f.name();
+    }
+    EXPECT_EQ(full_label_set(1), (std::vector<unsigned>{0}));
+
+    // v = 2: the only valid set is {0, 1}; in particular no label may exceed
+    // log v = 1 and no element may repeat, for any mu or function shape.
+    for (std::size_t mu : {std::size_t{3}, std::size_t{8}, std::size_t{1024}}) {
+        for (const auto& f :
+             {AccessFunction::polynomial(0.35), AccessFunction::polynomial(0.5),
+              AccessFunction::logarithmic(), AccessFunction::constant(1.0)}) {
+            EXPECT_EQ(hmm_label_set(f, mu, 2), (std::vector<unsigned>{0, 1}))
+                << f.name() << " mu=" << mu;
+            EXPECT_EQ(bt_label_set(f, mu, 2), (std::vector<unsigned>{0, 1}))
+                << f.name() << " mu=" << mu;
+        }
+    }
+
+    // Every construction yields a strictly increasing set from 0 to log v
+    // (Definition 3 requires l_0 = 0 and l_m = log v) across small machines.
+    for (std::uint64_t v : {1ull, 2ull, 4ull, 8ull, 16ull}) {
+        for (const auto& f : {AccessFunction::polynomial(0.5), AccessFunction::logarithmic()}) {
+            for (const auto& labels : {hmm_label_set(f, 8, v), bt_label_set(f, 8, v)}) {
+                ASSERT_FALSE(labels.empty());
+                EXPECT_EQ(labels.front(), 0u);
+                EXPECT_EQ(labels.back(), ilog2(v));
+                for (std::size_t i = 1; i < labels.size(); ++i) {
+                    EXPECT_LT(labels[i - 1], labels[i]);
+                }
+            }
+        }
+    }
+}
+
+TEST(Smoothing, SingleElementLabelSetOnSingleProcessor) {
+    // Smoothing a v = 1 program against {0} must be the identity: no
+    // upgrades, no dummies, and the result is trivially L-smooth.
+    RandomRoutingProgram prog(1, {0, 0, 0}, 7);
+    SmoothingStats stats;
+    auto smoothed = smooth(prog, {0}, &stats);
+    EXPECT_EQ(stats.upgraded, 0u);
+    EXPECT_EQ(stats.dummies, 0u);
+    EXPECT_EQ(smoothed->num_supersteps(), prog.num_supersteps());
+    EXPECT_TRUE(is_smooth(*smoothed, {0}));
+
+    model::DbspMachine machine(AccessFunction::logarithmic());
+    const auto direct = machine.run(prog);
+    RandomRoutingProgram prog2(1, {0, 0, 0}, 7);
+    auto smoothed2 = smooth(prog2, {0});
+    const auto via_smooth = machine.run(*smoothed2);
+    EXPECT_EQ(direct.data_of(0), via_smooth.data_of(0));
+}
+
+TEST(Smoothing, DegenerateMachinesSimulateCorrectly) {
+    // End-to-end: v in {1, 2} programs survive the full smoothing + HMM
+    // pipeline with functional equivalence (the Theorem 4 invariants are
+    // vacuous or minimal at these sizes, which is exactly what went
+    // untested before).
+    for (std::uint64_t v : {1ull, 2ull}) {
+        const std::vector<unsigned> step_labels =
+            v == 1 ? std::vector<unsigned>{0, 0} : std::vector<unsigned>{1, 0, 1, 0};
+        const auto f = AccessFunction::polynomial(0.5);
+        RandomRoutingProgram prog(v, step_labels, 13);
+        model::DbspMachine machine(f);
+        const auto direct = machine.run(prog);
+
+        RandomRoutingProgram prog2(v, step_labels, 13);
+        auto smoothed = smooth(prog2, hmm_label_set(f, prog2.context_words(), v));
+        const auto sim = HmmSimulator(f).simulate(*smoothed);
+        for (std::uint64_t p = 0; p < v; ++p) {
+            EXPECT_EQ(sim.data_of(p), direct.data_of(p)) << "v=" << v << " p=" << p;
+        }
     }
 }
 

@@ -115,6 +115,23 @@ TEST(Stats, FitLogLogRecoversExponent) {
     EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
 }
 
+TEST(Stats, FitLogLogDegeneratesGracefullyOnEqualXs) {
+    // All-equal xs make the slope undefined (denominator 0); the fit must
+    // return the horizontal line through the mean of log(ys), not NaNs.
+    const auto fit = fit_loglog({32.0, 32.0, 32.0}, {2.0, 8.0, 4.0});
+    EXPECT_TRUE(std::isfinite(fit.slope));
+    EXPECT_TRUE(std::isfinite(fit.intercept));
+    EXPECT_TRUE(std::isfinite(fit.r_squared));
+    EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+    EXPECT_NEAR(std::exp(fit.intercept), 4.0, 1e-12);  // geomean of ys
+    EXPECT_DOUBLE_EQ(fit.r_squared, 0.0);
+
+    // Two identical points: same degenerate shape.
+    const auto two = fit_loglog({7.0, 7.0}, {5.0, 5.0});
+    EXPECT_DOUBLE_EQ(two.slope, 0.0);
+    EXPECT_NEAR(std::exp(two.intercept), 5.0, 1e-12);
+}
+
 TEST(Stats, MeanAndGeometricMean) {
     EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
     EXPECT_NEAR(geometric_mean({1.0, 4.0}), 2.0, 1e-12);
