@@ -30,11 +30,12 @@ std::vector<std::complex<double>> signal(std::uint64_t n, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     using namespace dbsp;
-    bench::banner("E10 DFT on BT and the choice of g(x) (Section 5.3)",
-                  "x^a D-BSP scores both DFT algorithms equally; log x D-BSP and the "
-                  "BT simulation both prefer the recursive one");
+    bench::Experiment ex("e10", "E10 DFT on BT and the choice of g(x) (Section 5.3)",
+                         "x^a D-BSP scores both DFT algorithms equally; log x D-BSP and the "
+                         "BT simulation both prefer the recursive one");
+    if (!ex.parse_args(argc, argv)) return 2;
 
     const auto f = model::AccessFunction::polynomial(0.35);
 
@@ -70,7 +71,7 @@ int main() {
             ratios.push_back(res.bt_cost / shape);
         }
         table.print();
-        bench::report_band("direct-schedule BT sim / (n log^2 n)", ratios);
+        ex.check_band("direct-schedule BT sim / (n log^2 n)", ratios, 1.6);
     }
 
     bench::section("BT simulation of the recursive schedule: O(n log n loglog n) shape");
@@ -88,7 +89,7 @@ int main() {
             ratios.push_back(res.bt_cost / shape);
         }
         table.print();
-        bench::report_band("recursive-schedule BT sim / (n logn loglogn)", ratios);
+        ex.check_band("recursive-schedule BT sim / (n logn loglogn)", ratios, 1.7);
     }
 
     bench::section("head-to-head: measured constants and the crossover");
@@ -113,5 +114,5 @@ int main() {
                     "shape fits above, and off the log x D-BSP times, which order "
                     "the two algorithms the same way)\n");
     }
-    return 0;
+    return ex.finish();
 }

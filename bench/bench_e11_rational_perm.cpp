@@ -28,19 +28,20 @@ std::vector<std::complex<double>> signal(std::uint64_t n, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     using namespace dbsp;
-    bench::banner("E11 Rational-permutation delivery (Section 6)",
-                  "delivering the recursive DFT's transposes with the rational-"
-                  "permutation primitive instead of sorting yields the optimal "
-                  "O(n log n) BT time");
+    bench::Experiment ex("e11", "E11 Rational-permutation delivery (Section 6)",
+                         "delivering the recursive DFT's transposes with the rational-"
+                         "permutation primitive instead of sorting yields the optimal "
+                         "O(n log n) BT time");
+    if (!ex.parse_args(argc, argv)) return 2;
 
     for (const auto& f :
          {model::AccessFunction::polynomial(0.35), model::AccessFunction::logarithmic()}) {
         bench::section("f(x) = " + f.name());
         Table table({"n", "sort delivery", "transpose delivery", "speedup", "n log n",
                      "transpose/(n log n)", "#transposes"});
-        std::vector<double> ratios;
+        std::vector<double> ratios, speedups;
         for (std::uint64_t n : {16u, 256u, 65536u}) {
             algo::FftRecursiveProgram p_sort(signal(n, n));
             auto s_sort =
@@ -61,9 +62,14 @@ int main() {
                                   r_rat.bt_cost / shape,
                                   static_cast<double>(r_rat.transpose_invocations)});
             ratios.push_back(r_rat.bt_cost / shape);
+            speedups.push_back(r_sort.bt_cost / r_rat.bt_cost);
         }
         table.print();
-        bench::report_band("transpose-delivery cost / (n log n)", ratios);
+        ex.check_band("transpose-delivery cost / (n log n) [" + f.name() + "]", ratios, 1.8);
+        // Sorting pays the extra log log n the rational permutation avoids,
+        // so the speedup must widen across the sweep.
+        ex.check_min("sort/transpose speedup growth [" + f.name() + "]",
+                     speedups.back() / speedups.front(), 1.02);
     }
     std::printf("\n(the speedup column grows with n: sorting pays the extra log log n "
                 "the rational permutation avoids)\n");
@@ -99,5 +105,5 @@ int main() {
         std::printf("(the simulated D-BSP algorithm lands a machinery-constant above "
                     "the native optimum, at the same O(n log n) shape)\n");
     }
-    return 0;
+    return ex.finish();
 }

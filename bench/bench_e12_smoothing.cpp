@@ -16,11 +16,12 @@
 #include "util/bits.hpp"
 #include "util/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace dbsp;
-    bench::banner("E12 L-smoothing overhead ablation (Sections 3, 5.2.2)",
-                  "smoothing costs only a constant factor (polynomial in the "
-                  "(2,c)-uniformity constant c)");
+    bench::Experiment ex("e12", "E12 L-smoothing overhead ablation (Sections 3, 5.2.2)",
+                         "smoothing costs only a constant factor (polynomial in the "
+                         "(2,c)-uniformity constant c)");
+    if (!ex.parse_args(argc, argv)) return 2;
 
     const std::uint64_t v = 1 << 10;
     SplitMix64 seed_rng(5);
@@ -46,12 +47,16 @@ int main() {
         };
         const double tuned =
             run_with("HMM set (c2=0.5)", core::hmm_label_set(f, 10, v, 0.5));
-        run_with("HMM set (c2=0.25)", core::hmm_label_set(f, 10, v, 0.25));
-        run_with("HMM set (c2=0.75)", core::hmm_label_set(f, 10, v, 0.75));
+        const double c25 = run_with("HMM set (c2=0.25)", core::hmm_label_set(f, 10, v, 0.25));
+        const double c75 = run_with("HMM set (c2=0.75)", core::hmm_label_set(f, 10, v, 0.75));
         const double full = run_with("full {0..log v}", core::full_label_set(v));
         table.print();
         std::printf("tuned-set cost / full-set cost = %.3f (both are Theta(bound); the "
                     "tuned set trades dummies for upgrades)\n", tuned / full);
+        // Constant-factor claim: every label-set choice lands within a small
+        // band of every other on the same program.
+        ex.check_band("smoothing cost across label sets [" + f.name() + "]",
+                      {tuned, c25, c75, full}, 3.0);
     }
-    return 0;
+    return ex.finish();
 }

@@ -25,11 +25,12 @@
 #include "model/dbsp_machine.hpp"
 #include "util/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace dbsp;
-    bench::banner("E13 Locality ablation: structured vs flat parallelism",
-                  "only submachine locality translates into locality of reference; "
-                  "a flat network pays full-memory traffic every round");
+    bench::Experiment ex("e13", "E13 Locality ablation: structured vs flat parallelism",
+                         "only submachine locality translates into locality of reference; "
+                         "a flat network pays full-memory traffic every round");
+    if (!ex.parse_args(argc, argv)) return 2;
 
     const auto f = model::AccessFunction::polynomial(0.5);
     bench::section("same sorting problem, two networks, x^0.5 everywhere");
@@ -69,9 +70,9 @@ int main() {
         ns.push_back(static_cast<double>(n));
     }
     table.print();
-    bench::report_slope("flat/structured simulated-cost gap vs n", ns, gaps, 1.0);
+    ex.check_slope("flat/structured simulated-cost gap vs n", ns, gaps, 1.0, 0.35);
     std::printf("(bitonic's simulation is Theta(n^1.5); odd-even transposition's is "
                 "~Theta(n^2.5) (n rounds of full-memory traffic): the gap grows like n — structured submachine "
                 "locality is what the simulation converts into temporal locality)\n");
-    return 0;
+    return ex.finish();
 }

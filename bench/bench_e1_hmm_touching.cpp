@@ -23,10 +23,11 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     using namespace dbsp;
-    bench::banner("E1  HMM touching (Fact 1)",
-                  "time to access the first n cells of f(x)-HMM is Theta(n f(n))");
+    bench::Experiment ex("e1", "E1  HMM touching (Fact 1)",
+                         "time to access the first n cells of f(x)-HMM is Theta(n f(n))");
+    if (!ex.parse_args(argc, argv)) return 2;
 
     const auto functions = bench::case_study_functions();
     std::vector<Point> points;
@@ -55,9 +56,11 @@ int main() {
             ratios.push_back(r.cost / r.bound);
         }
         table.print();
-        bench::report_band("measured / (n f(n))", ratios);
-        bench::report_slope("touching cost vs n", ns, costs,
-                            f.name() == "log x" ? 1.0 : 1.0 + (f.name() == "x^0.35" ? 0.35 : 0.50));
+        ex.check_band("measured / (n f(n)) [" + f.name() + "]", ratios, 2.0);
+        ex.check_slope(
+            "touching cost vs n [" + f.name() + "]", ns, costs,
+            f.name() == "log x" ? 1.0 : 1.0 + (f.name() == "x^0.35" ? 0.35 : 0.50),
+            f.name() == "log x" ? 0.20 : 0.05);
     }
-    return 0;
+    return ex.finish();
 }

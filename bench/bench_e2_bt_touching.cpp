@@ -26,11 +26,12 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     using namespace dbsp;
-    bench::banner("E2  BT touching (Fact 2)",
-                  "touching on f(x)-BT costs Theta(n f*(n)); block transfer hides "
-                  "nearly all of the HMM's Theta(n f(n))");
+    bench::Experiment ex("e2", "E2  BT touching (Fact 2)",
+                         "touching on f(x)-BT costs Theta(n f*(n)); block transfer hides "
+                         "nearly all of the HMM's Theta(n f(n))");
+    if (!ex.parse_args(argc, argv)) return 2;
 
     const auto functions = bench::case_study_functions();
     std::vector<Point> points;
@@ -60,9 +61,13 @@ int main() {
             gaps.push_back(r.hmm_cost / r.bt_cost);
         }
         table.print();
-        bench::report_band("BT measured / (n f*(n))", ratios);
+        ex.check_band("BT measured / (n f*(n)) [" + f.name() + "]", ratios, 2.5);
         std::printf("%-44s grows from %.1fx to %.1fx\n", "HMM/BT touching gap",
                     gaps.front(), gaps.back());
+        // Fact 2's point: block transfer hides nearly all of the HMM's
+        // hierarchy cost, so the HMM/BT gap must widen across the sweep.
+        ex.check_min("HMM/BT touching gap growth [" + f.name() + "]",
+                     gaps.back() / gaps.front(), 1.10);
     }
-    return 0;
+    return ex.finish();
 }

@@ -51,11 +51,12 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     using namespace dbsp;
-    bench::banner("E3  D-BSP -> HMM simulation (Theorem 5 / Corollary 6)",
-                  "any T-time fine-grained D-BSP(v, mu, f) program simulates on "
-                  "f(x)-HMM in optimal Theta(T v) time");
+    bench::Experiment ex("e3", "E3  D-BSP -> HMM simulation (Theorem 5 / Corollary 6)",
+                         "any T-time fine-grained D-BSP(v, mu, f) program simulates on "
+                         "f(x)-HMM in optimal Theta(T v) time");
+    if (!ex.parse_args(argc, argv)) return 2;
 
     const auto functions = bench::case_study_functions();
     std::vector<Point> points;
@@ -103,8 +104,14 @@ int main() {
             vs.push_back(static_cast<double>(v));
         }
         table.print();
-        bench::report_band("slowdown / v (Cor. 6 predicts Theta(1))", smart_band);
-        bench::report_slope("naive slowdown/v growth vs v", vs, naive_trend, 0.0);
+        ex.check_band("slowdown / v (Cor. 6 Theta(1)) [" + f.name() + "]", smart_band, 2.2);
+        // The pinned-context port pays a growing hierarchy penalty; the
+        // Figure 1 schedule does not. The separation is the *sign* of the
+        // naive fit's exponent, so gate it as a floor, not a target value.
+        const auto naive_fit = fit_loglog(vs, naive_trend);
+        ex.series("naive slowdown/v vs v [" + f.name() + "]", vs, naive_trend);
+        ex.check_min("naive slowdown/v growth exponent [" + f.name() + "]", naive_fit.slope,
+                     0.03);
         std::printf("(the naive column's exponent is > 0: the pinned-context port pays a "
                     "growing hierarchy penalty; the Figure 1 schedule does not)\n");
     }
@@ -124,5 +131,5 @@ int main() {
         env_trace.report("HMM simulation, " + pt.f.name() + ", v=" + std::to_string(pt.v),
                          res.hmm_cost);
     }
-    return 0;
+    return ex.finish();
 }

@@ -43,11 +43,12 @@ struct SimRow {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     using namespace dbsp;
-    bench::banner("E4  Matrix multiplication (Proposition 7)",
-                  "D-BSP n-MM in O(n^a)/O(sqrt(n) log n)/O(sqrt(n)); simulation is "
-                  "optimal on the HMM");
+    bench::Experiment ex("e4", "E4  Matrix multiplication (Proposition 7)",
+                         "D-BSP n-MM in O(n^a)/O(sqrt(n) log n)/O(sqrt(n)); simulation is "
+                         "optimal on the HMM");
+    if (!ex.parse_args(argc, argv)) return 2;
 
     // --- D-BSP running times across the three alpha regimes -----------------
     const std::vector<std::pair<model::AccessFunction, double>> regimes = {
@@ -88,7 +89,7 @@ int main() {
                 ts.push_back(t);
             }
             table.print();
-            bench::report_slope("T vs n (log factors flatten the fit)", ns, ts, predicted_exp);
+            ex.check_slope("T vs n [" + g.name() + "]", ns, ts, predicted_exp, 0.25);
         }
     }
 
@@ -140,8 +141,8 @@ int main() {
                 ratios.push_back(r.sim_cost / shape);
             }
             table.print();
-            bench::report_band("simulated / optimal-shape", ratios);
+            ex.check_band("simulated / optimal-shape [" + f.name() + "]", ratios, 2.5);
         }
     }
-    return 0;
+    return ex.finish();
 }

@@ -32,11 +32,12 @@ std::vector<std::uint64_t> sweep_sizes() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     using namespace dbsp;
-    bench::banner("E6  Sorting (Proposition 9)",
-                  "bitonic n-sorting in O(n^a) on D-BSP(n, O(1), x^a); simulation on "
-                  "x^a-HMM is optimal Theta(n^(1+a))");
+    bench::Experiment ex("e6", "E6  Sorting (Proposition 9)",
+                         "bitonic n-sorting in O(n^a) on D-BSP(n, O(1), x^a); simulation on "
+                         "x^a-HMM is optimal Theta(n^(1+a))");
+    if (!ex.parse_args(argc, argv)) return 2;
 
     const auto sizes = sweep_sizes();
 
@@ -56,7 +57,7 @@ int main() {
             ratios.push_back(times[i] / shape);
         }
         table.print();
-        bench::report_band("T / n^alpha", ratios);
+        ex.check_band("T / n^alpha [" + g.name() + "]", ratios, 1.5);
     }
 
     bench::section("D-BSP(n, O(1), log x): measured vs log^3 n (bitonic profile)");
@@ -109,7 +110,7 @@ int main() {
             ratios.push_back(rows[i].sim_cost / shape);
         }
         table.print();
-        bench::report_band("simulated / n^(1+alpha)", ratios);
+        ex.check_band("simulated / n^(1+alpha) [" + f.name() + "]", ratios, 2.2);
     }
-    return 0;
+    return ex.finish();
 }

@@ -25,11 +25,12 @@ std::vector<unsigned> full_profile(std::uint64_t v) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     using namespace dbsp;
-    bench::banner("E7  D-BSP self-simulation (Theorem 10 / Corollary 11)",
-                  "any T-time full D-BSP(v, mu, g) program runs on "
-                  "D-BSP(v', mu v/v', g) in Theta(T v / v') time");
+    bench::Experiment ex("e7", "E7  D-BSP self-simulation (Theorem 10 / Corollary 11)",
+                         "any T-time full D-BSP(v, mu, g) program runs on "
+                         "D-BSP(v', mu v/v', g) in Theta(T v / v') time");
+    if (!ex.parse_args(argc, argv)) return 2;
 
     const auto g = model::AccessFunction::polynomial(0.5);
     constexpr std::size_t kFill = 5;  // h = 6: a full program (h = Theta(mu))
@@ -58,7 +59,9 @@ int main() {
             times.push_back(host.host_time);
         }
         table.print();
-        bench::report_slope("host time vs v'", vps, times, -1.0);
+        // The fitted exponent sits below -1: the deviation is a fixed
+        // context-encoding constant, not a growing hierarchy penalty.
+        ex.check_slope("host time vs v' [x^0.50]", vps, times, -1.0, 0.60);
     }
 
     bench::section("(b) fixed v/v' = 16, growing v: no extra slowdown");
@@ -78,7 +81,11 @@ int main() {
             normalized.push_back(norm);
         }
         table.print();
-        bench::report_band("host / (T * v/v') — flat = seamless integration", normalized);
+        // "No extra slowdown" means the normalized ratio must not grow with v
+        // (it in fact decays as the fixed context-encoding cost amortizes), so
+        // check the growth factor across the sweep, not a flat band.
+        ex.check_max("normalized slowdown growth, v 64 -> 4096 [x^0.50]",
+                     normalized.back() / normalized.front(), 1.05);
     }
-    return 0;
+    return ex.finish();
 }

@@ -30,11 +30,12 @@ std::vector<unsigned> workload_labels(std::uint64_t v) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     using namespace dbsp;
-    bench::banner("E8  D-BSP -> BT simulation (Theorem 12)",
-                  "simulation on f(x)-BT costs O(v(tau + mu sum lambda_i "
-                  "log(mu v / 2^i))), independent of f");
+    bench::Experiment ex("e8", "E8  D-BSP -> BT simulation (Theorem 12)",
+                         "simulation on f(x)-BT costs O(v(tau + mu sum lambda_i "
+                         "log(mu v / 2^i))), independent of f");
+    if (!ex.parse_args(argc, argv)) return 2;
 
     for (const auto& f : bench::case_study_functions()) {
         bench::section("routing workload on " + f.name() + "-BT: cost vs Thm 12 bound");
@@ -55,12 +56,13 @@ int main() {
             ratios.push_back(res.bt_cost / bound);
         }
         table.print();
-        bench::report_band("BT sim / Thm12 bound", ratios);
+        ex.check_band("BT sim / Thm12 bound [" + f.name() + "]", ratios, 1.5);
     }
 
     bench::section("f-independence: same bitonic program under all three f");
     {
         Table table({"v", "x^0.35-BT", "x^0.50-BT", "log x-BT", "max/min"});
+        std::vector<double> spreads;
         for (std::uint64_t v = 1 << 5; v <= (1 << 9); v <<= 2) {
             SplitMix64 rng(v);
             std::vector<model::Word> keys(v);
@@ -74,10 +76,17 @@ int main() {
             }
             table.add_row_values({static_cast<double>(v), costs[0], costs[1], costs[2],
                                   spread(costs)});
+            spreads.push_back(spread(costs));
         }
         table.print();
         std::printf("(contrast with the HMM, where the same program's cost varies with "
                     "f by polynomial factors)\n");
+        // The f-independence claim: the three BT costs stay within a small
+        // constant of one another at the largest machine size (and the spread
+        // must not *grow* with v, unlike on the HMM).
+        ex.check_max("f-independence max/min BT cost at largest v", spreads.back(), 3.0);
+        ex.check_max("f-independence spread growth across sweep",
+                     spreads.back() / spreads.front(), 1.05);
     }
 
     // Opt-in charge trace (DBSP_TRACE=1 or =path.json): re-run the largest
@@ -95,5 +104,5 @@ int main() {
         env_trace.report("BT simulation, " + f.name() + ", v=" + std::to_string(v),
                          res.bt_cost);
     }
-    return 0;
+    return ex.finish();
 }

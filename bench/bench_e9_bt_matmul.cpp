@@ -13,11 +13,12 @@
 #include "core/smoothing.hpp"
 #include "util/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace dbsp;
-    bench::banner("E9  Matrix multiplication on BT (Section 5.3)",
-                  "simulated n-MM is optimal O(n^(3/2)) on f(x)-BT; the trivial "
-                  "step-by-step simulation pays an extra unbounded factor");
+    bench::Experiment ex("e9", "E9  Matrix multiplication on BT (Section 5.3)",
+                         "simulated n-MM is optimal O(n^(3/2)) on f(x)-BT; the trivial "
+                         "step-by-step simulation pays an extra unbounded factor");
+    if (!ex.parse_args(argc, argv)) return 2;
 
     for (const auto& f :
          {model::AccessFunction::polynomial(0.5), model::AccessFunction::logarithmic()}) {
@@ -47,9 +48,10 @@ int main() {
             ns.push_back(static_cast<double>(n));
         }
         table.print();
-        bench::report_band("BT sim / n^(3/2)", ratios);
-        bench::report_slope("naive/smart gap growth vs n", ns, gaps, 0.0);
+        ex.check_band("BT sim / n^(3/2) [" + f.name() + "]", ratios, 2.6);
         const auto fit = fit_loglog(ns, gaps);
+        ex.series("naive/smart gap vs n [" + f.name() + "]", ns, gaps);
+        ex.check_min("naive/smart gap growth exponent [" + f.name() + "]", fit.slope, 0.03);
         if (fit.slope > 0.01 && gaps.back() < 1.0) {
             std::printf("(gap exponent %.2f > 0: the trivial port diverges; "
                         "extrapolated crossover at n ~ 2^%.0f)\n", fit.slope,
@@ -59,5 +61,5 @@ int main() {
                         "crossover row onward)\n");
         }
     }
-    return 0;
+    return ex.finish();
 }

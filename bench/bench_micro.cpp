@@ -23,6 +23,9 @@
 #include "model/cost_table_cache.hpp"
 #include "model/dbsp_machine.hpp"
 #include "model/superstep_exec.hpp"
+#include "report/experiment.hpp"
+#include "report/json.hpp"
+#include "report/provenance.hpp"
 #include "trace/aggregate.hpp"
 #include "util/bits.hpp"
 #include "util/rng.hpp"
@@ -138,22 +141,15 @@ JsonMeasurement run_e3_workload(std::uint64_t v, int reps, bool fast_paths,
     return m;
 }
 
-void write_measurement(std::FILE* out, const char* name, const JsonMeasurement& m,
-                       bool trailing_comma) {
-    std::fprintf(out,
-                 "    \"%s\": {\n"
-                 "      \"wall_seconds\": %.6f,\n"
-                 "      \"words_simulated\": %llu,\n"
-                 "      \"words_per_sec\": %.1f,\n"
-                 "      \"hmm_cost\": %.17g,\n"
-                 "      \"cost_table_builds\": %llu,\n"
-                 "      \"cost_table_builds_avoided\": %llu\n"
-                 "    }%s\n",
-                 name, m.seconds, static_cast<unsigned long long>(m.words),
-                 m.words_per_sec(), m.hmm_cost,
-                 static_cast<unsigned long long>(m.table_builds),
-                 static_cast<unsigned long long>(m.builds_avoided),
-                 trailing_comma ? "," : "");
+report::Json measurement_json(const JsonMeasurement& m) {
+    report::Json j = report::Json::object();
+    j.set("wall_seconds", m.seconds);
+    j.set("words_simulated", m.words);
+    j.set("words_per_sec", m.words_per_sec());
+    j.set("hmm_cost", m.hmm_cost);
+    j.set("cost_table_builds", m.table_builds);
+    j.set("cost_table_builds_avoided", m.builds_avoided);
+    return j;
 }
 
 int run_json_mode(const std::string& path) {
@@ -194,29 +190,26 @@ int run_json_mode(const std::string& path) {
     const double tracing_overhead_pct =
         fast.seconds > 0.0 ? 100.0 * (traced.seconds - fast.seconds) / fast.seconds : 0.0;
 
-    std::FILE* out = std::fopen(path.c_str(), "w");
-    if (out == nullptr) {
-        std::fprintf(stderr, "bench_micro: cannot open %s for writing\n", path.c_str());
+    report::Json doc = report::Json::object();
+    doc.set("workload", "E3 random routing, v=" + std::to_string(kProcessors) +
+                            ", x^0.5-HMM, " + std::to_string(kReps) + " reps");
+    doc.set("provenance", report::Provenance::collect().to_json());
+    report::Json measurements = report::Json::object();
+    measurements.set("bulk_with_cache", measurement_json(fast));
+    measurements.set("bulk_with_cache_traced", measurement_json(traced));
+    measurements.set("per_word_no_cache", measurement_json(slow));
+    doc.set("measurements", std::move(measurements));
+    doc.set("speedup_bulk_vs_per_word", speedup);
+    doc.set("costs_bit_identical", fast.hmm_cost == slow.hmm_cost);
+    doc.set("tracing_overhead_pct", tracing_overhead_pct);
+    doc.set("trace_total_equals_cost", traced.trace_exact);
+    doc.set("metrics", report::metrics_to_json());
+    std::string error;
+    if (!doc.save_file(path, &error)) {
+        std::fprintf(stderr, "bench_micro: cannot write %s: %s\n", path.c_str(),
+                     error.c_str());
         return 1;
     }
-    std::fprintf(out,
-                 "{\n"
-                 "  \"workload\": \"E3 random routing, v=%llu, x^0.5-HMM, %d reps\",\n"
-                 "  \"measurements\": {\n",
-                 static_cast<unsigned long long>(kProcessors), kReps);
-    write_measurement(out, "bulk_with_cache", fast, true);
-    write_measurement(out, "bulk_with_cache_traced", traced, true);
-    write_measurement(out, "per_word_no_cache", slow, false);
-    std::fprintf(out,
-                 "  },\n"
-                 "  \"speedup_bulk_vs_per_word\": %.3f,\n"
-                 "  \"costs_bit_identical\": %s,\n"
-                 "  \"tracing_overhead_pct\": %.2f,\n"
-                 "  \"trace_total_equals_cost\": %s\n"
-                 "}\n",
-                 speedup, fast.hmm_cost == slow.hmm_cost ? "true" : "false",
-                 tracing_overhead_pct, traced.trace_exact ? "true" : "false");
-    std::fclose(out);
 
     std::printf("E3 workload (v=%llu, %d reps):\n",
                 static_cast<unsigned long long>(kProcessors), kReps);

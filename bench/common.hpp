@@ -1,24 +1,26 @@
 #pragma once
 
 /// \file common.hpp
-/// Shared helpers for the experiment binaries. Each bench_eNN binary
-/// reproduces one claim of the paper (see DESIGN.md §6) and prints
-/// paper-style tables: one row per parameter point, columns for the measured
-/// simulated cost, the closed-form prediction, and their ratio. A ratio
-/// column that stays within a constant band across the sweep is the
-/// empirical signature of the claimed Theta()/O() bound.
+/// Shared harness for the experiment binaries. Each bench_eNN binary
+/// reproduces one claim of the paper (see DESIGN.md §6) and drives one
+/// bench::Experiment: it prints the paper-style tables (one row per sweep
+/// point, columns for the measured simulated cost, the closed-form
+/// prediction, and their ratio) AND records every comparison as a
+/// machine-checkable report::Check with a declared tolerance. finish()
+/// prints the verdict summary and, when the binary was invoked with
+/// `--json FILE`, writes the full ExperimentResult artifact (provenance
+/// envelope + measured series + checks + metrics snapshot) for
+/// tools/dbsp_report to merge and gate.
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "model/access_function.hpp"
-#include "trace/aggregate.hpp"
-#include "trace/chrome_trace.hpp"
+#include "report/experiment.hpp"
+#include "report/trace_bundle.hpp"
 #include "trace/sink.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
@@ -26,32 +28,160 @@
 
 namespace dbsp::bench {
 
-/// Print the experiment banner.
-inline void banner(const char* id, const char* claim) {
-    std::printf("==============================================================\n");
-    std::printf("%s\n", id);
-    std::printf("Paper claim: %s\n", claim);
-    std::printf("==============================================================\n");
-}
-
 inline void section(const std::string& text) {
     std::printf("\n--- %s ---\n", text.c_str());
 }
 
-/// Print a fitted growth exponent next to its predicted value.
-inline void report_slope(const std::string& what, const std::vector<double>& xs,
-                         const std::vector<double>& ys, double predicted) {
-    const auto fit = fit_loglog(xs, ys);
-    std::printf("%-44s measured exponent %.3f (predicted %.3f, R^2 %.4f)\n",
-                what.c_str(), fit.slope, predicted, fit.r_squared);
-}
+/// One experiment run: console reporting + conformance recording.
+class Experiment {
+public:
+    Experiment(std::string id, std::string title, std::string claim) {
+        result_.id = std::move(id);
+        result_.title = std::move(title);
+        result_.claim = std::move(claim);
+        std::printf("==============================================================\n");
+        std::printf("%s\n", result_.title.c_str());
+        std::printf("Paper claim: %s\n", result_.claim.c_str());
+        std::printf("==============================================================\n");
+    }
 
-/// Print a ratio-band summary: Theta() bounds show as a bounded spread.
-inline void report_band(const std::string& what, const std::vector<double>& ratios) {
-    std::printf("%-44s ratio band [%.3f, %.3f], spread %.2fx\n", what.c_str(),
-                *std::min_element(ratios.begin(), ratios.end()),
-                *std::max_element(ratios.begin(), ratios.end()), spread(ratios));
-}
+    /// Accept `--json FILE` (write the artifact there). Returns false after
+    /// printing usage on anything unrecognized; the caller should exit 2.
+    bool parse_args(int argc, char** argv) {
+        for (int i = 1; i < argc; ++i) {
+            const std::string_view arg = argv[i];
+            if (arg == "--json" && i + 1 < argc) {
+                json_path_ = argv[++i];
+            } else {
+                std::fprintf(stderr, "usage: %s [--json FILE]\n", argv[0]);
+                return false;
+            }
+        }
+        return true;
+    }
+
+    /// Record a raw measured series in the artifact (the numbers behind the
+    /// fitted checks, so a reviewer can re-fit offline).
+    void series(const std::string& name, const std::vector<double>& xs,
+                const std::vector<double>& ys) {
+        result_.series.push_back({name, xs, ys});
+    }
+
+    /// Fit log(ys) vs log(xs) and check the growth exponent against the
+    /// theorem's closed-form value: |slope - predicted| <= tolerance.
+    /// Also records the series under the check's label. Returns the fit.
+    LogLogFit check_slope(const std::string& label, const std::vector<double>& xs,
+                          const std::vector<double>& ys, double predicted,
+                          double tolerance) {
+        const LogLogFit fit = fit_loglog(xs, ys);
+        report::Check c;
+        c.label = label;
+        c.id = report::ExperimentResult::slugify(label);
+        c.kind = "exponent";
+        c.measured = fit.slope;
+        c.predicted = predicted;
+        c.tolerance = tolerance;
+        c.r_squared = fit.r_squared;
+        c.max_residual = fit.max_residual;
+        c.pass = report::Check::evaluate(c.kind, c.measured, c.predicted, c.tolerance);
+        std::printf("%-44s measured exponent %.3f (predicted %.3f +- %.2f, R^2 %.4f) [%s]\n",
+                    label.c_str(), fit.slope, predicted, tolerance, fit.r_squared,
+                    c.pass ? "pass" : "FAIL");
+        series(label, xs, ys);
+        push(c);
+        return fit;
+    }
+
+    /// Check that a measured/predicted ratio series stays within a constant
+    /// band: spread(ratios) <= max_spread — the empirical signature of a
+    /// Theta() bound.
+    double check_band(const std::string& label, const std::vector<double>& ratios,
+                      double max_spread) {
+        const double s = spread(ratios);
+        report::Check c;
+        c.label = label;
+        c.id = report::ExperimentResult::slugify(label);
+        c.kind = "band";
+        c.measured = s;
+        c.predicted = 1.0;
+        c.tolerance = max_spread;
+        c.pass = report::Check::evaluate(c.kind, c.measured, c.predicted, c.tolerance);
+        std::printf("%-44s ratio band [%.3f, %.3f], spread %.2fx (allowed %.2fx) [%s]\n",
+                    label.c_str(), *std::min_element(ratios.begin(), ratios.end()),
+                    *std::max_element(ratios.begin(), ratios.end()), s, max_spread,
+                    c.pass ? "pass" : "FAIL");
+        push(c);
+        return s;
+    }
+
+    /// Check measured >= floor_value (e.g. a separation the paper says grows).
+    bool check_min(const std::string& label, double measured, double floor_value) {
+        report::Check c;
+        c.label = label;
+        c.id = report::ExperimentResult::slugify(label);
+        c.kind = "min";
+        c.measured = measured;
+        c.predicted = floor_value;
+        c.pass = report::Check::evaluate(c.kind, measured, floor_value, 0.0);
+        std::printf("%-44s measured %.3f (>= %.3f required) [%s]\n", label.c_str(),
+                    measured, floor_value, c.pass ? "pass" : "FAIL");
+        push(c);
+        return c.pass;
+    }
+
+    /// Check measured <= ceiling_value (e.g. an overhead the paper bounds).
+    bool check_max(const std::string& label, double measured, double ceiling_value) {
+        report::Check c;
+        c.label = label;
+        c.id = report::ExperimentResult::slugify(label);
+        c.kind = "max";
+        c.measured = measured;
+        c.predicted = ceiling_value;
+        c.pass = report::Check::evaluate(c.kind, measured, ceiling_value, 0.0);
+        std::printf("%-44s measured %.3f (<= %.3f required) [%s]\n", label.c_str(),
+                    measured, ceiling_value, c.pass ? "pass" : "FAIL");
+        push(c);
+        return c.pass;
+    }
+
+    /// Print the verdict summary; write the JSON artifact when requested.
+    /// Returns the process exit code: 0 all checks pass, 1 a check failed,
+    /// 2 the artifact could not be written.
+    int finish() {
+        std::size_t passed = 0;
+        for (const auto& c : result_.checks) passed += c.pass ? 1 : 0;
+        std::printf("\n%s: %zu/%zu checks pass -> %s\n", result_.id.c_str(), passed,
+                    result_.checks.size(), result_.pass() ? "PASS" : "FAIL");
+        if (!json_path_.empty()) {
+            const auto prov = report::Provenance::collect();
+            std::string error;
+            if (!result_.to_json(prov, true).save_file(json_path_, &error)) {
+                std::fprintf(stderr, "%s: cannot write %s: %s\n", result_.id.c_str(),
+                             json_path_.c_str(), error.c_str());
+                return 2;
+            }
+            std::printf("wrote %s\n", json_path_.c_str());
+        }
+        return result_.pass() ? 0 : 1;
+    }
+
+    const report::ExperimentResult& result() const { return result_; }
+
+private:
+    void push(report::Check c) {
+        for (const auto& existing : result_.checks) {
+            if (existing.id == c.id) {
+                std::fprintf(stderr, "%s: duplicate check id \"%s\"\n", result_.id.c_str(),
+                             c.id.c_str());
+                std::abort();
+            }
+        }
+        result_.checks.push_back(std::move(c));
+    }
+
+    report::ExperimentResult result_;
+    std::string json_path_;
+};
 
 /// Evaluate `fn` over every sweep point concurrently and return the results
 /// in input order. Each point is an independent simulation (its own machine,
@@ -69,56 +199,26 @@ auto parallel_sweep(const std::vector<Point>& points, Fn&& fn)
 }
 
 /// Opt-in charge tracing for the experiment binaries, driven by the
-/// DBSP_TRACE environment variable:
-///   unset / "" / "0"  — tracing off (sink() returns nullptr, zero overhead);
-///   "1"               — print an aggregate charge-trace report;
-///   any other value   — treated as a path: print the report AND write a
-///                        Chrome trace_event JSON file there.
+/// DBSP_TRACE environment variable (see report::TraceBundle::from_env).
 /// The sink is not thread-safe, so binaries attach it to one representative
 /// configuration re-run serially after the parallel sweep, not to the sweep
 /// workers themselves.
 class EnvTrace {
 public:
-    EnvTrace() {
-        const char* env = std::getenv("DBSP_TRACE");
-        if (env == nullptr || *env == '\0' || std::string_view(env) == "0") return;
-        aggregate_ = std::make_unique<trace::AggregateSink>();
-        multi_.add(aggregate_.get());
-        if (std::string_view(env) != "1") {
-            path_ = env;
-            chrome_ = std::make_unique<trace::ChromeTraceSink>("bench");
-            multi_.add(chrome_.get());
-        }
-    }
+    EnvTrace() : bundle_(report::TraceBundle::from_env("bench")) {}
 
-    bool enabled() const { return aggregate_ != nullptr; }
-    trace::Sink* sink() { return enabled() ? &multi_ : nullptr; }
+    bool enabled() const { return bundle_.enabled(); }
+    trace::Sink* sink() { return bundle_.sink(); }
 
     /// Print the aggregate report for the traced run (and write the Chrome
     /// file if a path was given). \p charged_cost is the simulator's own
     /// total, audited against the mirror.
     void report(const std::string& what, double charged_cost) const {
-        if (!enabled()) return;
-        section("charge trace: " + what);
-        aggregate_->print(stdout);
-        if (aggregate_->total() != charged_cost) {
-            std::fprintf(stderr, "DBSP_TRACE: trace total %.17g != charged cost %.17g\n",
-                         aggregate_->total(), charged_cost);
-        }
-        if (chrome_ != nullptr) {
-            if (chrome_->write(path_)) {
-                std::printf("wrote Chrome trace to %s\n", path_.c_str());
-            } else {
-                std::fprintf(stderr, "DBSP_TRACE: cannot write \"%s\"\n", path_.c_str());
-            }
-        }
+        bundle_.report("DBSP_TRACE", what, charged_cost);
     }
 
 private:
-    std::unique_ptr<trace::AggregateSink> aggregate_;
-    std::unique_ptr<trace::ChromeTraceSink> chrome_;
-    trace::MultiSink multi_;
-    std::string path_;
+    report::TraceBundle bundle_;
 };
 
 /// The paper's case-study access functions.

@@ -11,6 +11,7 @@
 /// As with hmm::Machine, the instance stores real words and meters the exact
 /// model cost of every operation.
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -31,6 +32,11 @@ using model::Word;
 class Machine {
 public:
     Machine(AccessFunction f, std::uint64_t capacity);
+
+    /// Publishes the accumulated range/transfer telemetry to the global
+    /// metrics registry in one batch (plain-member accumulation on the hot
+    /// paths; see the note in machine.cpp).
+    ~Machine();
 
     /// --- charged word accesses (HMM-style) ---------------------------------
     Word read(Addr x);
@@ -102,6 +108,12 @@ private:
     double unit_ops_ = 0.0;
     std::uint64_t block_transfers_ = 0;
     trace::Sink* trace_ = nullptr;  ///< not owned; nullptr = tracing off
+    std::uint64_t range_ops_ = 0;
+    std::uint64_t range_words_ = 0;
+    std::uint64_t transfer_words_ = 0;
+    /// Block-transfer count per log2 size class (indexed by bit_width of
+    /// len); mirrors report::Histogram's bucketing.
+    std::array<std::uint64_t, 65> transfer_size_by_bucket_{};
 };
 
 }  // namespace dbsp::bt

@@ -7,6 +7,7 @@
 #include "bt/sort.hpp"
 #include "bt/transpose.hpp"
 #include "model/superstep_exec.hpp"
+#include "report/metrics.hpp"
 #include "util/bits.hpp"
 #include "util/contracts.hpp"
 
@@ -543,6 +544,8 @@ BtSimResult BtSim::run() {
     const StepIndex steps = program_.num_supersteps();
     DBSP_REQUIRE(steps > 0);
     DBSP_REQUIRE(program_.label(steps - 1) == 0);
+    static auto& metric_runs = report::metric_counter("sim.bt.runs");
+    metric_runs.add();
     result_.data_words = d_;
     // The machine is fresh (cost 0); a reused sink must restart its mirror.
     if (options_.trace != nullptr) options_.trace->reset_total();
@@ -575,6 +578,8 @@ BtSimResult BtSim::run() {
         const std::uint64_t csize = tree_.cluster_size(label);
         const ProcId first = tree_.cluster_first(tree_.cluster_of(top_proc, label), label);
         ++result_.rounds;
+        static auto& metric_rounds = report::metric_counter("sim.bt.rounds");
+        metric_rounds.add();
 
         if (options_.check_invariants) check_round_invariants(first, csize, s);
 
@@ -616,6 +621,12 @@ BtSimResult BtSim::run() {
             trace::PhaseScope deliver(sink, ph(trace::Phase::kDeliverSort), label);
             deliver_sort(label, first, csize);
         }
+        // BT delivery bypasses model::deliver_messages (transpose/sort), so it
+        // publishes its own batch telemetry under the shared metric names.
+        static auto& metric_delivered = report::metric_counter("model.messages_delivered");
+        static auto& metric_batch = report::metric_histogram("model.delivery_batch");
+        metric_delivered.add(last_outgoing_);
+        metric_batch.observe(last_outgoing_);
         if (sink != nullptr) sink->messages(last_outgoing_);
         result_.deliver_cost += machine_.cost() - c2;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "model/superstep_exec.hpp"
+#include "report/metrics.hpp"
 #include "util/contracts.hpp"
 
 namespace dbsp::core {
@@ -161,6 +162,10 @@ HmmSimResult HmmSimulator::simulate_with(
     HmmSimResult result;
     result.data_words = program.data_words();
 
+    static auto& metric_runs = report::metric_counter("sim.hmm.runs");
+    static auto& metric_rounds = report::metric_counter("sim.hmm.rounds");
+    metric_runs.add();
+
     while (true) {
         // Step 1: pick the processor whose context is on top of memory.
         const ProcId top_proc = st.proc_of_block[0];
@@ -170,6 +175,7 @@ HmmSimResult HmmSimulator::simulate_with(
         const std::uint64_t csize = tree.cluster_size(label);
         const ProcId first = tree.cluster_first(tree.cluster_of(top_proc, label), label);
         ++result.rounds;
+        metric_rounds.add();
         // Rounds executing a smoothing-inserted dummy superstep attribute all
         // their charges (swaps included) to the dummy-superstep phase.
         const bool dummy_round = sink != nullptr && program.is_dummy_step(s);

@@ -7,6 +7,7 @@
 #include "core/smoothing.hpp"
 #include "hmm/machine.hpp"
 #include "model/superstep_exec.hpp"
+#include "report/metrics.hpp"
 #include "util/bits.hpp"
 #include "util/contracts.hpp"
 
@@ -111,6 +112,8 @@ SelfSimResult SelfSimulator::simulate(model::Program& program) const {
 
     SelfSimResult result;
     result.data_words = program.data_words();
+    static auto& metric_runs = report::metric_counter("sim.self.runs");
+    metric_runs.add();
     result.contexts = model::DbspMachine::initial_contexts(program);
     auto& contexts = result.contexts;
 
@@ -157,6 +160,8 @@ SelfSimResult SelfSimulator::simulate(model::Program& program) const {
 
         // --- global i-superstep (i < log v') --------------------------------
         ++result.global_supersteps;
+        static auto& metric_supersteps = report::metric_counter("sim.self.global_supersteps");
+        metric_supersteps.add();
         const unsigned label = program.label(s);
         trace::PhaseScope step_scope(sink, trace::Phase::kGlobalStep, label);
         double phase1_max = 0.0;

@@ -24,6 +24,7 @@
 /// sweep constructing many machines over the same access function builds the
 /// O(capacity) prefix array once.
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -113,12 +114,28 @@ public:
     std::span<Word> raw() { return memory_; }
     std::span<const Word> raw() const { return memory_; }
 
+    /// Publishes the accumulated bulk-op telemetry to the global metrics
+    /// registry. Accumulation uses plain per-machine members (see note_bulk
+    /// in machine.cpp): per-op atomics would cost tens of percent on the
+    /// bulk delivery path, whose ranges are often single message records.
+    ~Machine();
+
 private:
+    /// Telemetry accumulator for one bulk operation touching \p words words
+    /// whose deepest (highest) address is \p deepest — the level that
+    /// dominates the op's HMM cost. Three plain adds, no atomics.
+    void note_bulk(Addr deepest, std::uint64_t words);
+
     std::shared_ptr<const model::CostTable> table_;
     std::vector<Word> memory_;
     double cost_ = 0.0;
     std::uint64_t words_touched_ = 0;
     trace::Sink* trace_ = nullptr;  ///< not owned; nullptr = tracing off
+    std::uint64_t bulk_ops_ = 0;
+    std::uint64_t bulk_words_ = 0;
+    /// Words per log2 memory level (indexed by bit_width of the deepest
+    /// address touched); mirrors report::Histogram's bucketing.
+    std::array<std::uint64_t, 65> bulk_words_by_level_{};
 };
 
 }  // namespace dbsp::hmm

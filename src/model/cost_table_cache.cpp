@@ -1,6 +1,28 @@
 #include "model/cost_table_cache.hpp"
 
+#include "report/metrics.hpp"
+
 namespace dbsp::model {
+
+namespace {
+
+// The registry mirror of stats_: survives stats-struct resets and feeds the
+// "metrics" section of JSON artifacts. Updated while mutex_ is already held,
+// so the relaxed adds cost nothing measurable.
+report::Counter& builds_metric() {
+    static auto& c = report::metric_counter("cost_table.builds");
+    return c;
+}
+report::Counter& hits_metric() {
+    static auto& c = report::metric_counter("cost_table.hits");
+    return c;
+}
+report::Counter& slices_metric() {
+    static auto& c = report::metric_counter("cost_table.slices");
+    return c;
+}
+
+}  // namespace
 
 CostTableCache& CostTableCache::global() {
     static CostTableCache cache;
@@ -13,17 +35,21 @@ std::shared_ptr<const CostTable> CostTableCache::get(const AccessFunction& f,
         std::lock_guard<std::mutex> lock(mutex_);
         if (!enabled_) {
             ++stats_.builds;
+            builds_metric().add();
         } else {
             auto it = tables_.find(f.key());
             if (it != tables_.end() && it->second->capacity() >= capacity) {
                 if (it->second->capacity() == capacity) {
                     ++stats_.hits;
+                    hits_metric().add();
                     return it->second;
                 }
                 ++stats_.slices;
+                slices_metric().add();
                 return std::make_shared<CostTable>(*it->second, capacity);
             }
             ++stats_.builds;
+            builds_metric().add();
         }
     }
     // Build outside the lock: prefix construction is O(capacity) and must not

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "report/metrics.hpp"
 #include "util/contracts.hpp"
 
 namespace dbsp::model {
@@ -68,6 +69,13 @@ std::size_t deliver_messages(const ContextLayout& layout, ProcId first, std::uin
             acc.set(layout.out_count_offset(), 0);
         }
     }
+
+    // Batch-granularity telemetry: one update per delivery call, independent
+    // of how many messages moved.
+    static auto& metric_delivered = report::metric_counter("model.messages_delivered");
+    static auto& metric_batch = report::metric_histogram("model.delivery_batch");
+    metric_delivered.add(pending.size());
+    metric_batch.observe(pending.size());
 
     // Phase 2: append to destination inboxes. `pending` is already sorted by
     // (src, send order); appending in this order gives the canonical inbox

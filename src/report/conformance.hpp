@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file conformance.hpp
+/// The combined conformance report: all 13 experiments' results merged into
+/// one artifact (BENCH_experiments.json), a Markdown dashboard mapping each
+/// paper claim to its measured exponent/band and verdict, and the regression
+/// gate that compares a fresh report against a committed baseline under
+/// per-metric tolerances (dbsp_report --check).
+///
+/// Gate semantics — a run fails the gate if any of:
+///  * a conformance check fails outright in the current report (a theorem's
+///    verdict broke at head);
+///  * a fitted exponent drifted from the baseline by more than
+///    `exponent_drift` (absolute, in exponent units);
+///  * a band/min/max check's measured value drifted by more than
+///    `value_drift_rel` (relative);
+///  * an experiment or check present in the baseline is missing from the
+///    current report (unless `subset_ok`, for CI runs that exercise a fast
+///    subset);
+///  * the microbenchmark words/sec dropped more than `perf_drop_pct` percent
+///    below the baseline (only when both sides carry micro data — model-cost
+///    conformance is deterministic, wall-clock is not, so the perf gate has
+///    its own, wider tolerance).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "report/experiment.hpp"
+
+namespace dbsp::report {
+
+/// The subset of BENCH_micro.json the gate reasons about (the raw document
+/// is preserved alongside inside the combined artifact).
+struct MicroData {
+    Json raw;
+    double bulk_words_per_sec = 0.0;
+    double speedup = 0.0;
+    double tracing_overhead_pct = 0.0;
+    bool costs_bit_identical = true;
+    bool trace_exact = true;
+
+    static std::optional<MicroData> from_json(const Json& j, std::string* error);
+};
+
+struct CombinedReport {
+    Provenance provenance;
+    std::vector<ExperimentResult> experiments;
+    std::optional<MicroData> micro;
+
+    const ExperimentResult* find(const std::string& id) const;
+    bool pass() const;
+
+    Json to_json() const;
+    static std::optional<CombinedReport> from_json(const Json& j, std::string* error);
+
+    /// Render the Markdown conformance dashboard. When \p baseline is given,
+    /// each check row carries its measured-value delta vs the baseline.
+    std::string markdown(const CombinedReport* baseline) const;
+};
+
+struct GateOptions {
+    double exponent_drift = 0.05;
+    double value_drift_rel = 0.25;
+    double perf_drop_pct = 35.0;
+    bool subset_ok = false;
+};
+
+/// Empty result == gate passes. Each entry is one human-readable violation.
+std::vector<std::string> gate_violations(const CombinedReport& current,
+                                         const CombinedReport& baseline,
+                                         const GateOptions& options);
+
+}  // namespace dbsp::report

@@ -1,0 +1,130 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal JSON value + strict parser + pretty writer for the observability
+/// layer. Every machine-readable artifact the repo emits (experiment results,
+/// BENCH_experiments.json, BENCH_micro.json) goes through this writer, and
+/// dbsp_report ingests them back through the parser, so writer and parser are
+/// kept round-trip exact for the values we produce (finite doubles written
+/// with %.17g, UTF-8 strings passed through verbatim, \uXXXX escapes decoded
+/// to UTF-8).
+///
+/// The parser is strict: trailing garbage, unterminated constructs, control
+/// characters inside strings, duplicate keys and non-finite numbers are all
+/// rejected with a position-tagged error message — malformed baselines must
+/// fail loudly in the regression gate, never be silently coerced.
+///
+/// Objects preserve insertion order (a vector of pairs, not a map) so the
+/// emitted artifacts diff cleanly across regenerations.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dbsp::report {
+
+class Json;
+using JsonMember = std::pair<std::string, Json>;
+
+class Json {
+public:
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Json() : type_(Type::kNull) {}
+    Json(std::nullptr_t) : type_(Type::kNull) {}
+    Json(bool b) : type_(Type::kBool), bool_(b) {}
+    Json(double d) : type_(Type::kNumber), number_(d) {}
+    Json(int i) : type_(Type::kNumber), number_(i) {}
+    Json(std::uint64_t u) : type_(Type::kNumber), number_(static_cast<double>(u)) {}
+    Json(const char* s) : type_(Type::kString), string_(s) {}
+    Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+
+    static Json array() {
+        Json j;
+        j.type_ = Type::kArray;
+        return j;
+    }
+    static Json object() {
+        Json j;
+        j.type_ = Type::kObject;
+        return j;
+    }
+
+    Type type() const { return type_; }
+    bool is_null() const { return type_ == Type::kNull; }
+    bool is_bool() const { return type_ == Type::kBool; }
+    bool is_number() const { return type_ == Type::kNumber; }
+    bool is_string() const { return type_ == Type::kString; }
+    bool is_array() const { return type_ == Type::kArray; }
+    bool is_object() const { return type_ == Type::kObject; }
+
+    /// Typed accessors; defaulted when the value has a different type, so
+    /// readers can probe optional fields without branching on type() first.
+    bool as_bool(bool fallback = false) const { return is_bool() ? bool_ : fallback; }
+    double as_double(double fallback = 0.0) const { return is_number() ? number_ : fallback; }
+    const std::string& as_string() const {
+        static const std::string empty;
+        return is_string() ? string_ : empty;
+    }
+
+    const std::vector<Json>& items() const {
+        static const std::vector<Json> empty;
+        return is_array() ? array_ : empty;
+    }
+    const std::vector<JsonMember>& members() const {
+        static const std::vector<JsonMember> empty;
+        return is_object() ? members_ : empty;
+    }
+
+    /// Object lookup; returns a shared null value when absent or not an
+    /// object (chains safely: j["a"]["b"].as_double()).
+    const Json& operator[](std::string_view key) const;
+
+    bool contains(std::string_view key) const { return find(key) != nullptr; }
+    const Json* find(std::string_view key) const;
+
+    std::size_t size() const {
+        return is_array() ? array_.size() : (is_object() ? members_.size() : 0);
+    }
+
+    /// --- building ----------------------------------------------------------
+    /// Sets (or replaces) a member; converts this value to an object if null.
+    Json& set(std::string key, Json value);
+    /// Appends to an array; converts this value to an array if null.
+    Json& push_back(Json value);
+
+    /// --- serialization -----------------------------------------------------
+    /// Pretty-print with two-space indentation and a trailing newline at the
+    /// top level. Doubles that hold integral values within 2^53 print without
+    /// an exponent or decimal point; everything else uses %.17g (round-trip
+    /// exact).
+    std::string dump() const;
+
+    /// Strict parse of a complete JSON document. On failure returns nullopt
+    /// and, when \p error is non-null, stores a "line N: message" diagnostic.
+    static std::optional<Json> parse(std::string_view text, std::string* error = nullptr);
+
+    /// Convenience: read and parse a file. Distinguishes I/O failure from
+    /// parse failure via the error message.
+    static std::optional<Json> load_file(const std::string& path,
+                                         std::string* error = nullptr);
+
+    /// Write dump() to a file; returns false (and sets error) on I/O failure.
+    bool save_file(const std::string& path, std::string* error = nullptr) const;
+
+private:
+    void write(std::string& out, int indent) const;
+
+    Type type_ = Type::kNull;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Json> array_;
+    std::vector<JsonMember> members_;
+};
+
+}  // namespace dbsp::report

@@ -1,0 +1,115 @@
+#include "report/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace dbsp::report {
+
+unsigned Histogram::populated_buckets() const {
+    unsigned last = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        if (bucket(i) != 0) last = i + 1;
+    }
+    return last;
+}
+
+void Histogram::reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    total_.store(0, std::memory_order_relaxed);
+}
+
+/// Instruments are stored behind unique_ptr in name-keyed maps: rehashing or
+/// rebalancing moves the pointers, never the atomics, so references handed to
+/// call sites stay valid forever.
+struct Registry::Impl {
+    mutable std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::global() {
+    // Leaked intentionally: instrumentation sites in static destructors must
+    // never observe a destroyed registry.
+    static Registry* registry = new Registry;
+    return *registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto it = impl_->counters.find(name);
+    if (it == impl_->counters.end()) {
+        it = impl_->counters.emplace(std::string(name), std::make_unique<Counter>()).first;
+    }
+    return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto it = impl_->gauges.find(name);
+    if (it == impl_->gauges.end()) {
+        it = impl_->gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+    }
+    return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto it = impl_->histograms.find(name);
+    if (it == impl_->histograms.end()) {
+        it = impl_->histograms.emplace(std::string(name), std::make_unique<Histogram>()).first;
+    }
+    return *it->second;
+}
+
+std::vector<MetricValue> Registry::snapshot() const {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    std::vector<MetricValue> out;
+    out.reserve(impl_->counters.size() + impl_->gauges.size() + impl_->histograms.size());
+    for (const auto& [name, c] : impl_->counters) {
+        MetricValue v;
+        v.name = name;
+        v.kind = MetricValue::Kind::kCounter;
+        v.count = c->value();
+        out.push_back(std::move(v));
+    }
+    for (const auto& [name, g] : impl_->gauges) {
+        MetricValue v;
+        v.name = name;
+        v.kind = MetricValue::Kind::kGauge;
+        v.gauge = g->value();
+        out.push_back(std::move(v));
+    }
+    for (const auto& [name, h] : impl_->histograms) {
+        MetricValue v;
+        v.name = name;
+        v.kind = MetricValue::Kind::kHistogram;
+        v.count = h->total();
+        const unsigned n = h->populated_buckets();
+        v.buckets.reserve(n);
+        for (unsigned i = 0; i < n; ++i) v.buckets.push_back(h->bucket(i));
+        out.push_back(std::move(v));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MetricValue& a, const MetricValue& b) { return a.name < b.name; });
+    return out;
+}
+
+void Registry::reset_values() {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (auto& [name, c] : impl_->counters) c->reset();
+    for (auto& [name, g] : impl_->gauges) g->reset();
+    for (auto& [name, h] : impl_->histograms) h->reset();
+}
+
+std::size_t Registry::size() const {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    return impl_->counters.size() + impl_->gauges.size() + impl_->histograms.size();
+}
+
+}  // namespace dbsp::report

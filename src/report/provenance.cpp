@@ -1,0 +1,45 @@
+#include "report/provenance.hpp"
+
+#include <ctime>
+
+#include "report/build_info.hpp"
+#include "util/parallel.hpp"
+
+namespace dbsp::report {
+
+Provenance Provenance::collect() {
+    Provenance p;
+    p.git_sha = DBSP_BUILD_GIT_SHA;
+    p.build_type = DBSP_BUILD_TYPE;
+    p.compiler = DBSP_BUILD_COMPILER;
+    p.threads = util::default_threads();
+    std::time_t now = std::time(nullptr);
+    std::tm utc{};
+    gmtime_r(&now, &utc);
+    char buf[32];
+    std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &utc);
+    p.timestamp = buf;
+    return p;
+}
+
+Json Provenance::to_json() const {
+    Json j = Json::object();
+    j.set("git_sha", git_sha);
+    j.set("build_type", build_type);
+    j.set("compiler", compiler);
+    j.set("threads", threads);
+    j.set("timestamp", timestamp);
+    return j;
+}
+
+Provenance Provenance::from_json(const Json& j) {
+    Provenance p;
+    p.git_sha = j["git_sha"].is_string() ? j["git_sha"].as_string() : "unknown";
+    p.build_type = j["build_type"].is_string() ? j["build_type"].as_string() : "unknown";
+    p.compiler = j["compiler"].is_string() ? j["compiler"].as_string() : "unknown";
+    p.threads = static_cast<std::uint64_t>(j["threads"].as_double(0.0));
+    p.timestamp = j["timestamp"].is_string() ? j["timestamp"].as_string() : "unknown";
+    return p;
+}
+
+}  // namespace dbsp::report

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file provenance.hpp
+/// The provenance envelope stamped onto every JSON artifact the repo emits
+/// (experiment results, BENCH_experiments.json, BENCH_micro.json): enough
+/// context to audit a committed baseline — which tree built it, how, and on
+/// how many threads it ran.
+
+#include <string>
+
+#include "report/json.hpp"
+
+namespace dbsp::report {
+
+struct Provenance {
+    std::string git_sha;     ///< configure-time git SHA ("unknown" outside a checkout)
+    std::string build_type;  ///< CMAKE_BUILD_TYPE
+    std::string compiler;    ///< compiler id + version
+    std::uint64_t threads = 1;  ///< harness worker count (util::default_threads)
+    std::string timestamp;   ///< UTC, ISO 8601
+
+    /// Collect the envelope for the current process/build.
+    static Provenance collect();
+
+    Json to_json() const;
+
+    /// Parse from the "provenance" object of an artifact. Missing fields
+    /// default to "unknown"/0 — old artifacts without an envelope still load.
+    static Provenance from_json(const Json& j);
+};
+
+}  // namespace dbsp::report

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "report/metrics.hpp"
+
 namespace dbsp::util {
 
 std::optional<std::size_t> parse_thread_count(std::string_view value) {
@@ -41,6 +43,13 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
     if (n == 0) return;
     if (threads == 0) threads = default_threads();
     if (threads > n) threads = n;
+    // Utilization telemetry, once per call (never per task).
+    static auto& metric_calls = report::metric_counter("parallel.for_calls");
+    static auto& metric_tasks = report::metric_counter("parallel.tasks");
+    static auto& metric_workers = report::metric_histogram("parallel.workers");
+    metric_calls.add();
+    metric_tasks.add(n);
+    metric_workers.observe(threads);
     if (threads <= 1) {
         for (std::size_t i = 0; i < n; ++i) body(i);
         return;

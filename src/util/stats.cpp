@@ -35,6 +35,7 @@ LogLogFit fit_loglog(const std::vector<double>& xs, const std::vector<double>& y
         fit.slope = 0.0;
         fit.intercept = sy / dn;
         fit.r_squared = 0.0;
+        fit.max_residual = 0.0;
         return fit;
     }
     fit.slope = (dn * sxy - sx * sy) / denom;
@@ -45,6 +46,7 @@ LogLogFit fit_loglog(const std::vector<double>& xs, const std::vector<double>& y
         const double pred = fit.intercept + fit.slope * std::log(xs[i]);
         const double resid = std::log(ys[i]) - pred;
         ss_res += resid * resid;
+        fit.max_residual = std::max(fit.max_residual, std::abs(resid));
     }
     fit.r_squared = (ss_tot > 0) ? 1.0 - ss_res / ss_tot : 1.0;
     return fit;

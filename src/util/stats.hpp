@@ -17,6 +17,10 @@ struct LogLogFit {
     double slope = 0.0;
     double intercept = 0.0;
     double r_squared = 0.0;
+    /// Largest |log(y) - fitted log(y)| over the sample points: the worst
+    /// multiplicative deviation is exp(max_residual). 0 for the degenerate
+    /// all-equal-xs fit (no line was fitted, so residuals are not meaningful).
+    double max_residual = 0.0;
 };
 
 /// Least-squares fit of log(ys[i]) vs log(xs[i]). Requires xs.size() ==

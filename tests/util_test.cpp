@@ -113,6 +113,24 @@ TEST(Stats, FitLogLogRecoversExponent) {
     EXPECT_NEAR(fit.slope, 1.5, 1e-9);
     EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-9);
     EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+    EXPECT_NEAR(fit.max_residual, 0.0, 1e-9);  // exact power law: no residual
+}
+
+TEST(Stats, FitLogLogMaxResidualIsWorstLogDeviation) {
+    // Perfect x^2 line with one point perturbed by a factor of e: the fitted
+    // line moves a little, but the worst log-residual must stay near 1 (and
+    // strictly positive), and R^2 must drop below 1.
+    std::vector<double> xs, ys;
+    for (double x : {2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0}) {
+        xs.push_back(x);
+        ys.push_back(x * x);
+    }
+    ys[3] *= std::exp(1.0);
+    const auto fit = fit_loglog(xs, ys);
+    EXPECT_GT(fit.max_residual, 0.5);
+    EXPECT_LT(fit.max_residual, 1.0);  // the fit absorbs part of the bump
+    EXPECT_LT(fit.r_squared, 1.0);
+    EXPECT_GT(fit.r_squared, 0.9);
 }
 
 TEST(Stats, FitLogLogDegeneratesGracefullyOnEqualXs) {
@@ -125,6 +143,7 @@ TEST(Stats, FitLogLogDegeneratesGracefullyOnEqualXs) {
     EXPECT_DOUBLE_EQ(fit.slope, 0.0);
     EXPECT_NEAR(std::exp(fit.intercept), 4.0, 1e-12);  // geomean of ys
     EXPECT_DOUBLE_EQ(fit.r_squared, 0.0);
+    EXPECT_DOUBLE_EQ(fit.max_residual, 0.0);  // no line fitted, no residuals
 
     // Two identical points: same degenerate shape.
     const auto two = fit_loglog({7.0, 7.0}, {5.0, 5.0});

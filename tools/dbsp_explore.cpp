@@ -36,9 +36,8 @@
 #include "core/hmm_simulator.hpp"
 #include "core/smoothing.hpp"
 #include "model/dbsp_machine.hpp"
-#include "trace/aggregate.hpp"
+#include "report/trace_bundle.hpp"
 #include "trace/chrome_trace.hpp"
-#include "trace/sink.hpp"
 #include "util/bits.hpp"
 #include "util/rng.hpp"
 
@@ -117,38 +116,11 @@ std::unique_ptr<model::Program> make_program(const std::string& name, std::uint6
 }
 
 /// Per-leg tracing bundle: an aggregate table always, plus a Chrome track
-/// when a JSON path was requested. Null sink when tracing is off.
-class LegTrace {
-public:
-    LegTrace(bool enabled, bool chrome, std::string track) {
-        if (!enabled) return;
-        aggregate_ = std::make_unique<trace::AggregateSink>();
-        multi_.add(aggregate_.get());
-        if (chrome) {
-            chrome_ = std::make_unique<trace::ChromeTraceSink>(std::move(track));
-            multi_.add(chrome_.get());
-        }
-    }
-
-    trace::Sink* sink() { return aggregate_ ? &multi_ : nullptr; }
-    const trace::ChromeTraceSink* chrome() const { return chrome_.get(); }
-
-    /// Print the aggregate report and audit the mirrored total.
-    void report(double charged_cost) const {
-        if (!aggregate_) return;
-        aggregate_->print(stdout);
-        if (aggregate_->total() != charged_cost) {
-            std::fprintf(stderr,
-                         "dbsp_explore: trace total %.17g != charged cost %.17g\n",
-                         aggregate_->total(), charged_cost);
-        }
-    }
-
-private:
-    std::unique_ptr<trace::AggregateSink> aggregate_;
-    std::unique_ptr<trace::ChromeTraceSink> chrome_;
-    trace::MultiSink multi_;
-};
+/// when a JSON path was requested (the merged file is written by main, not
+/// per leg). Disabled bundle when tracing is off.
+report::TraceBundle make_leg_trace(bool enabled, bool chrome, const char* track) {
+    return enabled ? report::TraceBundle(track, chrome) : report::TraceBundle();
+}
 
 }  // namespace
 
@@ -208,7 +180,7 @@ int main(int argc, char** argv) {
     const bool chrome = !trace_path.empty();
 
     // Direct execution + cost model.
-    LegTrace direct_trace(trace_enabled, chrome, "dbsp");
+    report::TraceBundle direct_trace = make_leg_trace(trace_enabled, chrome, "dbsp");
     model::DbspMachine machine(f);
     machine.set_trace(direct_trace.sink());
     const auto direct = machine.run(*program);
@@ -217,9 +189,9 @@ int main(int argc, char** argv) {
     std::printf("D-BSP(%llu, %zu, %s): T = %.4g (compute %.4g + communicate %.4g)\n",
                 static_cast<unsigned long long>(v), mu, f.name().c_str(), direct.time,
                 direct.computation_time(), direct.communication_time());
-    direct_trace.report(direct.time);
+    direct_trace.report("dbsp_explore", "", direct.time);
 
-    LegTrace hmm_trace(trace_enabled, chrome, "hmm");
+    report::TraceBundle hmm_trace = make_leg_trace(trace_enabled, chrome, "hmm");
     if (model_name == "hmm" || model_name == "both") {
         auto prog = make_program(program_name, v, seed);
         auto smoothed = core::smooth(*prog, core::hmm_label_set(f, mu, v));
@@ -231,9 +203,9 @@ int main(int argc, char** argv) {
                     f.name().c_str(), res.hmm_cost,
                     res.hmm_cost / (direct.time * static_cast<double>(v)),
                     res.hmm_cost / bound);
-        hmm_trace.report(res.hmm_cost);
+        hmm_trace.report("dbsp_explore", "", res.hmm_cost);
     }
-    LegTrace bt_trace(trace_enabled, chrome, "bt");
+    report::TraceBundle bt_trace = make_leg_trace(trace_enabled, chrome, "bt");
     if (model_name == "bt" || model_name == "both") {
         auto prog = make_program(program_name, v, seed);
         auto smoothed = core::smooth(*prog, core::bt_label_set(f, mu, v));
@@ -247,7 +219,7 @@ int main(int argc, char** argv) {
                     f.name().c_str(), res.bt_cost, res.bt_cost / bound,
                     static_cast<unsigned long long>(res.sort_invocations),
                     static_cast<unsigned long long>(res.transpose_invocations));
-        bt_trace.report(res.bt_cost);
+        bt_trace.report("dbsp_explore", "", res.bt_cost);
     }
 
     if (chrome) {

@@ -1,0 +1,83 @@
+# End-to-end regression-gate test, run via `cmake -P` by ctest
+# (report.gate_roundtrip): one real experiment binary produces its artifact,
+# dbsp_report combines it, the gate must pass against the fresh report itself
+# and must exit non-zero against the committed perturbed baseline fixture
+# (drifted exponent + an experiment head does not produce).
+#
+# Required -D variables: REPORT_TOOL, E1_BIN, FIXTURE, WORK_DIR.
+
+foreach(var REPORT_TOOL E1_BIN FIXTURE WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "gate_check.cmake: missing -D${var}")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(E1_JSON "${WORK_DIR}/e1.json")
+set(COMBINED "${WORK_DIR}/combined.json")
+set(DASH "${WORK_DIR}/dashboard.md")
+
+# 1. A real experiment run writes its artifact.
+execute_process(COMMAND "${E1_BIN}" --json "${E1_JSON}"
+                RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_e1 --json failed (exit ${rc})")
+endif()
+
+# 2. dbsp_report combines it into the report + dashboard.
+execute_process(COMMAND "${REPORT_TOOL}" "${E1_JSON}" --out "${COMBINED}" --md "${DASH}"
+                RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dbsp_report combine failed (exit ${rc})")
+endif()
+foreach(artifact "${COMBINED}" "${DASH}")
+  if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "dbsp_report did not write ${artifact}")
+  endif()
+endforeach()
+
+# 3. The gate must be clean against the report itself (exact same numbers).
+execute_process(COMMAND "${REPORT_TOOL}" --in "${COMBINED}"
+                        --check --baseline "${COMBINED}"
+                RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gate failed against its own report (exit ${rc})")
+endif()
+
+# 4. Against the perturbed fixture the gate must trip with exit code 1:
+#    the fixture's e1 exponent is far from any real measurement, and its e99
+#    experiment does not exist at head.
+execute_process(COMMAND "${REPORT_TOOL}" --in "${COMBINED}"
+                        --check --baseline "${FIXTURE}"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "gate did not trip on the perturbed baseline (exit ${rc}): ${out}")
+endif()
+if(NOT out MATCHES "exponent drifted")
+  message(FATAL_ERROR "gate tripped without the exponent-drift violation: ${out}")
+endif()
+if(NOT out MATCHES "missing from current")
+  message(FATAL_ERROR "gate tripped without the missing-experiment violation: ${out}")
+endif()
+
+# 5. --subset-ok waives the missing experiment but not the drift.
+execute_process(COMMAND "${REPORT_TOOL}" --in "${COMBINED}"
+                        --check --baseline "${FIXTURE}" --subset-ok
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "gate with --subset-ok returned ${rc}, want 1: ${out}")
+endif()
+if(out MATCHES "missing from current")
+  message(FATAL_ERROR "--subset-ok did not waive the missing experiment: ${out}")
+endif()
+
+# 6. A malformed baseline must be a loud usage/IO error (exit 2), never a pass.
+file(WRITE "${WORK_DIR}/malformed.json" "{\"schema\": \"dbsp-experiments-v1\", trailing")
+execute_process(COMMAND "${REPORT_TOOL}" --in "${COMBINED}"
+                        --check --baseline "${WORK_DIR}/malformed.json"
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "malformed baseline returned ${rc}, want 2")
+endif()
+
+message(STATUS "gate round-trip OK")
