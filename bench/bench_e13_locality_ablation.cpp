@@ -22,6 +22,7 @@
 #include "bench/common.hpp"
 #include "core/hmm_simulator.hpp"
 #include "core/smoothing.hpp"
+#include "locality/sink.hpp"
 #include "model/dbsp_machine.hpp"
 #include "util/rng.hpp"
 
@@ -35,8 +36,8 @@ int main(int argc, char** argv) {
     const auto f = model::AccessFunction::polynomial(0.5);
     bench::section("same sorting problem, two networks, x^0.5 everywhere");
     Table table({"n", "T bitonic", "T odd-even", "HMM sim bitonic", "HMM sim odd-even",
-                 "sim gap"});
-    std::vector<double> gaps, ns;
+                 "sim gap", "loc score bitonic", "loc score odd-even"});
+    std::vector<double> gaps, ns, score_bitonic, score_oddeven;
     for (std::uint64_t n = 1 << 5; n <= (1 << 10); n <<= 1) {
         SplitMix64 rng(n);
         std::vector<model::Word> keys(n);
@@ -48,13 +49,20 @@ int main(int argc, char** argv) {
         const auto rb = machine.run(bitonic);
         const auto ro = machine.run(oddeven);
 
+        // Profile the simulations' address streams while simulating; the
+        // sinks mirror the charged cost, so the cost columns are unchanged.
+        locality::LocalitySink sink_b, sink_o;
+        core::HmmSimulator::Options opt_b, opt_o;
+        opt_b.trace = &sink_b;
+        opt_o.trace = &sink_o;
+
         algo::BitonicSortProgram bitonic2(keys);
         auto sb = core::smooth(bitonic2, core::hmm_label_set(f, bitonic2.context_words(), n));
-        const auto hb = core::HmmSimulator(f).simulate(*sb);
+        const auto hb = core::HmmSimulator(f, opt_b).simulate(*sb);
 
         algo::OddEvenTranspositionSortProgram oddeven2(keys);
         auto so = core::smooth(oddeven2, core::hmm_label_set(f, oddeven2.context_words(), n));
-        const auto ho = core::HmmSimulator(f).simulate(*so);
+        const auto ho = core::HmmSimulator(f, opt_o).simulate(*so);
 
         // Both must sort identically.
         for (std::uint64_t p = 0; p < n; ++p) {
@@ -65,14 +73,25 @@ int main(int argc, char** argv) {
         }
 
         table.add_row_values({static_cast<double>(n), rb.time, ro.time, hb.hmm_cost,
-                              ho.hmm_cost, ho.hmm_cost / hb.hmm_cost});
+                              ho.hmm_cost, ho.hmm_cost / hb.hmm_cost,
+                              sink_b.profile().locality_score(),
+                              sink_o.profile().locality_score()});
         gaps.push_back(ho.hmm_cost / hb.hmm_cost);
         ns.push_back(static_cast<double>(n));
+        score_bitonic.push_back(sink_b.profile().locality_score());
+        score_oddeven.push_back(sink_o.profile().locality_score());
     }
     table.print();
     ex.check_slope("flat/structured simulated-cost gap vs n", ns, gaps, 1.0, 0.35);
+    ex.series("locality score vs n (bitonic, recursive sim)", ns, score_bitonic);
+    ex.series("locality score vs n (odd-even, recursive sim)", ns, score_oddeven);
+    ex.check_min("locality score gap odd-even minus bitonic at n=1024",
+                 score_oddeven.back() - score_bitonic.back(), 0.25);
     std::printf("(bitonic's simulation is Theta(n^1.5); odd-even transposition's is "
                 "~Theta(n^2.5) (n rounds of full-memory traffic): the gap grows like n — structured submachine "
-                "locality is what the simulation converts into temporal locality)\n");
+                "locality is what the simulation converts into temporal locality)\n"
+                "(the per-point locality scores measure the same effect on the address "
+                "stream itself:\n the flat network's mean log2 reuse distance stays pinned "
+                "near full-memory depth)\n");
     return ex.finish();
 }

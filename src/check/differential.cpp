@@ -11,10 +11,12 @@
 #include "core/naive_hmm_simulator.hpp"
 #include "core/self_simulator.hpp"
 #include "core/smoothing.hpp"
+#include "locality/sink.hpp"
 #include "model/cost_table_cache.hpp"
 #include "model/dbsp_machine.hpp"
 #include "model/recorded_program.hpp"
 #include "model/superstep_exec.hpp"
+#include "report/metrics.hpp"
 #include "trace/sink.hpp"
 #include "util/contracts.hpp"
 
@@ -243,12 +245,34 @@ DiffReport check_program(model::Program& program, const DiffConfig& config) {
                                  alt.contexts);
             }
             {
-                trace::Sink sink;
+                // A LocalitySink is a Sink, so it must keep the exact cost
+                // mirror — and its reference count must equal the machine's
+                // own word accounting, both the per-run result field and the
+                // metrics-registry counter the machine publishes on
+                // destruction (the oracle runs serially, so the registry
+                // delta around one run is that run's contribution).
+                locality::LocalitySink sink;
+                auto& touched = report::metric_counter("hmm.words_touched");
+                const std::uint64_t touched_before = touched.value();
                 const core::HmmSimResult traced = run_hmm(true, true, &sink);
+                const std::uint64_t touched_delta = touched.value() - touched_before;
                 rep.check_cost("hmm-trace", "trace mirror vs hmm_cost", traced.hmm_cost,
                                sink.total());
                 rep.check_cost("hmm-cost-mode", "traced HMM cost", hmm.hmm_cost,
                                traced.hmm_cost);
+                if (sink.recorded_accesses() != traced.words_touched) {
+                    std::ostringstream os;
+                    os << "LocalitySink recorded " << sink.recorded_accesses()
+                       << " references, machine touched " << traced.words_touched
+                       << " words";
+                    rep.fail("locality-counts", os.str());
+                }
+                if (touched_delta != traced.words_touched) {
+                    std::ostringstream os;
+                    os << "hmm.words_touched registry delta " << touched_delta
+                       << " vs machine words_touched " << traced.words_touched;
+                    rep.fail("locality-counts", os.str());
+                }
             }
             if (config.check_bounds && v >= kBoundMinProcessors) {
                 const double bound =
@@ -298,11 +322,35 @@ DiffReport check_program(model::Program& program, const DiffConfig& config) {
                                  alt.contexts);
             }
             {
-                trace::Sink sink;
+                // Same invariant on the BT side: the sink's per-stream word
+                // counts must match the counters bt::Machine publishes when
+                // the simulator (and with it the machine) is destroyed at
+                // the end of run_bt's full expression.
+                locality::LocalitySink sink;
+                auto& range_words = report::metric_counter("bt.range_words");
+                auto& transfer_words = report::metric_counter("bt.transfer_words");
+                const std::uint64_t ranged_before = range_words.value();
+                const std::uint64_t transferred_before = transfer_words.value();
                 const core::BtSimResult traced = run_bt(true, true, &sink);
+                const std::uint64_t ranged = range_words.value() - ranged_before;
+                const std::uint64_t transferred =
+                    transfer_words.value() - transferred_before;
                 rep.check_cost("bt-trace", "trace mirror vs bt_cost", traced.bt_cost,
                                sink.total());
                 rep.check_cost("bt-cost-mode", "traced BT cost", bt.bt_cost, traced.bt_cost);
+                if (sink.range_words() != ranged) {
+                    std::ostringstream os;
+                    os << "LocalitySink saw " << sink.range_words()
+                       << " range words, bt.range_words registry delta " << ranged;
+                    rep.fail("locality-counts", os.str());
+                }
+                if (sink.transfer_words() != transferred) {
+                    std::ostringstream os;
+                    os << "LocalitySink saw " << sink.transfer_words()
+                       << " transfer words, bt.transfer_words registry delta "
+                       << transferred;
+                    rep.fail("locality-counts", os.str());
+                }
             }
             {
                 // Component attribution must account for the whole charge.

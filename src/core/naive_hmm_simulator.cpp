@@ -14,16 +14,26 @@ using model::ContextAccessor;
 using model::ProcId;
 using model::Word;
 
+/// Pinned-context accessor; the traced instantiation routes word accesses
+/// through read_traced/write_traced (identical charging plus the per-word
+/// sink event), chosen once per simulation — same discipline as
+/// HmmContextAccessorT in hmm_simulator.cpp.
+template <bool Traced>
 class PinnedAccessor final : public ContextAccessor {
 public:
     PinnedAccessor(hmm::Machine& m, Addr base, std::size_t mu) : m_(m), base_(base), mu_(mu) {}
     Word get(std::size_t index) const override {
         DBSP_REQUIRE(index < mu_);
+        if constexpr (Traced) return m_.read_traced(base_ + index);
         return m_.read(base_ + index);
     }
     void set(std::size_t index, Word value) override {
         DBSP_REQUIRE(index < mu_);
-        m_.write(base_ + index, value);
+        if constexpr (Traced) {
+            m_.write_traced(base_ + index, value);
+        } else {
+            m_.write(base_ + index, value);
+        }
     }
     void get_range(std::size_t index, std::span<Word> out) const override {
         DBSP_REQUIRE(index + out.size() <= mu_);
@@ -42,6 +52,7 @@ private:
 };
 
 /// Accessor source over pinned contexts: processor p lives at p * mu forever.
+template <bool Traced>
 class PinnedSource final : public model::AccessorSource {
 public:
     PinnedSource(hmm::Machine& m, std::size_t mu) : acc_(m, 0, mu), mu_(mu) {}
@@ -51,7 +62,7 @@ public:
     }
 
 private:
-    PinnedAccessor acc_;
+    PinnedAccessor<Traced> acc_;
     std::size_t mu_;
 };
 
@@ -66,6 +77,10 @@ HmmSimResult NaiveHmmSimulator::simulate(model::Program& program) const {
     DBSP_REQUIRE(steps > 0);
 
     hmm::Machine machine(f_, static_cast<std::uint64_t>(mu) * v);
+    trace::Sink* const sink = options_.trace;
+    machine.set_trace(sink);
+    // The machine is fresh (cost 0); a reused sink must restart its mirror.
+    if (sink != nullptr) sink->reset_total();
     {
         const auto init = model::DbspMachine::initial_contexts(program);
         auto raw = machine.raw();
@@ -75,7 +90,11 @@ HmmSimResult NaiveHmmSimulator::simulate(model::Program& program) const {
         }
     }
 
-    PinnedSource contexts(machine, mu);
+    PinnedSource<false> contexts_plain(machine, mu);
+    PinnedSource<true> contexts_traced(machine, mu);
+    model::AccessorSource& contexts =
+        sink != nullptr ? static_cast<model::AccessorSource&>(contexts_traced)
+                        : static_cast<model::AccessorSource&>(contexts_plain);
     model::DeliveryScratch scratch;
 
     HmmSimResult result;

@@ -15,12 +15,26 @@ namespace dbsp::core {
 
 class NaiveHmmSimulator {
 public:
-    explicit NaiveHmmSimulator(model::AccessFunction f) : f_(std::move(f)) {}
+    struct Options {
+        /// Charge-trace sink (not owned; must outlive simulate()). Same
+        /// contract as HmmSimulator::Options::trace: the sink's total()
+        /// equals HmmSimResult::hmm_cost bit for bit, and per-word events
+        /// exist only on the traced accessor instantiation, so a run with no
+        /// sink pays nothing. Used by bench_e14 to profile the flat
+        /// baseline's address stream.
+        trace::Sink* trace = nullptr;
+    };
+
+    explicit NaiveHmmSimulator(model::AccessFunction f)
+        : NaiveHmmSimulator(std::move(f), Options{}) {}
+    NaiveHmmSimulator(model::AccessFunction f, Options options)
+        : f_(std::move(f)), options_(options) {}
 
     HmmSimResult simulate(model::Program& program) const;
 
 private:
     model::AccessFunction f_;
+    Options options_{};
 };
 
 }  // namespace dbsp::core

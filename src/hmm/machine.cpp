@@ -24,6 +24,10 @@ void Machine::note_bulk(Addr deepest, std::uint64_t words) {
 }
 
 Machine::~Machine() {
+    if (words_touched_ != 0) {
+        static auto& touched = report::metric_counter("hmm.words_touched");
+        touched.add(words_touched_);
+    }
     if (bulk_ops_ == 0) return;
     static auto& ops = report::metric_counter("hmm.bulk_ops");
     static auto& total = report::metric_counter("hmm.bulk_words");

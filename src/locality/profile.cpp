@@ -1,0 +1,147 @@
+#include "locality/profile.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/table.hpp"
+
+namespace dbsp::locality {
+
+void LocalityProfile::note(const ReuseDistanceProfiler::Event& e) {
+    ++accesses;
+    if (e.cold) {
+        ++cold_misses;
+        return;
+    }
+    distance_count[std::bit_width(e.distance)] += 1;
+    score_sum += std::log2(static_cast<double>(e.distance) + 1.0);
+    const unsigned tb = std::bit_width(e.time);
+    time_count[tb] += 1;
+    time_sum[tb] += static_cast<double>(e.time);
+}
+
+double LocalityProfile::locality_score() const {
+    const std::uint64_t finite = accesses - cold_misses;
+    return finite > 0 ? score_sum / static_cast<double>(finite) : 0.0;
+}
+
+double LocalityProfile::hit_fraction(unsigned level) const {
+    if (accesses == 0) return 0.0;
+    std::uint64_t hits = 0;
+    for (unsigned b = 0; b <= std::min(level, kBuckets - 1); ++b) hits += distance_count[b];
+    return static_cast<double>(hits) / static_cast<double>(accesses);
+}
+
+double LocalityProfile::working_set(unsigned j) const {
+    if (accesses == 0) return 0.0;
+    const double tau = std::ldexp(1.0, static_cast<int>(j));
+    // Denning-Schwartz: w(tau) = (1/T) sum_i min(r_i, tau); a reuse time r
+    // lands in bucket bit_width(r), so r < tau = 2^j iff its bucket is <= j.
+    double sum = 0.0;
+    std::uint64_t truncated = cold_misses;  // cold references count tau
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        if (b <= j) {
+            sum += time_sum[b];
+        } else {
+            truncated += time_count[b];
+        }
+    }
+    sum += tau * static_cast<double>(truncated);
+    const double w = sum / static_cast<double>(accesses);
+    // Stream-boundary cap: a finite trace can never hold a window with more
+    // distinct addresses than it touched in total.
+    return std::min(w, static_cast<double>(distinct_addresses));
+}
+
+unsigned LocalityProfile::max_level() const {
+    unsigned top = 1;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        if (distance_count[b] != 0) top = std::max(top, b);
+    }
+    return top;
+}
+
+report::Json LocalityProfile::to_json() const {
+    report::Json j = report::Json::object();
+    j.set("schema", "dbsp-locality-v1");
+    j.set("accesses", accesses);
+    j.set("distinct_addresses", distinct_addresses);
+    j.set("cold_misses", cold_misses);
+    j.set("locality_score", locality_score());
+
+    const unsigned top = max_level();
+    report::Json dist = report::Json::object();
+    report::Json counts = report::Json::array();
+    report::Json cdf = report::Json::array();
+    for (unsigned b = 0; b <= top; ++b) {
+        counts.push_back(distance_count[b]);
+        cdf.push_back(hit_fraction(b));
+    }
+    dist.set("log2_bucket_count", std::move(counts));
+    dist.set("cdf", std::move(cdf));
+    j.set("reuse_distance", std::move(dist));
+
+    report::Json ws = report::Json::object();
+    report::Json taus = report::Json::array();
+    report::Json w = report::Json::array();
+    for (unsigned b = 0; b <= top; ++b) {
+        taus.push_back(std::ldexp(1.0, static_cast<int>(b)));
+        w.push_back(working_set(b));
+    }
+    ws.set("tau", std::move(taus));
+    ws.set("w", std::move(w));
+    j.set("working_set", std::move(ws));
+
+    report::Json levels = report::Json::array();
+    for (unsigned l = 0; l <= top; ++l) {
+        report::Json row = report::Json::object();
+        row.set("level", static_cast<std::uint64_t>(l));
+        row.set("capacity", std::ldexp(1.0, static_cast<int>(l)));
+        row.set("share", accesses > 0 ? static_cast<double>(distance_count[l]) /
+                                            static_cast<double>(accesses)
+                                      : 0.0);
+        row.set("hit_ratio", hit_fraction(l));
+        levels.push_back(std::move(row));
+    }
+    j.set("levels", std::move(levels));
+    return j;
+}
+
+void LocalityProfile::print(std::FILE* out, const std::string& title) const {
+    std::fprintf(out,
+                 "locality profile (%s): %llu references, %llu distinct addresses, "
+                 "%llu cold misses, locality score %.3f\n",
+                 title.c_str(), static_cast<unsigned long long>(accesses),
+                 static_cast<unsigned long long>(distinct_addresses),
+                 static_cast<unsigned long long>(cold_misses), locality_score());
+    if (accesses == 0) return;
+
+    const unsigned top = max_level();
+    Table table({"level", "distance band", "capacity", "refs", "share", "hit ratio"});
+    for (unsigned l = 0; l <= top; ++l) {
+        char band[32];
+        if (l == 0) {
+            std::snprintf(band, sizeof band, "d = 0");
+        } else {
+            std::snprintf(band, sizeof band, "[2^%u, 2^%u)", l - 1, l);
+        }
+        char capacity[32];
+        std::snprintf(capacity, sizeof capacity, "2^%u", l);
+        table.add_row({std::to_string(l), band, capacity,
+                       std::to_string(distance_count[l]),
+                       Table::fmt(static_cast<double>(distance_count[l]) /
+                                  static_cast<double>(accesses)),
+                       Table::fmt(hit_fraction(l))});
+    }
+    std::fprintf(out, "%s", table.str().c_str());
+
+    Table ws({"tau", "w(tau)"});
+    for (unsigned b = 0; b <= top; b += 2) {
+        ws.add_row_values({std::ldexp(1.0, static_cast<int>(b)), working_set(b)});
+    }
+    std::fprintf(out, "working-set curve (Denning, tau in references):\n%s",
+                 ws.str().c_str());
+}
+
+}  // namespace dbsp::locality

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file profile.hpp
+/// Derived locality analytics over a stream of reuse events:
+///  * reuse-distance histogram in log2 buckets (bucket b = bit_width(d),
+///    i.e. d = 0 in bucket 0, d in [2^(b-1), 2^b) in bucket b) and its CDF;
+///  * Denning working-set curve w(tau), evaluated exactly at tau = 2^j from
+///    a (count, sum) histogram of reuse times via the identity
+///    w(tau) = (1/T) sum_i min(r_i, tau) with cold references counting tau;
+///  * per-HMM-level hit ratios: level l's band [2^(l-1), 2^l) brings the
+///    cumulative capacity of levels 0..l to exactly 2^l words, and under LRU
+///    inclusion a reference with distance d hits within that capacity iff
+///    d < 2^l iff bit_width(d) <= l — so slicing the log2 CDF at the level
+///    boundaries is exact, not an approximation;
+///  * the scalar locality score: mean log2(d+1) over finite-distance
+///    references (0 = every reuse is immediate; cold misses are reported
+///    separately and excluded from the mean).
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "locality/reuse_distance.hpp"
+#include "report/json.hpp"
+
+namespace dbsp::locality {
+
+struct LocalityProfile {
+    /// One bucket per possible bit_width of a 64-bit distance/time.
+    static constexpr unsigned kBuckets = 65;
+
+    std::uint64_t accesses = 0;
+    std::uint64_t cold_misses = 0;
+    std::uint64_t distinct_addresses = 0;
+    double score_sum = 0.0;  ///< sum of log2(d+1) over finite distances
+
+    std::array<std::uint64_t, kBuckets> distance_count{};
+    std::array<std::uint64_t, kBuckets> time_count{};  ///< finite reuse times
+    std::array<double, kBuckets> time_sum{};
+
+    /// Fold one reuse event into the histograms.
+    void note(const ReuseDistanceProfiler::Event& e);
+
+    /// Mean log2(d+1) over finite-distance references; 0 when there are none.
+    double locality_score() const;
+
+    /// Fraction of references with distance < 2^level — the hit ratio of an
+    /// LRU memory spanning HMM levels 0..level. Cold misses miss everywhere.
+    double hit_fraction(unsigned level) const;
+
+    /// Average working-set size w(2^j) over the stream (Denning-Schwartz).
+    double working_set(unsigned j) const;
+
+    /// Smallest L such that every finite distance is < 2^L (i.e. the highest
+    /// occupied bucket index + ... = one past the last level that still adds
+    /// hits). At least 1 so tables always have a row.
+    unsigned max_level() const;
+
+    /// `dbsp-locality-v1` JSON document fragment.
+    report::Json to_json() const;
+
+    /// Paper-style text report (histogram + per-level hit ratios + w(tau)).
+    void print(std::FILE* out, const std::string& title) const;
+};
+
+}  // namespace dbsp::locality

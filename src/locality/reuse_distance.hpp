@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file reuse_distance.hpp
+/// The per-access reuse-distance engine. For every reference it reports
+///  * the LRU stack distance: the number of *distinct* addresses touched
+///    since the previous reference to the same address (infinite on first
+///    touch) — under LRU inclusion, a reference hits in any memory of
+///    capacity C iff its distance is < C;
+///  * the reuse time: the number of references since that previous
+///    reference — the quantity the Denning working-set recurrence averages.
+/// Cost: one hash-map probe plus O(log n) expected treap work per access,
+/// with n the number of distinct live addresses.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "locality/reuse_tree.hpp"
+#include "model/types.hpp"
+
+namespace dbsp::locality {
+
+using model::Addr;
+
+class ReuseDistanceProfiler {
+public:
+    struct Event {
+        bool cold;               ///< first touch: distance and time are infinite
+        std::uint64_t distance;  ///< LRU stack distance (0 = consecutive reuse)
+        std::uint64_t time;      ///< references since the previous touch (>= 1)
+    };
+
+    /// Record one reference to \p x and return its reuse event.
+    Event record(Addr x) {
+        const std::uint64_t now = ++clock_;
+        const auto [it, inserted] = last_use_.try_emplace(x, now);
+        if (inserted) {
+            tree_.insert(now);
+            return Event{true, 0, 0};
+        }
+        const std::uint64_t prev = it->second;
+        const Event e{false, tree_.count_greater(prev), now - prev};
+        tree_.erase(prev);
+        tree_.insert(now);
+        it->second = now;
+        return e;
+    }
+
+    std::uint64_t accesses() const { return clock_; }
+    std::uint64_t distinct_addresses() const { return last_use_.size(); }
+
+    void clear() {
+        tree_.clear();
+        last_use_.clear();
+        clock_ = 0;
+    }
+
+private:
+    ReuseTree tree_;
+    std::unordered_map<Addr, std::uint64_t> last_use_;
+    std::uint64_t clock_ = 0;
+};
+
+}  // namespace dbsp::locality

@@ -1,0 +1,111 @@
+#include "locality/reuse_tree.hpp"
+
+namespace dbsp::locality {
+
+namespace {
+
+/// SplitMix64 finalizer: a deterministic, well-mixed priority per key.
+std::uint64_t priority_of(std::uint64_t key) {
+    std::uint64_t z = key + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::int32_t ReuseTree::make_node(std::uint64_t key) {
+    std::int32_t t;
+    if (!free_.empty()) {
+        t = free_.back();
+        free_.pop_back();
+    } else {
+        t = static_cast<std::int32_t>(nodes_.size());
+        nodes_.emplace_back();
+    }
+    nodes_[t] = Node{key, priority_of(key), 1, kNil, kNil};
+    return t;
+}
+
+void ReuseTree::free_node(std::int32_t t) { free_.push_back(t); }
+
+void ReuseTree::split(std::int32_t t, std::uint64_t key, std::int32_t& l, std::int32_t& r) {
+    if (t == kNil) {
+        l = kNil;
+        r = kNil;
+        return;
+    }
+    if (nodes_[t].key <= key) {
+        split(nodes_[t].right, key, nodes_[t].right, r);
+        l = t;
+    } else {
+        split(nodes_[t].left, key, l, nodes_[t].left);
+        r = t;
+    }
+    pull(t);
+}
+
+std::int32_t ReuseTree::merge(std::int32_t l, std::int32_t r) {
+    if (l == kNil) return r;
+    if (r == kNil) return l;
+    if (nodes_[l].prio > nodes_[r].prio) {
+        nodes_[l].right = merge(nodes_[l].right, r);
+        pull(l);
+        return l;
+    }
+    nodes_[r].left = merge(l, nodes_[r].left);
+    pull(r);
+    return r;
+}
+
+void ReuseTree::insert(std::uint64_t key) {
+    const std::int32_t n = make_node(key);
+    std::int32_t l = kNil;
+    std::int32_t r = kNil;
+    split(root_, key, l, r);
+    root_ = merge(merge(l, n), r);
+}
+
+std::int32_t ReuseTree::erase_rec(std::int32_t t, std::uint64_t key) {
+    if (t == kNil) return kNil;
+    if (nodes_[t].key == key) {
+        const std::int32_t m = merge(nodes_[t].left, nodes_[t].right);
+        free_node(t);
+        return m;
+    }
+    if (key < nodes_[t].key) {
+        nodes_[t].left = erase_rec(nodes_[t].left, key);
+    } else {
+        nodes_[t].right = erase_rec(nodes_[t].right, key);
+    }
+    pull(t);
+    return t;
+}
+
+void ReuseTree::erase(std::uint64_t key) { root_ = erase_rec(root_, key); }
+
+std::uint64_t ReuseTree::count_greater(std::uint64_t key) const {
+    std::uint64_t above = 0;
+    std::int32_t t = root_;
+    while (t != kNil) {
+        const Node& n = nodes_[t];
+        if (key < n.key) {
+            above += 1 + size_of(n.right);
+            t = n.left;
+        } else if (key > n.key) {
+            t = n.right;
+        } else {
+            above += size_of(n.right);
+            break;
+        }
+    }
+    return above;
+}
+
+void ReuseTree::clear() {
+    nodes_.clear();
+    free_.clear();
+    root_ = kNil;
+}
+
+}  // namespace dbsp::locality

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file reuse_tree.hpp
+/// Order-statistics treap over the LRU stack. The reuse-distance engine keys
+/// every resident address by its last-use timestamp (a strictly increasing
+/// counter), so the LRU stack *is* the set of live timestamps ordered by key,
+/// and the stack depth of an address equals the number of keys greater than
+/// its timestamp. Subtree sizes make that rank query O(log n); heap
+/// priorities derived by hashing the key keep the tree balanced in
+/// expectation without any RNG state, so runs are deterministic.
+
+#include <cstdint>
+#include <vector>
+
+namespace dbsp::locality {
+
+class ReuseTree {
+public:
+    /// Insert \p key, which must not be present. The profiler only ever
+    /// inserts the current timestamp (greater than every live key), but the
+    /// implementation accepts any unique key — the tests exercise both.
+    void insert(std::uint64_t key);
+
+    /// Remove \p key; no-op if absent.
+    void erase(std::uint64_t key);
+
+    /// Number of live keys strictly greater than \p key. With timestamp
+    /// keys this is the LRU stack depth above the queried last-use time,
+    /// i.e. the reuse distance.
+    std::uint64_t count_greater(std::uint64_t key) const;
+
+    std::uint64_t size() const { return root_ == kNil ? 0 : nodes_[root_].size; }
+
+    void clear();
+
+private:
+    static constexpr std::int32_t kNil = -1;
+
+    struct Node {
+        std::uint64_t key;
+        std::uint64_t prio;
+        std::uint64_t size;
+        std::int32_t left;
+        std::int32_t right;
+    };
+
+    std::uint64_t size_of(std::int32_t t) const { return t == kNil ? 0 : nodes_[t].size; }
+    void pull(std::int32_t t) {
+        nodes_[t].size = 1 + size_of(nodes_[t].left) + size_of(nodes_[t].right);
+    }
+    std::int32_t make_node(std::uint64_t key);
+    void free_node(std::int32_t t);
+    /// Split by key: keys <= \p key into \p l, keys > \p key into \p r.
+    void split(std::int32_t t, std::uint64_t key, std::int32_t& l, std::int32_t& r);
+    std::int32_t merge(std::int32_t l, std::int32_t r);
+    std::int32_t erase_rec(std::int32_t t, std::uint64_t key);
+
+    std::vector<Node> nodes_;
+    std::vector<std::int32_t> free_;
+    std::int32_t root_ = kNil;
+};
+
+}  // namespace dbsp::locality

@@ -1,0 +1,36 @@
+#include "locality/sink.hpp"
+
+namespace dbsp::locality {
+
+void LocalitySink::access(trace::Addr x, double cost) {
+    Sink::access(x, cost);
+    record(x);
+}
+
+void LocalitySink::access_range(std::span<const double> prefix, trace::Addr begin,
+                                trace::Addr end) {
+    Sink::access_range(prefix, begin, end);
+    for (trace::Addr x = begin; x < end; ++x) record(x);
+    range_words_ += end - begin;
+}
+
+void LocalitySink::block_op(std::span<const double> prefix, double delta, unsigned touches,
+                            std::initializer_list<trace::AddrRange> ranges) {
+    Sink::block_op(prefix, delta, touches, ranges);
+    for (const trace::AddrRange& r : ranges) {
+        for (trace::Addr x = r.begin; x < r.end; ++x) {
+            for (unsigned t = 0; t < touches; ++t) record(x);
+        }
+        block_op_words_ += (r.end - r.begin) * touches;
+    }
+}
+
+void LocalitySink::block_transfer(trace::Addr src, trace::Addr dst, std::uint64_t len,
+                                  double latency, double delta) {
+    Sink::block_transfer(src, dst, len, latency, delta);
+    for (std::uint64_t k = 0; k < len; ++k) record(src + k);
+    for (std::uint64_t k = 0; k < len; ++k) record(dst + k);
+    transfer_words_ += len;
+}
+
+}  // namespace dbsp::locality

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file sink.hpp
+/// LocalitySink: a trace::Sink that reconstructs the simulated machine's
+/// *address stream* from the charge events and feeds it through the
+/// reuse-distance engine. It layers on top of the base sink (so the exact
+/// cost-mirror contract still holds: total() == machine cost bit for bit)
+/// and linearizes the bulk events with fixed conventions that reproduce the
+/// machines' own word accounting:
+///  * access_range touches [begin, end) once per cell, ascending;
+///  * block_op touches each range in the given order, each cell `touches`
+///    times consecutively (a swap therefore contributes 4*len references:
+///    two per cell of each block, exactly matching words_touched);
+///  * block_transfer touches the source range then the destination range,
+///    once per cell each.
+/// With these conventions the sink's reference count equals
+/// hmm::Machine::words_touched() for an HMM run, and its range/transfer word
+/// counts equal the machine-published registry counters (bt.range_words,
+/// bt.transfer_words) for a BT run — invariants enforced by the differential
+/// oracle and bench_micro.
+///
+/// Null-sink discipline (PR 2) is unchanged: a machine with no sink attached
+/// executes zero locality-profiling instructions; the per-word events this
+/// sink consumes exist only on the read_traced/write_traced path the
+/// simulators select once per run.
+
+#include <cstdint>
+
+#include "locality/profile.hpp"
+#include "locality/reuse_distance.hpp"
+#include "trace/sink.hpp"
+
+namespace dbsp::locality {
+
+class LocalitySink final : public trace::Sink {
+public:
+    void access(trace::Addr x, double cost) override;
+    void access_range(std::span<const double> prefix, trace::Addr begin,
+                      trace::Addr end) override;
+    void block_op(std::span<const double> prefix, double delta, unsigned touches,
+                  std::initializer_list<trace::AddrRange> ranges) override;
+    void block_transfer(trace::Addr src, trace::Addr dst, std::uint64_t len,
+                        double latency, double delta) override;
+
+    /// Snapshot of the analytics with distinct_addresses filled in.
+    LocalityProfile profile() const {
+        LocalityProfile p = profile_;
+        p.distinct_addresses = engine_.distinct_addresses();
+        return p;
+    }
+
+    /// Total references recorded (== hmm::Machine::words_touched for an HMM
+    /// run under the linearization conventions above).
+    std::uint64_t recorded_accesses() const { return engine_.accesses(); }
+    /// Words recorded from access_range events (== bt.range_words for a BT
+    /// run; part of hmm.bulk_words for an HMM run).
+    std::uint64_t range_words() const { return range_words_; }
+    /// Words recorded from block_op events (ranges * touches).
+    std::uint64_t block_op_words() const { return block_op_words_; }
+    /// Transfer payload words, len per block_transfer (== bt.transfer_words).
+    std::uint64_t transfer_words() const { return transfer_words_; }
+
+private:
+    void record(trace::Addr x) { profile_.note(engine_.record(x)); }
+
+    ReuseDistanceProfiler engine_;
+    LocalityProfile profile_;
+    std::uint64_t range_words_ = 0;
+    std::uint64_t block_op_words_ = 0;
+    std::uint64_t transfer_words_ = 0;
+};
+
+}  // namespace dbsp::locality

@@ -23,8 +23,11 @@ std::optional<MicroData> MicroData::from_json(const Json& j, std::string* error)
     m.bulk_words_per_sec = bulk["words_per_sec"].as_double();
     m.speedup = j["speedup_bulk_vs_per_word"].as_double(0.0);
     m.tracing_overhead_pct = j["tracing_overhead_pct"].as_double(0.0);
+    m.locality_overhead_pct = j["locality_overhead_pct"].as_double(0.0);
+    m.locality_enabled_overhead_pct = j["locality_enabled_overhead_pct"].as_double(0.0);
     m.costs_bit_identical = j["costs_bit_identical"].as_bool(true);
     m.trace_exact = j["trace_total_equals_cost"].as_bool(true);
+    m.locality_counts_exact = j["locality_counts_exact"].as_bool(true);
     return m;
 }
 
@@ -39,7 +42,10 @@ bool CombinedReport::pass() const {
     for (const auto& e : experiments) {
         if (!e.pass()) return false;
     }
-    if (micro && !(micro->costs_bit_identical && micro->trace_exact)) return false;
+    if (micro && !(micro->costs_bit_identical && micro->trace_exact &&
+                   micro->locality_counts_exact)) {
+        return false;
+    }
     return true;
 }
 
@@ -118,6 +124,63 @@ const Check* find_check(const ExperimentResult& e, const std::string& id) {
     return nullptr;
 }
 
+/// Series named "table:<group>:<x header>:<column header>" render as data
+/// tables on the dashboard (bench_e14 ships its per-level hit ratios this
+/// way). Consecutive series with the same group and identical xs merge into
+/// one multi-column table.
+struct TableName {
+    std::string group;
+    std::string x_header;
+    std::string column;
+};
+
+bool parse_table_name(const std::string& name, TableName& out) {
+    if (name.rfind("table:", 0) != 0) return false;
+    const std::size_t a = name.find(':', 6);
+    if (a == std::string::npos) return false;
+    const std::size_t b = name.find(':', a + 1);
+    if (b == std::string::npos) return false;
+    out.group = name.substr(6, a - 6);
+    out.x_header = name.substr(a + 1, b - a - 1);
+    out.column = name.substr(b + 1);
+    return true;
+}
+
+void render_table_series(const ExperimentResult& e, std::string& out) {
+    std::size_t i = 0;
+    while (i < e.series.size()) {
+        TableName first;
+        if (!parse_table_name(e.series[i].name, first)) {
+            ++i;
+            continue;
+        }
+        std::size_t j = i + 1;
+        std::vector<const Series*> cols = {&e.series[i]};
+        TableName next;
+        while (j < e.series.size() && parse_table_name(e.series[j].name, next) &&
+               next.group == first.group && e.series[j].xs == e.series[i].xs) {
+            cols.push_back(&e.series[j]);
+            ++j;
+        }
+        out += "\n**" + first.group + "**\n\n";
+        out += "| " + first.x_header + " |";
+        std::string rule = "|---|";
+        for (const Series* s : cols) {
+            TableName tn;
+            parse_table_name(s->name, tn);
+            out += " " + tn.column + " |";
+            rule += "---|";
+        }
+        out += "\n" + rule + "\n";
+        for (std::size_t r = 0; r < e.series[i].xs.size(); ++r) {
+            out += "| " + fmt(e.series[i].xs[r]) + " |";
+            for (const Series* s : cols) out += " " + fmt(s->ys[r]) + " |";
+            out += "\n";
+        }
+        i = j;
+    }
+}
+
 }  // namespace
 
 std::string CombinedReport::markdown(const CombinedReport* baseline) const {
@@ -162,6 +225,7 @@ std::string CombinedReport::markdown(const CombinedReport* baseline) const {
                    (c.kind == "exponent" ? fmt(c.r_squared) : std::string("—")) + " | " +
                    delta + " | " + (c.pass ? "pass" : "**FAIL**") + " |\n";
         }
+        render_table_series(e, out);
     }
 
     if (micro) {
@@ -170,9 +234,14 @@ std::string CombinedReport::markdown(const CombinedReport* baseline) const {
         out += "- bulk-vs-per-word speedup: " + fmt(micro->speedup) + "x\n";
         out += "- tracing overhead (AggregateSink attached): " +
                fmt(micro->tracing_overhead_pct) + "%\n";
+        out += "- locality profiling overhead: disabled path " +
+               fmt(micro->locality_overhead_pct) + "% (A/A re-measurement of the "
+               "null-sink leg), LocalitySink attached " +
+               fmt(micro->locality_enabled_overhead_pct) + "%\n";
         out += std::string("- costs bit-identical: ") +
                (micro->costs_bit_identical ? "yes" : "**NO**") + ", trace mirror exact: " +
-               (micro->trace_exact ? "yes" : "**NO**") + "\n";
+               (micro->trace_exact ? "yes" : "**NO**") + ", locality counts exact: " +
+               (micro->locality_counts_exact ? "yes" : "**NO**") + "\n";
         if (baseline != nullptr && baseline->micro) {
             const double base = baseline->micro->bulk_words_per_sec;
             if (base > 0.0) {
@@ -255,6 +324,9 @@ std::vector<std::string> gate_violations(const CombinedReport& current,
         }
         if (!current.micro->trace_exact) {
             violation("micro: trace mirror no longer equals charged cost");
+        }
+        if (!current.micro->locality_counts_exact) {
+            violation("micro: LocalitySink reference counts no longer match words_touched");
         }
     }
 

@@ -37,8 +37,16 @@ struct MicroData {
     double bulk_words_per_sec = 0.0;
     double speedup = 0.0;
     double tracing_overhead_pct = 0.0;
+    /// A/A re-measurement of the untraced leg: the LocalitySink disabled
+    /// path *is* the null-sink path, so this is its measured overhead.
+    double locality_overhead_pct = 0.0;
+    /// Overhead of actually attaching a LocalitySink (reuse-distance engine
+    /// on every reference).
+    double locality_enabled_overhead_pct = 0.0;
     bool costs_bit_identical = true;
     bool trace_exact = true;
+    /// LocalitySink reference counts matched words_touched on every rep.
+    bool locality_counts_exact = true;
 
     static std::optional<MicroData> from_json(const Json& j, std::string* error);
 };

@@ -1,6 +1,9 @@
 #include "trace/aggregate.hpp"
 
+#include <algorithm>
 #include <cinttypes>
+#include <string>
+#include <vector>
 
 namespace dbsp::trace {
 
@@ -55,22 +58,66 @@ double AggregateSink::phase_cost(Phase p) const {
 
 namespace {
 
-void print_level_row(std::FILE* out, unsigned level, const AggregateSink::LevelStats& s,
-                     double total) {
-    const double pct = total > 0.0 ? 100.0 * s.cost / total : 0.0;
-    if (level == kNoLevel) {
-        std::fprintf(out, "  %7s %21s %12" PRIu64 " %14.6g %7.2f%%\n", "(ops)", "-",
-                     s.words, s.cost, pct);
-        return;
+/// Right-aligned (left for the first column when \p left_first) text block
+/// with per-column widths measured from the actual cells, so counts and
+/// charge totals of any magnitude stay aligned — fixed printf widths used to
+/// shear once a total passed 12 digits.
+class CellBlock {
+public:
+    explicit CellBlock(bool left_first) : left_first_(left_first) {}
+
+    void add(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+    void print(std::FILE* out) const {
+        std::vector<std::size_t> widths;
+        for (const auto& row : rows_) {
+            if (widths.size() < row.size()) widths.resize(row.size());
+            for (std::size_t c = 0; c < row.size(); ++c) {
+                widths[c] = std::max(widths[c], row[c].size());
+            }
+        }
+        for (const auto& row : rows_) {
+            std::fputs(" ", out);
+            for (std::size_t c = 0; c < row.size(); ++c) {
+                const int w = static_cast<int>(widths[c]);
+                if (c == 0 && left_first_) {
+                    std::fprintf(out, " %-*s", w, row[c].c_str());
+                } else {
+                    std::fprintf(out, " %*s", w, row[c].c_str());
+                }
+            }
+            std::fputs("\n", out);
+        }
     }
-    char range[32];
-    if (level == 0) {
-        std::snprintf(range, sizeof range, "[0, 1)");
-    } else {
-        std::snprintf(range, sizeof range, "[2^%u, 2^%u)", level - 1, level);
-    }
-    std::fprintf(out, "  %7u %21s %12" PRIu64 " %14.6g %7.2f%%\n", level, range, s.words,
-                 s.cost, pct);
+
+private:
+    bool left_first_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt_u64(std::uint64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    return buf;
+}
+
+std::string fmt_cost(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+std::string fmt_pct(double cost, double total) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f%%", total > 0.0 ? 100.0 * cost / total : 0.0);
+    return buf;
+}
+
+std::string level_range(unsigned level) {
+    if (level == 0) return "[0, 1)";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "[2^%u, 2^%u)", level - 1, level);
+    return buf;
 }
 
 }  // namespace
@@ -87,23 +134,26 @@ void AggregateSink::print(std::FILE* out) const {
 
     if (!levels_.empty()) {
         std::fprintf(out, "per-level histogram:\n");
-        std::fprintf(out, "  %7s %21s %12s %14s %8s\n", "level", "addresses", "words",
-                     "cost", "% total");
+        CellBlock block(/*left_first=*/false);
+        block.add({"level", "addresses", "words", "cost", "% total"});
         for (const auto& [level, stats] : levels_) {
-            print_level_row(out, level, stats, total());
+            block.add({level == kNoLevel ? "(ops)" : fmt_u64(level),
+                       level == kNoLevel ? "-" : level_range(level), fmt_u64(stats.words),
+                       fmt_cost(stats.cost), fmt_pct(stats.cost, total())});
         }
+        block.print(out);
     }
 
     if (!phases_.empty()) {
         std::fprintf(out, "per-phase breakdown:\n");
-        std::fprintf(out, "  %-18s %6s %9s %12s %14s %8s\n", "phase", "label", "scopes",
-                     "words", "cost", "% total");
+        CellBlock block(/*left_first=*/true);
+        block.add({"phase", "label", "scopes", "words", "cost", "% total"});
         for (const auto& [key, stats] : phases_) {
-            const double pct = total() > 0.0 ? 100.0 * stats.cost / total() : 0.0;
-            std::fprintf(out, "  %-18s %6u %9" PRIu64 " %12" PRIu64 " %14.6g %7.2f%%\n",
-                         phase_name(key.phase), key.label, stats.scopes, stats.words,
-                         stats.cost, pct);
+            block.add({phase_name(key.phase), fmt_u64(key.label), fmt_u64(stats.scopes),
+                       fmt_u64(stats.words), fmt_cost(stats.cost),
+                       fmt_pct(stats.cost, total())});
         }
+        block.print(out);
     }
 }
 

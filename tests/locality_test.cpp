@@ -1,0 +1,270 @@
+/// Tests for src/locality/: the order-statistics treap, the reuse-distance
+/// engine (cross-checked against a brute-force LRU stack simulation), the
+/// derived analytics (histograms, working set, per-level slicing), and the
+/// LocalitySink's count/cost agreement with hmm::Machine.
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algos/fft_direct.hpp"
+#include "core/hmm_simulator.hpp"
+#include "core/naive_hmm_simulator.hpp"
+#include "core/smoothing.hpp"
+#include "hmm/machine.hpp"
+#include "locality/profile.hpp"
+#include "locality/reuse_distance.hpp"
+#include "locality/reuse_tree.hpp"
+#include "locality/sink.hpp"
+#include "report/json.hpp"
+#include "util/rng.hpp"
+
+namespace dbsp::locality {
+namespace {
+
+TEST(ReuseTree, InsertEraseCountAgainstBruteForce) {
+    ReuseTree tree;
+    std::set<std::uint64_t> reference;
+    SplitMix64 rng(7);
+    for (int step = 0; step < 4000; ++step) {
+        const std::uint64_t key = rng.next_below(512);
+        if (reference.count(key) == 0 && rng.next_below(3) != 0) {
+            tree.insert(key);
+            reference.insert(key);
+        } else if (reference.count(key) != 0) {
+            tree.erase(key);
+            reference.erase(key);
+        }
+        ASSERT_EQ(tree.size(), reference.size());
+        const std::uint64_t probe = rng.next_below(512);
+        const auto greater = static_cast<std::uint64_t>(std::distance(
+            reference.upper_bound(probe), reference.end()));
+        ASSERT_EQ(tree.count_greater(probe), greater) << "probe " << probe;
+    }
+    tree.clear();
+    EXPECT_EQ(tree.size(), 0u);
+    EXPECT_EQ(tree.count_greater(0), 0u);
+}
+
+TEST(ReuseDistance, FirstTouchesAreCold) {
+    ReuseDistanceProfiler prof;
+    for (Addr x = 0; x < 100; ++x) {
+        const auto e = prof.record(x);
+        EXPECT_TRUE(e.cold);
+    }
+    EXPECT_EQ(prof.accesses(), 100u);
+    EXPECT_EQ(prof.distinct_addresses(), 100u);
+}
+
+TEST(ReuseDistance, RepeatedSingleAddressIsDistanceZero) {
+    ReuseDistanceProfiler prof;
+    EXPECT_TRUE(prof.record(42).cold);
+    for (int i = 0; i < 50; ++i) {
+        const auto e = prof.record(42);
+        EXPECT_FALSE(e.cold);
+        EXPECT_EQ(e.distance, 0u);
+        EXPECT_EQ(e.time, 1u);
+    }
+    EXPECT_EQ(prof.distinct_addresses(), 1u);
+}
+
+TEST(ReuseDistance, CyclicStreamHasDistanceKMinusOne) {
+    constexpr std::uint64_t k = 12;
+    ReuseDistanceProfiler prof;
+    for (std::uint64_t i = 0; i < 5 * k; ++i) {
+        const auto e = prof.record(i % k);
+        if (i < k) {
+            EXPECT_TRUE(e.cold);
+        } else {
+            EXPECT_FALSE(e.cold);
+            EXPECT_EQ(e.distance, k - 1);
+            EXPECT_EQ(e.time, k);
+        }
+    }
+}
+
+/// Brute-force LRU stack: distance = position from the top (0-based) of the
+/// previous touch; move-to-front afterwards.
+struct StackSim {
+    std::vector<Addr> stack;
+
+    ReuseDistanceProfiler::Event touch(Addr x) {
+        const auto it = std::find(stack.begin(), stack.end(), x);
+        if (it == stack.end()) {
+            stack.insert(stack.begin(), x);
+            return {true, 0, 0};
+        }
+        const auto depth = static_cast<std::uint64_t>(it - stack.begin());
+        stack.erase(it);
+        stack.insert(stack.begin(), x);
+        return {false, depth, 0};
+    }
+};
+
+TEST(ReuseDistance, MatchesBruteForceStackSimulation) {
+    ReuseDistanceProfiler prof;
+    StackSim brute;
+    SplitMix64 rng(99);
+    for (int i = 0; i < 10000; ++i) {
+        // Skewed address distribution so short and long distances both occur.
+        const Addr x = rng.next_below(3) == 0 ? rng.next_below(8) : rng.next_below(300);
+        const auto got = prof.record(x);
+        const auto want = brute.touch(x);
+        ASSERT_EQ(got.cold, want.cold) << "access " << i;
+        if (!got.cold) ASSERT_EQ(got.distance, want.distance) << "access " << i;
+    }
+    EXPECT_EQ(prof.distinct_addresses(), brute.stack.size());
+}
+
+TEST(Profile, LevelCapacityBoundarySlicingIsExact) {
+    // A cyclic stream over 2^j addresses reuses at distance 2^j - 1: it hits
+    // a memory of capacity 2^j (level j) and misses every smaller one.
+    constexpr unsigned j = 4;
+    constexpr std::uint64_t k = 1u << j;  // 16 addresses
+    ReuseDistanceProfiler prof;
+    LocalityProfile profile;
+    constexpr std::uint64_t rounds = 8;
+    for (std::uint64_t i = 0; i < rounds * k; ++i) profile.note(prof.record(i % k));
+    profile.distinct_addresses = prof.distinct_addresses();
+
+    EXPECT_EQ(profile.accesses, rounds * k);
+    EXPECT_EQ(profile.cold_misses, k);
+    const double finite = static_cast<double>((rounds - 1) * k);
+    const double total = static_cast<double>(rounds * k);
+    EXPECT_DOUBLE_EQ(profile.hit_fraction(j), finite / total);
+    EXPECT_DOUBLE_EQ(profile.hit_fraction(j - 1), 0.0);
+    EXPECT_EQ(profile.max_level(), j);
+    // Locality score: every finite distance is k - 1.
+    EXPECT_NEAR(profile.locality_score(), std::log2(static_cast<double>(k)), 1e-12);
+}
+
+TEST(Profile, WorkingSetMatchesDirectDenningSum) {
+    ReuseDistanceProfiler prof;
+    LocalityProfile profile;
+    std::vector<std::uint64_t> reuse_times;  // finite reuse times, in order
+    SplitMix64 rng(5);
+    constexpr std::uint64_t T = 3000;
+    std::uint64_t cold = 0;
+    for (std::uint64_t i = 0; i < T; ++i) {
+        const auto e = prof.record(rng.next_below(64));
+        profile.note(e);
+        if (e.cold) {
+            ++cold;
+        } else {
+            reuse_times.push_back(e.time);
+        }
+    }
+    profile.distinct_addresses = prof.distinct_addresses();
+    for (unsigned jj = 0; jj <= 12; ++jj) {
+        const double tau = std::ldexp(1.0, static_cast<int>(jj));
+        double sum = tau * static_cast<double>(cold);
+        for (const std::uint64_t r : reuse_times) {
+            sum += std::min(static_cast<double>(r), tau);
+        }
+        const double expected = std::min(sum / static_cast<double>(T),
+                                         static_cast<double>(profile.distinct_addresses));
+        EXPECT_DOUBLE_EQ(profile.working_set(jj), expected) << "tau 2^" << jj;
+    }
+}
+
+TEST(Profile, JsonRoundTripCarriesTheAnalytics) {
+    ReuseDistanceProfiler prof;
+    LocalityProfile profile;
+    for (std::uint64_t i = 0; i < 640; ++i) profile.note(prof.record(i % 32));
+    profile.distinct_addresses = prof.distinct_addresses();
+
+    const report::Json j = profile.to_json();
+    std::string error;
+    const auto parsed = report::Json::parse(j.dump(), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ((*parsed)["schema"].as_string(), "dbsp-locality-v1");
+    EXPECT_DOUBLE_EQ((*parsed)["accesses"].as_double(), 640.0);
+    EXPECT_DOUBLE_EQ((*parsed)["distinct_addresses"].as_double(), 32.0);
+    EXPECT_DOUBLE_EQ((*parsed)["cold_misses"].as_double(), 32.0);
+    EXPECT_DOUBLE_EQ((*parsed)["locality_score"].as_double(), profile.locality_score());
+    const auto& cdf = (*parsed)["reuse_distance"]["cdf"].items();
+    ASSERT_EQ(cdf.size(), profile.max_level() + 1);
+    EXPECT_DOUBLE_EQ(cdf.back().as_double(), profile.hit_fraction(profile.max_level()));
+    ASSERT_EQ((*parsed)["levels"].size(), profile.max_level() + 1);
+    EXPECT_EQ((*parsed)["working_set"]["tau"].size(),
+              (*parsed)["working_set"]["w"].size());
+}
+
+TEST(LocalitySink, CountsAndCostsMatchTheMachine) {
+    const auto f = model::AccessFunction::polynomial(0.5);
+    hmm::Machine machine(f, 1024);
+    LocalitySink sink;
+    machine.set_trace(&sink);
+
+    // A mix of every charged operation kind. Untraced read()/write() are not
+    // used here: with a sink attached the simulators route all word traffic
+    // through the traced variants, and that is the contract being tested.
+    std::uint64_t expected_refs = 0;
+    machine.write_traced(5, 7);
+    machine.write_traced(900, 1);
+    ASSERT_EQ(machine.read_traced(5), 7u);
+    expected_refs += 3;
+
+    std::vector<model::Word> buf(64, 3);
+    machine.write_range(0, buf);
+    machine.read_range(32, std::span<model::Word>(buf.data(), 32));
+    expected_refs += 64 + 32;
+
+    machine.swap_blocks(0, 512, 64);   // 4 * 64 touches
+    machine.copy_block(0, 256, 32);    // 2 * 32 touches
+    machine.charge_range(100, 200);    // 100 touches
+    machine.charge(17.0);              // pure computation: no references
+    expected_refs += 4 * 64 + 2 * 32 + 100;
+
+    EXPECT_EQ(sink.recorded_accesses(), expected_refs);
+    EXPECT_EQ(sink.recorded_accesses(), machine.words_touched());
+    EXPECT_EQ(sink.total(), machine.cost());  // bit-exact mirror
+    EXPECT_EQ(sink.block_op_words(), 4u * 64 + 2u * 32 + 100);
+    EXPECT_EQ(sink.range_words(), 96u);
+
+    const LocalityProfile p = sink.profile();
+    EXPECT_EQ(p.accesses, expected_refs);
+    EXPECT_EQ(p.accesses, p.cold_misses + (p.accesses - p.cold_misses));
+    EXPECT_GT(p.distinct_addresses, 0u);
+}
+
+TEST(LocalitySink, RecursiveSimulationScoresBelowNaive) {
+    // The tentpole claim at unit-test scale: the Figure 1 schedule's address
+    // stream is more local than the pinned-context baseline's.
+    const auto f = model::AccessFunction::polynomial(0.5);
+    const std::uint64_t v = 64;
+    SplitMix64 rng(3);
+    std::vector<std::complex<double>> x(v);
+    for (auto& c : x) c = {rng.next_double() - 0.5, rng.next_double() - 0.5};
+
+    algo::FftDirectProgram recursive_prog(x);
+    auto smoothed = core::smooth(
+        recursive_prog, core::hmm_label_set(f, recursive_prog.context_words(), v));
+    LocalitySink recursive_sink;
+    core::HmmSimulator::Options rec_opt;
+    rec_opt.trace = &recursive_sink;
+    const auto rec_res = core::HmmSimulator(f, rec_opt).simulate(*smoothed);
+
+    algo::FftDirectProgram naive_prog(x);
+    LocalitySink naive_sink;
+    core::NaiveHmmSimulator::Options naive_opt;
+    naive_opt.trace = &naive_sink;
+    const auto naive_res = core::NaiveHmmSimulator(f, naive_opt).simulate(naive_prog);
+
+    // Exact count and cost mirrors on both legs.
+    EXPECT_EQ(recursive_sink.recorded_accesses(), rec_res.words_touched);
+    EXPECT_EQ(recursive_sink.total(), rec_res.hmm_cost);
+    EXPECT_EQ(naive_sink.recorded_accesses(), naive_res.words_touched);
+    EXPECT_EQ(naive_sink.total(), naive_res.hmm_cost);
+
+    const double rec_score = recursive_sink.profile().locality_score();
+    const double naive_score = naive_sink.profile().locality_score();
+    EXPECT_LT(rec_score, naive_score);
+}
+
+}  // namespace
+}  // namespace dbsp::locality

@@ -8,13 +8,21 @@
 /// Usage:
 ///   dbsp_explore --program fft|fft-rec|matmul|bitonic|oddeven|route
 ///                [--v N] [--f x^A | log] [--model hmm|bt|both|none]
-///                [--seed S] [--trace[=chrome.json]] [--rational]
+///                [--seed S] [--trace[=chrome.json]]
+///                [--locality[=profile.json]] [--rational]
 ///
 /// Examples:
 ///   dbsp_explore --program bitonic --v 1024 --f x^0.5 --model both
 ///   dbsp_explore --program fft-rec --v 256 --f x^0.35 --model bt --rational
 ///   dbsp_explore --program matmul --v 4096 --f log --trace
 ///   dbsp_explore --program fft --v 256 --model both --trace=trace.json
+///   dbsp_explore --program fft --v 4096 --model hmm --locality=profile.json
+///
+/// --trace observes *costs* (where the charged f()-time went, by phase and
+/// level); --locality observes the *address stream* (reuse distances, working
+/// set, per-level hit ratios of the simulated run). The two attach to the
+/// same simulation legs and can be combined. The direct D-BSP leg has no
+/// memory address stream, so --locality covers only the HMM/BT legs.
 
 #include <charconv>
 #include <complex>
@@ -35,7 +43,9 @@
 #include "core/bt_simulator.hpp"
 #include "core/hmm_simulator.hpp"
 #include "core/smoothing.hpp"
+#include "locality/sink.hpp"
 #include "model/dbsp_machine.hpp"
+#include "report/provenance.hpp"
 #include "report/trace_bundle.hpp"
 #include "trace/chrome_trace.hpp"
 #include "util/bits.hpp"
@@ -49,7 +59,8 @@ using namespace dbsp;
     std::fprintf(stderr,
                  "usage: %s --program fft|fft-rec|matmul|bitonic|oddeven|route\n"
                  "          [--v N] [--f x^A|log] [--model hmm|bt|both|none]\n"
-                 "          [--seed S] [--trace[=chrome.json]] [--rational]\n",
+                 "          [--seed S] [--trace[=chrome.json]]\n"
+                 "          [--locality[=profile.json]] [--rational]\n",
                  self);
     std::exit(2);
 }
@@ -122,6 +133,19 @@ report::TraceBundle make_leg_trace(bool enabled, bool chrome, const char* track)
     return enabled ? report::TraceBundle(track, chrome) : report::TraceBundle();
 }
 
+/// Combine one leg's charge-trace bundle with the locality profiler. Returns
+/// the sink to attach (nullptr when both observers are off); \p multi must
+/// outlive the simulation, it fans events to both when both are on.
+trace::Sink* make_leg_sink(report::TraceBundle& bundle, locality::LocalitySink& loc,
+                           trace::MultiSink& multi, bool locality_enabled) {
+    trace::Sink* charge = bundle.sink();
+    if (!locality_enabled) return charge;
+    if (charge == nullptr) return &loc;
+    multi.add(charge);
+    multi.add(&loc);
+    return &multi;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -131,6 +155,8 @@ int main(int argc, char** argv) {
     std::uint64_t seed = 1;
     bool trace_enabled = false;
     std::string trace_path;
+    bool locality_enabled = false;
+    std::string locality_path;
     bool rational = false;
     model::AccessFunction f = model::AccessFunction::polynomial(0.5);
 
@@ -157,6 +183,12 @@ int main(int argc, char** argv) {
             trace_enabled = true;
             trace_path = arg.substr(std::strlen("--trace="));
             if (trace_path.empty()) bad_arg("--trace", arg.c_str(), "a file path");
+        } else if (arg == "--locality") {
+            locality_enabled = true;
+        } else if (arg.rfind("--locality=", 0) == 0) {
+            locality_enabled = true;
+            locality_path = arg.substr(std::strlen("--locality="));
+            if (locality_path.empty()) bad_arg("--locality", arg.c_str(), "a file path");
         } else if (arg == "--rational") {
             rational = true;
         } else {
@@ -192,11 +224,14 @@ int main(int argc, char** argv) {
     direct_trace.report("dbsp_explore", "", direct.time);
 
     report::TraceBundle hmm_trace = make_leg_trace(trace_enabled, chrome, "hmm");
+    locality::LocalitySink hmm_loc;
+    bool have_hmm_profile = false;
     if (model_name == "hmm" || model_name == "both") {
         auto prog = make_program(program_name, v, seed);
         auto smoothed = core::smooth(*prog, core::hmm_label_set(f, mu, v));
+        trace::MultiSink multi;
         core::HmmSimulator::Options options;
-        options.trace = hmm_trace.sink();
+        options.trace = make_leg_sink(hmm_trace, hmm_loc, multi, locality_enabled);
         const auto res = core::HmmSimulator(f, options).simulate(*smoothed);
         const double bound = core::theorem5_bound(direct, f, v, mu);
         std::printf("%s-HMM simulation: cost %.4g  slowdown/v %.3g  cost/Thm5-bound %.3g\n",
@@ -204,14 +239,21 @@ int main(int argc, char** argv) {
                     res.hmm_cost / (direct.time * static_cast<double>(v)),
                     res.hmm_cost / bound);
         hmm_trace.report("dbsp_explore", "", res.hmm_cost);
+        if (locality_enabled) {
+            hmm_loc.profile().print(stdout, f.name() + "-HMM simulation");
+            have_hmm_profile = true;
+        }
     }
     report::TraceBundle bt_trace = make_leg_trace(trace_enabled, chrome, "bt");
+    locality::LocalitySink bt_loc;
+    bool have_bt_profile = false;
     if (model_name == "bt" || model_name == "both") {
         auto prog = make_program(program_name, v, seed);
         auto smoothed = core::smooth(*prog, core::bt_label_set(f, mu, v));
+        trace::MultiSink multi;
         core::BtSimulator::Options options;
         options.use_rational_permutations = rational;
-        options.trace = bt_trace.sink();
+        options.trace = make_leg_sink(bt_trace, bt_loc, multi, locality_enabled);
         const auto res = core::BtSimulator(f, options).simulate(*smoothed);
         const double bound = core::theorem12_bound(direct, v, mu);
         std::printf("%s-BT  simulation: cost %.4g  cost/Thm12-bound %.3g"
@@ -220,6 +262,10 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(res.sort_invocations),
                     static_cast<unsigned long long>(res.transpose_invocations));
         bt_trace.report("dbsp_explore", "", res.bt_cost);
+        if (locality_enabled) {
+            bt_loc.profile().print(stdout, f.name() + "-BT simulation");
+            have_bt_profile = true;
+        }
     }
 
     if (chrome) {
@@ -231,6 +277,26 @@ int main(int argc, char** argv) {
             return 1;
         }
         std::printf("wrote Chrome trace to %s\n", trace_path.c_str());
+    }
+
+    if (!locality_path.empty()) {
+        report::Json doc = report::Json::object();
+        doc.set("schema", "dbsp-locality-v1");
+        doc.set("provenance", report::Provenance::collect().to_json());
+        doc.set("program", program_name);
+        doc.set("v", v);
+        doc.set("f", f.name());
+        report::Json profiles = report::Json::object();
+        if (have_hmm_profile) profiles.set("hmm", hmm_loc.profile().to_json());
+        if (have_bt_profile) profiles.set("bt", bt_loc.profile().to_json());
+        doc.set("profiles", std::move(profiles));
+        std::string error;
+        if (!doc.save_file(locality_path, &error)) {
+            std::fprintf(stderr, "dbsp_explore: cannot write locality profile \"%s\": %s\n",
+                         locality_path.c_str(), error.c_str());
+            return 1;
+        }
+        std::printf("wrote locality profile to %s\n", locality_path.c_str());
     }
     return 0;
 }
