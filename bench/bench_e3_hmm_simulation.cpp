@@ -42,6 +42,16 @@ struct Point {
     std::uint64_t v;
 };
 
+/// One sweep task. Each Point is split into two independently scheduled
+/// tasks — the direct run + Figure-1 simulation + bound, and the (much
+/// heavier at large v) pinned-context naive simulation — so the parallel
+/// sweep can overlap a slow naive point with several smart ones instead of
+/// serialising both halves behind one worker.
+struct Task {
+    enum Kind { kDirectSmart, kNaive } kind;
+    Point pt;
+};
+
 struct Row {
     double direct_time;
     double sim_cost;
@@ -65,26 +75,45 @@ int main(int argc, char** argv) {
             points.push_back({f, v});
         }
     }
-    const auto rows = bench::parallel_sweep(points, [](const Point& pt) {
-        const auto labels = workload_labels(pt.v, 7);
-        algo::RandomRoutingProgram direct_prog(pt.v, labels, 101);
-        model::DbspMachine machine(pt.f);
-        const auto direct = machine.run(direct_prog);
+    // Two tasks per point: partials[j] holds the direct/smart half and
+    // partials[points.size() + j] the naive half of point j.
+    std::vector<Task> tasks;
+    tasks.reserve(points.size() * 2);
+    for (const auto& pt : points) tasks.push_back({Task::kDirectSmart, pt});
+    for (const auto& pt : points) tasks.push_back({Task::kNaive, pt});
+    const auto partials = ex.timed_leg("e3 combined sweep", [&] {
+        return bench::parallel_sweep(tasks, [](const Task& task) {
+            const Point& pt = task.pt;
+            const auto labels = workload_labels(pt.v, 7);
+            Row row{0.0, 0.0, 0.0, 0.0};
+            if (task.kind == Task::kDirectSmart) {
+                algo::RandomRoutingProgram direct_prog(pt.v, labels, 101);
+                model::DbspMachine machine(pt.f);
+                const auto direct = machine.run(direct_prog);
 
-        algo::RandomRoutingProgram sim_prog(pt.v, labels, 101);
-        auto smoothed = core::smooth(
-            sim_prog, core::hmm_label_set(pt.f, sim_prog.context_words(), pt.v));
-        const core::HmmSimulator sim(pt.f);
-        const auto simulated = sim.simulate(*smoothed);
+                algo::RandomRoutingProgram sim_prog(pt.v, labels, 101);
+                auto smoothed = core::smooth(
+                    sim_prog, core::hmm_label_set(pt.f, sim_prog.context_words(), pt.v));
+                const core::HmmSimulator sim(pt.f);
+                const auto simulated = sim.simulate(*smoothed);
 
-        algo::RandomRoutingProgram naive_prog(pt.v, labels, 101);
-        const core::NaiveHmmSimulator naive(pt.f);
-        const auto r_naive = naive.simulate(naive_prog);
-
-        const double bound =
-            core::theorem5_bound(direct, pt.f, pt.v, direct_prog.context_words());
-        return Row{direct.time, simulated.hmm_cost, r_naive.hmm_cost, bound};
+                row.direct_time = direct.time;
+                row.sim_cost = simulated.hmm_cost;
+                row.bound =
+                    core::theorem5_bound(direct, pt.f, pt.v, direct_prog.context_words());
+            } else {
+                algo::RandomRoutingProgram naive_prog(pt.v, labels, 101);
+                const core::NaiveHmmSimulator naive(pt.f);
+                row.naive_cost = naive.simulate(naive_prog).hmm_cost;
+            }
+            return row;
+        });
     });
+    std::vector<Row> rows(points.size());
+    for (std::size_t j = 0; j < points.size(); ++j) {
+        rows[j] = partials[j];
+        rows[j].naive_cost = partials[points.size() + j].naive_cost;
+    }
 
     std::size_t idx = 0;
     for (const auto& f : functions) {
@@ -120,16 +149,18 @@ int main(int argc, char** argv) {
     // sweep point serially with a sink attached and report the breakdown.
     bench::EnvTrace env_trace;
     if (env_trace.enabled()) {
-        const Point& pt = points.back();
-        const auto labels = workload_labels(pt.v, 7);
-        algo::RandomRoutingProgram prog(pt.v, labels, 101);
-        auto smoothed =
-            core::smooth(prog, core::hmm_label_set(pt.f, prog.context_words(), pt.v));
-        core::HmmSimulator::Options options;
-        options.trace = env_trace.sink();
-        const auto res = core::HmmSimulator(pt.f, options).simulate(*smoothed);
-        env_trace.report("HMM simulation, " + pt.f.name() + ", v=" + std::to_string(pt.v),
-                         res.hmm_cost);
+        ex.timed_leg("e3 traced re-run", [&] {
+            const Point& pt = points.back();
+            const auto labels = workload_labels(pt.v, 7);
+            algo::RandomRoutingProgram prog(pt.v, labels, 101);
+            auto smoothed =
+                core::smooth(prog, core::hmm_label_set(pt.f, prog.context_words(), pt.v));
+            core::HmmSimulator::Options options;
+            options.trace = env_trace.sink();
+            const auto res = core::HmmSimulator(pt.f, options).simulate(*smoothed);
+            env_trace.report("HMM simulation, " + pt.f.name() + ", v=" + std::to_string(pt.v),
+                             res.hmm_cost);
+        });
     }
     return ex.finish();
 }

@@ -5,6 +5,13 @@
 /// hierarchy's access costs. We measure (a) the cost/bound band across v and
 /// (b) the near-coincidence of the x^0.35-, x^0.5- and log x-BT costs on the
 /// same program.
+///
+/// All sweep points — the routing/bound sweep for every f AND the
+/// f-independence bitonic grid — are evaluated through ONE parallel_sweep, so
+/// the harness keeps every worker busy across heterogeneous task sizes. Each
+/// point is an independent simulation; the tables are printed afterwards from
+/// the ordered result vector, and every model cost is bit-identical to a
+/// serial run (the executors guarantee this at any thread count).
 
 #include "algos/bitonic_sort.hpp"
 #include "algos/permutation.hpp"
@@ -28,6 +35,20 @@ std::vector<unsigned> workload_labels(std::uint64_t v) {
     return labels;
 }
 
+/// One unit of work for the combined sweep: either a routing point (BT cost
+/// vs the Theorem 12 bound under functions[f_index]) or a bitonic point (BT
+/// cost only, for the f-independence spread).
+struct Point {
+    enum Kind { kRouting, kBitonic } kind;
+    std::size_t f_index;
+    std::uint64_t v;
+};
+
+struct Row {
+    double bt_cost = 0.0;
+    double bound = 0.0;  ///< Theorem 12 bound (routing points only)
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -37,23 +58,60 @@ int main(int argc, char** argv) {
                          "log(mu v / 2^i))), independent of f");
     if (!ex.parse_args(argc, argv)) return 2;
 
-    for (const auto& f : bench::case_study_functions()) {
+    const auto functions = bench::case_study_functions();
+
+    std::vector<Point> points;
+    for (std::size_t fi = 0; fi < functions.size(); ++fi) {
+        for (std::uint64_t v = 1 << 5; v <= (1 << 10); v <<= 1) {
+            points.push_back({Point::kRouting, fi, v});
+        }
+    }
+    for (std::uint64_t v = 1 << 5; v <= (1 << 9); v <<= 2) {
+        for (std::size_t fi = 0; fi < functions.size(); ++fi) {
+            points.push_back({Point::kBitonic, fi, v});
+        }
+    }
+
+    const auto rows = ex.timed_leg("e8 combined sweep", [&] {
+        return bench::parallel_sweep(points, [&](const Point& pt) {
+            const auto& f = functions[pt.f_index];
+            Row row;
+            if (pt.kind == Point::kRouting) {
+                const auto labels = workload_labels(pt.v);
+                algo::RandomRoutingProgram direct_prog(pt.v, labels, 31);
+                const auto run = model::DbspMachine(model::AccessFunction::logarithmic())
+                                     .run(direct_prog);
+                algo::RandomRoutingProgram prog(pt.v, labels, 31);
+                auto smoothed =
+                    core::smooth(prog, core::bt_label_set(f, prog.context_words(), pt.v));
+                const auto res = core::BtSimulator(f).simulate(*smoothed);
+                row.bt_cost = res.bt_cost;
+                row.bound = core::theorem12_bound(run, pt.v, prog.context_words());
+            } else {
+                SplitMix64 rng(pt.v);
+                std::vector<model::Word> keys(pt.v);
+                for (auto& k : keys) k = rng.next();
+                algo::BitonicSortProgram prog(keys);
+                auto smoothed =
+                    core::smooth(prog, core::bt_label_set(f, prog.context_words(), pt.v));
+                row.bt_cost = core::BtSimulator(f).simulate(*smoothed).bt_cost;
+            }
+            return row;
+        });
+    });
+
+    // Print / check the routing section per f, reading rows in point order.
+    std::size_t next = 0;
+    for (std::size_t fi = 0; fi < functions.size(); ++fi) {
+        const auto& f = functions[fi];
         bench::section("routing workload on " + f.name() + "-BT: cost vs Thm 12 bound");
         Table table({"v", "BT sim", "Thm12 bound", "ratio"});
         std::vector<double> ratios;
         for (std::uint64_t v = 1 << 5; v <= (1 << 10); v <<= 1) {
-            const auto labels = workload_labels(v);
-            algo::RandomRoutingProgram direct_prog(v, labels, 31);
-            const auto run = model::DbspMachine(model::AccessFunction::logarithmic())
-                                 .run(direct_prog);
-            algo::RandomRoutingProgram prog(v, labels, 31);
-            auto smoothed =
-                core::smooth(prog, core::bt_label_set(f, prog.context_words(), v));
-            const auto res = core::BtSimulator(f).simulate(*smoothed);
-            const double bound = core::theorem12_bound(run, v, prog.context_words());
+            const Row& row = rows[next++];
             table.add_row_values(
-                {static_cast<double>(v), res.bt_cost, bound, res.bt_cost / bound});
-            ratios.push_back(res.bt_cost / bound);
+                {static_cast<double>(v), row.bt_cost, row.bound, row.bt_cost / row.bound});
+            ratios.push_back(row.bt_cost / row.bound);
         }
         table.print();
         ex.check_band("BT sim / Thm12 bound [" + f.name() + "]", ratios, 1.5);
@@ -64,15 +122,9 @@ int main(int argc, char** argv) {
         Table table({"v", "x^0.35-BT", "x^0.50-BT", "log x-BT", "max/min"});
         std::vector<double> spreads;
         for (std::uint64_t v = 1 << 5; v <= (1 << 9); v <<= 2) {
-            SplitMix64 rng(v);
-            std::vector<model::Word> keys(v);
-            for (auto& k : keys) k = rng.next();
             std::vector<double> costs;
-            for (const auto& f : bench::case_study_functions()) {
-                algo::BitonicSortProgram prog(keys);
-                auto smoothed =
-                    core::smooth(prog, core::bt_label_set(f, prog.context_words(), v));
-                costs.push_back(core::BtSimulator(f).simulate(*smoothed).bt_cost);
+            for (std::size_t fi = 0; fi < functions.size(); ++fi) {
+                costs.push_back(rows[next++].bt_cost);
             }
             table.add_row_values({static_cast<double>(v), costs[0], costs[1], costs[2],
                                   spread(costs)});
@@ -90,19 +142,23 @@ int main(int argc, char** argv) {
     }
 
     // Opt-in charge trace (DBSP_TRACE=1 or =path.json): re-run the largest
-    // routing point on the x^0.5-BT with a sink attached.
+    // routing point on the x^0.5-BT with a sink attached. The sink is not
+    // thread-safe, so this stays a serial leg.
     bench::EnvTrace env_trace;
     if (env_trace.enabled()) {
-        const std::uint64_t v = 1 << 10;
-        const auto f = model::AccessFunction::polynomial(0.5);
-        const auto labels = workload_labels(v);
-        algo::RandomRoutingProgram prog(v, labels, 31);
-        auto smoothed = core::smooth(prog, core::bt_label_set(f, prog.context_words(), v));
-        core::BtSimulator::Options options;
-        options.trace = env_trace.sink();
-        const auto res = core::BtSimulator(f, options).simulate(*smoothed);
-        env_trace.report("BT simulation, " + f.name() + ", v=" + std::to_string(v),
-                         res.bt_cost);
+        ex.timed_leg("e8 traced re-run", [&] {
+            const std::uint64_t v = 1 << 10;
+            const auto f = model::AccessFunction::polynomial(0.5);
+            const auto labels = workload_labels(v);
+            algo::RandomRoutingProgram prog(v, labels, 31);
+            auto smoothed =
+                core::smooth(prog, core::bt_label_set(f, prog.context_words(), v));
+            core::BtSimulator::Options options;
+            options.trace = env_trace.sink();
+            const auto res = core::BtSimulator(f, options).simulate(*smoothed);
+            env_trace.report("BT simulation, " + f.name() + ", v=" + std::to_string(v),
+                             res.bt_cost);
+        });
     }
     return ex.finish();
 }

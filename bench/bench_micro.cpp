@@ -117,7 +117,8 @@ struct JsonMeasurement {
 enum class TraceLeg { kNone, kAggregate, kLocality };
 
 JsonMeasurement run_e3_workload(std::uint64_t v, int reps, bool fast_paths,
-                                TraceLeg leg = TraceLeg::kNone) {
+                                TraceLeg leg = TraceLeg::kNone,
+                                std::size_t threads = 1) {
     // fill_messages = 8 makes the program full (h = 9): most context words
     // are message records, the regime the bulk delivery path targets.
     constexpr std::size_t kFill = 8;
@@ -131,6 +132,7 @@ JsonMeasurement run_e3_workload(std::uint64_t v, int reps, bool fast_paths,
     trace::AggregateSink agg;
     locality::LocalitySink loc;
     core::HmmSimulator::Options options;
+    options.threads = threads;
     if (leg == TraceLeg::kAggregate) options.trace = &agg;
     if (leg == TraceLeg::kLocality) options.trace = &loc;
     std::uint64_t loc_seen = 0;
@@ -236,6 +238,20 @@ int run_json_mode(const std::string& path) {
     traced.trace_exact = trace_exact;
     locon.trace_exact = trace_exact;
     locon.counts_exact = loc_counts_exact;
+    // Parallel scaling leg: the same workload with the simulator's superstep
+    // loops sharded over 4 worker threads. The charged cost must stay
+    // bit-identical to the serial best-of run (the sharded accumulators merge
+    // in cluster order, so `threads` only changes wall time, never costs).
+    constexpr int kScalingRounds = 3;
+    constexpr std::size_t kScalingThreads = 4;
+    JsonMeasurement par;
+    for (int round = 0; round < kScalingRounds; ++round) {
+        const JsonMeasurement p =
+            run_e3_workload(kProcessors, kReps, true, TraceLeg::kNone, kScalingThreads);
+        if (round == 0 || p.seconds < par.seconds) par = p;
+    }
+    const double parallel_speedup = par.seconds > 0.0 ? fast.seconds / par.seconds : 0.0;
+    const bool costs_parallel = par.hmm_cost == fast.hmm_cost;
     const double speedup = fast.seconds > 0.0 ? slow.seconds / fast.seconds : 0.0;
     // The untraced leg runs with the null sink, i.e. it *is* the disabled
     // path whose overhead must stay within noise; the traced legs measure the
@@ -260,9 +276,12 @@ int run_json_mode(const std::string& path) {
     measurements.set("bulk_with_cache_traced", measurement_json(traced));
     measurements.set("bulk_with_cache_locality", measurement_json(locon));
     measurements.set("per_word_no_cache", measurement_json(slow));
+    measurements.set("bulk_with_cache_threads4", measurement_json(par));
     doc.set("measurements", std::move(measurements));
     doc.set("speedup_bulk_vs_per_word", speedup);
     doc.set("costs_bit_identical", fast.hmm_cost == slow.hmm_cost);
+    doc.set("parallel_speedup", parallel_speedup);
+    doc.set("costs_bit_identical_parallel", costs_parallel);
     doc.set("tracing_overhead_pct", tracing_overhead_pct);
     doc.set("locality_overhead_pct", locality_overhead_pct);
     doc.set("locality_enabled_overhead_pct", locality_enabled_overhead_pct);
@@ -297,9 +316,14 @@ int run_json_mode(const std::string& path) {
                 loc_counts_exact ? "yes" : "NO");
     std::printf("  speedup:       %.2fx   costs bit-identical: %s\n", speedup,
                 fast.hmm_cost == slow.hmm_cost ? "yes" : "NO");
+    std::printf("  threads=4:     %.3fs  (simulator sharded on %zu workers, speedup "
+                "%.2fx, costs bit-identical: %s)\n",
+                par.seconds, kScalingThreads, parallel_speedup,
+                costs_parallel ? "yes" : "NO");
     std::printf("  wrote %s\n", path.c_str());
     const bool ok = fast.hmm_cost == slow.hmm_cost && trace_exact && loc_counts_exact &&
-                    traced.hmm_cost == fast.hmm_cost && locon.hmm_cost == fast.hmm_cost;
+                    traced.hmm_cost == fast.hmm_cost && locon.hmm_cost == fast.hmm_cost &&
+                    costs_parallel;
     return ok ? 0 : 2;
 }
 

@@ -13,9 +13,12 @@
 /// tools/dbsp_report to merge and gate.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <string_view>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "model/access_function.hpp"
@@ -58,6 +61,23 @@ public:
             }
         }
         return true;
+    }
+
+    /// Run \p fn, recording its wall time and the worker count it ran on as
+    /// a provenance leg (written into the artifact's envelope by finish()).
+    /// Model costs stay bit-identical at every thread count, so the legs are
+    /// the only place the artifact reflects parallel execution at all.
+    template <typename Fn>
+    auto timed_leg(const std::string& name, Fn&& fn) {
+        const auto start = std::chrono::steady_clock::now();
+        if constexpr (std::is_void_v<decltype(fn())>) {
+            fn();
+            record_leg(name, start);
+        } else {
+            auto value = fn();
+            record_leg(name, start);
+            return value;
+        }
     }
 
     /// Record a raw measured series in the artifact (the numbers behind the
@@ -153,7 +173,8 @@ public:
         std::printf("\n%s: %zu/%zu checks pass -> %s\n", result_.id.c_str(), passed,
                     result_.checks.size(), result_.pass() ? "PASS" : "FAIL");
         if (!json_path_.empty()) {
-            const auto prov = report::Provenance::collect();
+            auto prov = report::Provenance::collect();
+            prov.legs = legs_;
             std::string error;
             if (!result_.to_json(prov, true).save_file(json_path_, &error)) {
                 std::fprintf(stderr, "%s: cannot write %s: %s\n", result_.id.c_str(),
@@ -168,6 +189,21 @@ public:
     const report::ExperimentResult& result() const { return result_; }
 
 private:
+    void record_leg(const std::string& name,
+                    std::chrono::steady_clock::time_point start) {
+        report::ProvenanceLeg leg;
+        leg.name = name;
+        leg.wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        leg.threads = util::default_threads();
+        // stderr, not stdout: the tables on stdout are byte-identical across
+        // thread counts (the documented determinism check diffs them); wall
+        // seconds are not.
+        std::fprintf(stderr, "[leg] %-40s %.3fs on %llu thread(s)\n", name.c_str(),
+                     leg.wall_seconds, static_cast<unsigned long long>(leg.threads));
+        legs_.push_back(std::move(leg));
+    }
+
     void push(report::Check c) {
         for (const auto& existing : result_.checks) {
             if (existing.id == c.id) {
@@ -181,6 +217,7 @@ private:
 
     report::ExperimentResult result_;
     std::string json_path_;
+    std::vector<report::ProvenanceLeg> legs_;
 };
 
 /// Evaluate `fn` over every sweep point concurrently and return the results

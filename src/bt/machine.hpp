@@ -12,6 +12,7 @@
 /// model cost of every operation.
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -28,6 +29,27 @@ namespace dbsp::bt {
 using model::AccessFunction;
 using model::Addr;
 using model::Word;
+
+/// Private cost/telemetry accumulator for one execution shard of a parallel
+/// simulation round — the BT counterpart of hmm::ShardAccount (see there for
+/// the determinism argument). cost and word_access fold independently, the
+/// same decomposition Machine::read_range documents.
+struct ShardAccount {
+    double cost = 0.0;
+    double word_access = 0.0;
+    double unit_ops = 0.0;
+    std::uint64_t range_ops = 0;
+    std::uint64_t range_words = 0;
+
+    void clear() { *this = ShardAccount{}; }
+
+    /// Mirror of Machine::charge into the shard.
+    void charge(double c) {
+        DBSP_REQUIRE(c >= 0.0);
+        cost += c;
+        unit_ops += c;
+    }
+};
 
 class Machine {
 public:
@@ -59,6 +81,17 @@ public:
 
     /// Charge \p c units of pure computation.
     void charge(double c);
+
+    /// Charge exactly what block_copy(src, dst, len) would charge — cost
+    /// decomposition, transfer telemetry, and the trace event — WITHOUT
+    /// copying any data. The parallel BT simulator's charge walk replays the
+    /// data-independent movement schedule of a round through this during the
+    /// deterministic merge while the contexts execute in place.
+    void charge_transfer(Addr src, Addr dst, std::uint64_t len);
+
+    /// Fold one shard's accumulators into the machine; the cost fold is the
+    /// single add the merged trace mirror performs (Sink::merge_replay).
+    void merge_shard(const ShardAccount& account);
 
     /// --- accounting --------------------------------------------------------
     double cost() const { return cost_; }

@@ -69,6 +69,11 @@ struct DiffConfig {
     bool check_bounds = true;
     /// Record the program and re-check the replay's structure.
     bool check_recorded = true;
+    /// Worker-thread counts for the parallel-execution axis. Every threaded
+    /// executor (direct, HMM, BT, naive HMM) re-runs at each count and must
+    /// reproduce its serial run exactly: bit-identical cost, bit-identical
+    /// trace mirror, identical final contexts. Empty disables the axis.
+    std::vector<std::size_t> threads{2, 4};
 };
 
 /// Run the full differential matrix on \p program. The program must satisfy

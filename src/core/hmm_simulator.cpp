@@ -2,9 +2,11 @@
 
 #include <algorithm>
 
+#include "core/hmm_shard.hpp"
 #include "model/superstep_exec.hpp"
 #include "report/metrics.hpp"
 #include "util/contracts.hpp"
+#include "util/parallel.hpp"
 
 namespace dbsp::core {
 
@@ -17,66 +19,6 @@ using model::ContextLayout;
 using model::ProcId;
 using model::StepIndex;
 using model::Word;
-
-/// Context accessor backed by HMM memory at a fixed base address. The traced
-/// instantiation routes word accesses through Machine::read_traced/
-/// write_traced (identical charging, plus the per-word sink event); the
-/// untraced one uses the hook-free read()/write(). The choice is made once
-/// per simulation, so the trace layer adds zero instructions to the untraced
-/// per-word path. Range accesses carry their (per-op) trace hook inside the
-/// machine either way.
-template <bool Traced>
-class HmmContextAccessorT final : public ContextAccessor {
-public:
-    HmmContextAccessorT(hmm::Machine& m, Addr base, std::size_t mu)
-        : m_(m), base_(base), mu_(mu) {}
-    Word get(std::size_t index) const override {
-        DBSP_REQUIRE(index < mu_);
-        if constexpr (Traced) return m_.read_traced(base_ + index);
-        return m_.read(base_ + index);
-    }
-    void set(std::size_t index, Word value) override {
-        DBSP_REQUIRE(index < mu_);
-        if constexpr (Traced) {
-            m_.write_traced(base_ + index, value);
-        } else {
-            m_.write(base_ + index, value);
-        }
-    }
-    void get_range(std::size_t index, std::span<Word> out) const override {
-        DBSP_REQUIRE(index + out.size() <= mu_);
-        m_.read_range(base_ + index, out);
-    }
-    void set_range(std::size_t index, std::span<const Word> values) override {
-        DBSP_REQUIRE(index + values.size() <= mu_);
-        m_.write_range(base_ + index, values);
-    }
-    void rebind(Addr base) { base_ = base; }
-
-private:
-    hmm::Machine& m_;
-    Addr base_;
-    std::size_t mu_;
-};
-
-/// Accessor source over the simulation's block map: processor p's context
-/// lives at block_addr(block_of_proc[p]) at the moment of the call.
-template <bool Traced>
-class HmmAccessorSourceT final : public model::AccessorSource {
-public:
-    HmmAccessorSourceT(hmm::Machine& m, std::size_t mu,
-                       const std::vector<std::uint64_t>& block_of_proc)
-        : acc_(m, 0, mu), mu_(mu), block_of_proc_(block_of_proc) {}
-    ContextAccessor& at(ProcId p) override {
-        acc_.rebind(block_of_proc_[p] * mu_);
-        return acc_;
-    }
-
-private:
-    HmmContextAccessorT<Traced> acc_;
-    std::size_t mu_;
-    const std::vector<std::uint64_t>& block_of_proc_;
-};
 
 /// Mutable simulation state: the machine plus the block <-> processor maps.
 struct SimState {
@@ -152,12 +94,18 @@ HmmSimResult HmmSimulator::simulate_with(
     // sigma[p]: next superstep to simulate for processor p.
     std::vector<StepIndex> sigma(v, 0);
 
-    HmmAccessorSourceT<false> contexts_plain(st.machine, mu, st.block_of_proc);
-    HmmAccessorSourceT<true> contexts_traced(st.machine, mu, st.block_of_proc);
+    HmmShardSource<false> contexts_plain(st.machine, mu, &st.block_of_proc);
+    HmmShardSource<true> contexts_traced(st.machine, mu, &st.block_of_proc);
     model::AccessorSource& contexts =
         sink != nullptr ? static_cast<model::AccessorSource&>(contexts_traced)
                         : static_cast<model::AccessorSource&>(contexts_plain);
     model::DeliveryScratch scratch;
+
+    // Step 2a shard state, one slot per cluster position; reused each round.
+    const std::size_t threads =
+        options_.threads == 0 ? util::default_threads() : options_.threads;
+    std::vector<hmm::ShardAccount> exec_accounts(v);
+    std::vector<trace::BufferSink> exec_buffers(sink != nullptr ? v : 0);
 
     HmmSimResult result;
     result.data_words = program.data_words();
@@ -211,41 +159,66 @@ HmmSimResult HmmSimulator::simulate_with(
             }
         }
 
-        // Step 2a: simulate local computation. Each context is brought in
-        // turn to the top of memory (block 0), the step callback runs there,
-        // and the context returns to its block.
+        // Step 2a: simulate local computation. The serial schedule of the
+        // paper brings each context in turn to the top of memory (block 0),
+        // runs the step there, and swaps the context back — a net identity
+        // on memory. So the round executes every context of the cluster IN
+        // PLACE (possibly concurrently: the submachines are independent),
+        // charging virtual block-0 addresses into a private shard account
+        // and trace buffer, and then replays the serial charge stream in
+        // cluster order: swap-in charge, the shard's charges, swap-out
+        // charge. Identical memory image, identical charges, at every
+        // thread count.
+        auto exec_one = [&](std::uint64_t idx) {
+            DBSP_ASSERT(st.proc_of_block[idx] == first + idx);
+            const ProcId p = first + idx;
+            hmm::ShardAccount& account = exec_accounts[idx];
+            model::StepOutcome out;
+            if (sink != nullptr) {
+                HmmShardAccessor<true> acc(st.machine, account, &exec_buffers[idx],
+                                           st.block_addr(0), st.block_addr(idx), mu);
+                out = model::run_processor_step(program, layout, tree, s, p, acc);
+                exec_buffers[idx].charge(static_cast<double>(out.ops));
+            } else {
+                HmmShardAccessor<false> acc(st.machine, account, nullptr,
+                                            st.block_addr(0), st.block_addr(idx), mu);
+                out = model::run_processor_step(program, layout, tree, s, p, acc);
+            }
+            account.cost += static_cast<double>(out.ops);  // unit op costs
+        };
+        if (threads > 1 && csize > 1) {
+            util::parallel_for(csize, exec_one, threads);
+        } else {
+            for (std::uint64_t idx = 0; idx < csize; ++idx) exec_one(idx);
+        }
         for (std::uint64_t idx = 0; idx < csize; ++idx) {
-            const ProcId p = st.proc_of_block[idx];
-            DBSP_ASSERT(p == first + idx);
             if (idx > 0) {
                 trace::PhaseScope move(sink, ph(trace::Phase::kContextMove), label);
-                st.swap_block_runs(0, idx, 1);
+                st.machine.charge_swap_blocks(st.block_addr(0), st.block_addr(idx), mu);
             }
             {
                 trace::PhaseScope exec(sink, ph(trace::Phase::kStepExec), label);
-                model::StepOutcome out;
+                st.machine.merge_shard(exec_accounts[idx]);
+                exec_accounts[idx].clear();
                 if (sink != nullptr) {
-                    HmmContextAccessorT<true> acc(st.machine, st.block_addr(0), mu);
-                    out = model::run_processor_step(program, layout, tree, s, p, acc);
-                } else {
-                    HmmContextAccessorT<false> acc(st.machine, st.block_addr(0), mu);
-                    out = model::run_processor_step(program, layout, tree, s, p, acc);
+                    sink->merge_replay(exec_buffers[idx]);
+                    exec_buffers[idx].clear();
                 }
-                st.machine.charge(static_cast<double>(out.ops));  // unit op costs
             }
             if (idx > 0) {
                 trace::PhaseScope move(sink, ph(trace::Phase::kContextMove), label);
-                st.swap_block_runs(0, idx, 1);
+                st.machine.charge_swap_blocks(st.block_addr(0), st.block_addr(idx), mu);
             }
         }
 
         // Step 2b: simulate the message exchange by scanning the outgoing
         // buffers and delivering into the incoming buffers; all traffic stays
-        // within the topmost mu*|C| cells.
+        // within the topmost mu*|C| cells. The sharded protocol partitions
+        // the cluster into fixed-width shards regardless of thread count.
         {
             trace::PhaseScope deliver(sink, ph(trace::Phase::kDeliver), label);
-            model::deliver_messages(layout, first, csize, contexts,
-                                    program.proc_id_base(), &scratch);
+            model::deliver_messages_sharded(layout, first, csize, contexts,
+                                            program.proc_id_base(), scratch, threads);
             if (sink != nullptr) sink->messages(scratch.pending.size());
         }
 

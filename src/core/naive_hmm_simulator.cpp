@@ -2,69 +2,18 @@
 
 #include <algorithm>
 
+#include "core/hmm_shard.hpp"
 #include "model/superstep_exec.hpp"
 #include "util/contracts.hpp"
+#include "util/parallel.hpp"
 
 namespace dbsp::core {
 
 namespace {
 
 using model::Addr;
-using model::ContextAccessor;
 using model::ProcId;
 using model::Word;
-
-/// Pinned-context accessor; the traced instantiation routes word accesses
-/// through read_traced/write_traced (identical charging plus the per-word
-/// sink event), chosen once per simulation — same discipline as
-/// HmmContextAccessorT in hmm_simulator.cpp.
-template <bool Traced>
-class PinnedAccessor final : public ContextAccessor {
-public:
-    PinnedAccessor(hmm::Machine& m, Addr base, std::size_t mu) : m_(m), base_(base), mu_(mu) {}
-    Word get(std::size_t index) const override {
-        DBSP_REQUIRE(index < mu_);
-        if constexpr (Traced) return m_.read_traced(base_ + index);
-        return m_.read(base_ + index);
-    }
-    void set(std::size_t index, Word value) override {
-        DBSP_REQUIRE(index < mu_);
-        if constexpr (Traced) {
-            m_.write_traced(base_ + index, value);
-        } else {
-            m_.write(base_ + index, value);
-        }
-    }
-    void get_range(std::size_t index, std::span<Word> out) const override {
-        DBSP_REQUIRE(index + out.size() <= mu_);
-        m_.read_range(base_ + index, out);
-    }
-    void set_range(std::size_t index, std::span<const Word> values) override {
-        DBSP_REQUIRE(index + values.size() <= mu_);
-        m_.write_range(base_ + index, values);
-    }
-    void rebind(Addr base) { base_ = base; }
-
-private:
-    hmm::Machine& m_;
-    Addr base_;
-    std::size_t mu_;
-};
-
-/// Accessor source over pinned contexts: processor p lives at p * mu forever.
-template <bool Traced>
-class PinnedSource final : public model::AccessorSource {
-public:
-    PinnedSource(hmm::Machine& m, std::size_t mu) : acc_(m, 0, mu), mu_(mu) {}
-    ContextAccessor& at(ProcId p) override {
-        acc_.rebind(p * mu_);
-        return acc_;
-    }
-
-private:
-    PinnedAccessor<Traced> acc_;
-    std::size_t mu_;
-};
 
 }  // namespace
 
@@ -90,23 +39,62 @@ HmmSimResult NaiveHmmSimulator::simulate(model::Program& program) const {
         }
     }
 
-    PinnedSource<false> contexts_plain(machine, mu);
-    PinnedSource<true> contexts_traced(machine, mu);
+    // Pinned layout: processor p lives at block p forever, so delivery and
+    // step execution both charge at the physical address (vbase == pbase).
+    HmmShardSource<false> contexts_plain(machine, mu, nullptr);
+    HmmShardSource<true> contexts_traced(machine, mu, nullptr);
     model::AccessorSource& contexts =
         sink != nullptr ? static_cast<model::AccessorSource&>(contexts_traced)
                         : static_cast<model::AccessorSource&>(contexts_plain);
     model::DeliveryScratch scratch;
 
+    // Fixed-width shard state for the step loop; the blocking is part of the
+    // charging structure (same at every thread count), threads only decide
+    // how many blocks run concurrently.
+    const std::size_t threads =
+        options_.threads == 0 ? util::default_threads() : options_.threads;
+    const std::size_t nblocks =
+        static_cast<std::size_t>((v + model::kDeliveryShardProcs - 1) /
+                                 model::kDeliveryShardProcs);
+    std::vector<hmm::ShardAccount> exec_accounts(nblocks);
+    std::vector<trace::BufferSink> exec_buffers(sink != nullptr ? nblocks : 0);
+
     HmmSimResult result;
     result.data_words = program.data_words();
     for (model::StepIndex s = 0; s < steps; ++s) {
         ++result.rounds;
-        for (ProcId p = 0; p < v; ++p) {
-            const auto out =
-                model::run_processor_step(program, layout, tree, s, p, contexts.at(p));
-            machine.charge(static_cast<double>(out.ops));
+        auto exec_block = [&](std::size_t begin, std::size_t end) {
+            const std::size_t blk = begin / model::kDeliveryShardProcs;
+            hmm::ShardAccount& account = exec_accounts[blk];
+            trace::BufferSink* const buffer =
+                sink != nullptr ? &exec_buffers[blk] : nullptr;
+            for (std::size_t p = begin; p < end; ++p) {
+                const Addr base = static_cast<Addr>(p) * mu;
+                model::StepOutcome out;
+                if (sink != nullptr) {
+                    HmmShardAccessor<true> acc(machine, account, buffer, base, base, mu);
+                    out = model::run_processor_step(program, layout, tree, s,
+                                                    static_cast<ProcId>(p), acc);
+                    buffer->charge(static_cast<double>(out.ops));
+                } else {
+                    HmmShardAccessor<false> acc(machine, account, nullptr, base, base, mu);
+                    out = model::run_processor_step(program, layout, tree, s,
+                                                    static_cast<ProcId>(p), acc);
+                }
+                account.cost += static_cast<double>(out.ops);  // unit op costs
+            }
+        };
+        util::parallel_for_blocked(v, model::kDeliveryShardProcs, exec_block, threads);
+        for (std::size_t blk = 0; blk < nblocks; ++blk) {
+            machine.merge_shard(exec_accounts[blk]);
+            exec_accounts[blk].clear();
+            if (sink != nullptr) {
+                sink->merge_replay(exec_buffers[blk]);
+                exec_buffers[blk].clear();
+            }
         }
-        model::deliver_messages(layout, 0, v, contexts, program.proc_id_base(), &scratch);
+        model::deliver_messages_sharded(layout, 0, v, contexts, program.proc_id_base(),
+                                        scratch, threads);
     }
 
     result.hmm_cost = machine.cost();

@@ -141,4 +141,30 @@ void Machine::charge(double c) {
     if (trace_ != nullptr) trace_->charge(c);
 }
 
+void Machine::charge_swap_blocks(Addr a, Addr b, std::uint64_t len) {
+    // swap_blocks minus the std::swap_ranges: same delta expression, same
+    // fold, same telemetry, same trace event.
+    if (len == 0) return;
+    DBSP_REQUIRE(a + len <= capacity() && b + len <= capacity());
+    DBSP_REQUIRE(a + len <= b || b + len <= a);  // disjoint
+    const double delta =
+        2.0 * (table_->range_cost(a, a + len) + table_->range_cost(b, b + len));
+    cost_ += delta;
+    words_touched_ += 4 * len;
+    if (trace_ != nullptr) {
+        trace_->block_op(table_->prefix(), delta, 2, {{a, a + len}, {b, b + len}});
+    }
+    note_bulk(std::max(a, b) + len - 1, 4 * len);
+}
+
+void Machine::merge_shard(const ShardAccount& account) {
+    cost_ += account.cost;
+    words_touched_ += account.words_touched;
+    bulk_ops_ += account.bulk_ops;
+    bulk_words_ += account.bulk_words;
+    for (unsigned b = 0; b < account.bulk_words_by_level.size(); ++b) {
+        bulk_words_by_level_[b] += account.bulk_words_by_level[b];
+    }
+}
+
 }  // namespace dbsp::hmm

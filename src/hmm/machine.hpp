@@ -25,6 +25,7 @@
 /// O(capacity) prefix array once.
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -41,6 +42,36 @@ namespace dbsp::hmm {
 using model::AccessFunction;
 using model::Addr;
 using model::Word;
+
+/// Private cost/telemetry accumulator for one execution shard of a parallel
+/// simulation round. A shard folds its charges here (and its trace events
+/// into a trace::BufferSink) with exactly the machine's accumulation
+/// procedure, starting from zero; Machine::merge_shard then folds the
+/// account into the machine in deterministic cluster order. Because the
+/// shard structure and merge order are fixed — thread count only decides
+/// who executes a shard — totals are bit-identical at every thread count.
+struct ShardAccount {
+    double cost = 0.0;
+    std::uint64_t words_touched = 0;
+    std::uint64_t bulk_ops = 0;
+    std::uint64_t bulk_words = 0;
+    std::array<std::uint64_t, 65> bulk_words_by_level{};
+
+    void clear() { *this = ShardAccount{}; }
+
+    /// Mirror of Machine::charge into the shard.
+    void charge(double c) {
+        DBSP_REQUIRE(c >= 0.0);
+        cost += c;
+    }
+
+    /// Mirror of Machine::note_bulk into the shard.
+    void note_bulk(Addr deepest, std::uint64_t words) {
+        ++bulk_ops;
+        bulk_words += words;
+        bulk_words_by_level[std::bit_width(deepest)] += words;
+    }
+};
 
 class Machine {
 public:
@@ -85,6 +116,19 @@ public:
 
     /// Charge \p c units of pure computation (unit-cost operations).
     void charge(double c);
+
+    /// Charge exactly what swap_blocks(a, b, len) would charge — cost, word
+    /// touches, bulk telemetry, and the trace block_op event — WITHOUT
+    /// moving any data. Used by the parallel simulators: a pair of
+    /// swap-in/swap-out moves nets to the identity on memory, so the rounds
+    /// execute contexts in place and account the paper's movement cost here
+    /// during the deterministic merge.
+    void charge_swap_blocks(Addr a, Addr b, std::uint64_t len);
+
+    /// Fold one shard's accumulators into the machine: the cost fold is the
+    /// single `cost_ += account.cost` the merged trace mirror also performs
+    /// (Sink::merge_replay), keeping the two bit-identical.
+    void merge_shard(const ShardAccount& account);
 
     /// --- accounting --------------------------------------------------------
     double cost() const { return cost_; }

@@ -1,9 +1,11 @@
 #include "model/superstep_exec.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 #include "report/metrics.hpp"
 #include "util/contracts.hpp"
+#include "util/parallel.hpp"
 
 namespace dbsp::model {
 
@@ -97,6 +99,129 @@ std::size_t deliver_messages(const ContextLayout& layout, ProcId first, std::uin
         }
         acc.set(layout.in_count_offset(), in_count + 1);
         max_received = std::max(max_received, ++sc.received[m.dest - first]);
+    }
+    return max_received;
+}
+
+std::size_t deliver_messages_sharded(const ContextLayout& layout, ProcId first,
+                                     std::uint64_t count, AccessorSource& contexts,
+                                     ProcId id_base, DeliveryScratch& sc,
+                                     std::size_t threads) {
+    if (count == 0) return 0;
+    const std::uint64_t nshards = (count + kDeliveryShardProcs - 1) / kDeliveryShardProcs;
+
+    // (Re)build the shard sources when the scratch meets a new parent.
+    if (sc.shard_owner != &contexts) {
+        sc.shards.clear();
+        sc.shard_owner = &contexts;
+    }
+    while (sc.shards.size() < nshards) {
+        DeliveryShard shard;
+        shard.source = contexts.make_shard();
+        if (shard.source == nullptr) {
+            sc.shards.clear();
+            sc.shard_owner = nullptr;
+            return deliver_messages(layout, first, count, contexts, id_base, &sc);
+        }
+        sc.shards.push_back(std::move(shard));
+    }
+
+    const bool bulk = bulk_access_enabled();
+
+    // Phase 1: each sender shard collects its outgoing messages through its
+    // private source — the per-sender body is the serial protocol's,
+    // walking senders in ascending order within the shard.
+    auto collect = [&](std::size_t sh) {
+        DeliveryShard& shard = sc.shards[sh];
+        shard.pending.clear();
+        const ProcId lo = first + sh * kDeliveryShardProcs;
+        const ProcId hi = std::min<ProcId>(first + count, lo + kDeliveryShardProcs);
+        for (ProcId p = lo; p < hi; ++p) {
+            ContextAccessor& acc = shard.source->at(p);
+            const auto sent = static_cast<std::size_t>(acc.get(layout.out_count_offset()));
+            DBSP_ASSERT(sent <= layout.max_messages);
+            if (bulk) {
+                shard.words.resize(ContextLayout::kRecordWords * sent);
+                acc.get_range(layout.out_record_offset(0), shard.words);
+                for (std::size_t k = 0; k < sent; ++k) {
+                    const Word* rec = shard.words.data() + ContextLayout::kRecordWords * k;
+                    Message m;
+                    m.src = id_base + p;
+                    m.dest = rec[0];
+                    m.payload0 = rec[1];
+                    m.payload1 = rec[2];
+                    DBSP_ASSERT(m.dest >= first && m.dest < first + count);
+                    shard.pending.push_back(m);
+                }
+            } else {
+                for (std::size_t k = 0; k < sent; ++k) {
+                    const std::size_t off = layout.out_record_offset(k);
+                    Message m;
+                    m.src = id_base + p;
+                    m.dest = acc.get(off);
+                    m.payload0 = acc.get(off + 1);
+                    m.payload1 = acc.get(off + 2);
+                    DBSP_ASSERT(m.dest >= first && m.dest < first + count);
+                    shard.pending.push_back(m);
+                }
+            }
+            if (sent > 0) {
+                acc.set(layout.out_count_offset(), 0);
+            }
+        }
+    };
+    util::parallel_for(nshards, collect, threads);
+
+    // Merge in ascending shard order: charges fold back into the parent, and
+    // concatenating the shard queues reproduces the serial protocol's
+    // canonical (src, send-order) pending sequence exactly.
+    sc.pending.clear();
+    for (std::uint64_t sh = 0; sh < nshards; ++sh) {
+        contexts.merge_shard(*sc.shards[sh].source);
+        sc.pending.insert(sc.pending.end(), sc.shards[sh].pending.begin(),
+                          sc.shards[sh].pending.end());
+    }
+
+    static auto& metric_delivered = report::metric_counter("model.messages_delivered");
+    static auto& metric_batch = report::metric_histogram("model.delivery_batch");
+    metric_delivered.add(sc.pending.size());
+    metric_batch.observe(sc.pending.size());
+
+    // Phase 2: bucket the canonical sequence by destination shard (stable, so
+    // every inbox still receives its messages in canonical order), append
+    // through the disjoint shard sources, then merge in shard order again.
+    for (std::uint64_t sh = 0; sh < nshards; ++sh) sc.shards[sh].pending.clear();
+    for (const Message& m : sc.pending) {
+        sc.shards[(m.dest - first) / kDeliveryShardProcs].pending.push_back(m);
+    }
+    sc.received.assign(count, 0);
+    auto append = [&](std::size_t sh) {
+        DeliveryShard& shard = sc.shards[sh];
+        for (const Message& m : shard.pending) {
+            ContextAccessor& acc = shard.source->at(m.dest);
+            auto in_count = static_cast<std::size_t>(acc.get(layout.in_count_offset()));
+            DBSP_REQUIRE(in_count < layout.max_messages);
+            const std::size_t off = layout.in_record_offset(in_count);
+            if (bulk) {
+                const Word rec[ContextLayout::kRecordWords] = {m.src, m.payload0, m.payload1};
+                acc.set_range(off, rec);
+            } else {
+                acc.set(off, m.src);
+                acc.set(off + 1, m.payload0);
+                acc.set(off + 2, m.payload1);
+            }
+            acc.set(layout.in_count_offset(), in_count + 1);
+            ++sc.received[m.dest - first];
+        }
+    };
+    util::parallel_for(nshards, append, threads);
+    for (std::uint64_t sh = 0; sh < nshards; ++sh) {
+        contexts.merge_shard(*sc.shards[sh].source);
+    }
+
+    std::size_t max_received = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        max_received = std::max(max_received, sc.received[i]);
     }
     return max_received;
 }

@@ -13,6 +13,7 @@
 ///    destination inboxes, then resets the sender's outgoing count, giving a
 ///    canonical (src, send-order) inbox ordering.
 
+#include <memory>
 #include <vector>
 
 #include "model/context_layout.hpp"
@@ -49,6 +50,18 @@ class AccessorSource {
 public:
     virtual ~AccessorSource() = default;
     virtual ContextAccessor& at(ProcId p) = 0;
+
+    /// Create an independent shard of this source for one worker of a
+    /// sharded delivery: its at() accessors touch the same underlying
+    /// storage but fold all charges/telemetry/trace events into private
+    /// accumulators. nullptr (the default) means the source cannot shard and
+    /// deliver_messages_sharded falls back to the serial protocol.
+    virtual std::unique_ptr<AccessorSource> make_shard() { return nullptr; }
+
+    /// Fold one shard's accumulators back into this source (called in
+    /// ascending shard order, serially) and clear the shard for reuse.
+    /// No-op for uncharged sources.
+    virtual void merge_shard(AccessorSource& shard) { (void)shard; }
 };
 
 /// AccessorSource over per-processor flat word vectors — the direct machine's
@@ -61,11 +74,30 @@ public:
         acc_.rebind(contexts_[p].data(), mu_);
         return acc_;
     }
+    /// Uncharged storage: a shard is just another rebindable accessor over
+    /// the same vectors, and merging is a no-op.
+    std::unique_ptr<AccessorSource> make_shard() override {
+        return std::make_unique<VectorAccessorSource>(contexts_, mu_);
+    }
 
 private:
     std::vector<std::vector<Word>>& contexts_;
     std::size_t mu_;
     FlatContextAccessor acc_{nullptr, 0};
+};
+
+/// Fixed shard width of the sharded delivery protocol: senders (phase 1) and
+/// destination inboxes (phase 2) are partitioned into runs of this many
+/// processors. The width is part of the charging structure — it never
+/// depends on the thread count, so charge totals cannot either.
+inline constexpr std::uint64_t kDeliveryShardProcs = 64;
+
+/// Per-shard state of a sharded delivery (kept in DeliveryScratch so the
+/// vectors and shard sources persist across supersteps).
+struct DeliveryShard {
+    std::vector<Message> pending;
+    std::vector<Word> words;
+    std::unique_ptr<AccessorSource> source;
 };
 
 /// Reusable scratch space for deliver_messages. Executors that deliver every
@@ -75,6 +107,8 @@ struct DeliveryScratch {
     std::vector<Message> pending;
     std::vector<Word> words;
     std::vector<std::size_t> received;
+    std::vector<DeliveryShard> shards;
+    const AccessorSource* shard_owner = nullptr;  ///< parent the shards belong to
 };
 
 /// Process-wide switch for the bulk (range) accessor fast path in
@@ -110,5 +144,21 @@ private:
 std::size_t deliver_messages(const ContextLayout& layout, ProcId first, std::uint64_t count,
                              AccessorSource& contexts, ProcId id_base = 0,
                              DeliveryScratch* scratch = nullptr);
+
+/// Sharded variant of deliver_messages with identical functional behaviour
+/// (same inbox contents and ordering, same return value). Processors are
+/// partitioned into kDeliveryShardProcs-wide shards; phase 1 collects each
+/// sender shard's messages through a private shard source, phase 2 buckets
+/// the canonical pending sequence by destination shard and appends through
+/// the same shard sources, and after each phase the shards are merged back
+/// into \p contexts in ascending shard order. The sharded charging structure
+/// is unconditional — \p threads (>= 1, resolved by the caller) only decides
+/// how many workers execute the shard loops, so charged totals are
+/// bit-identical at every thread count. Falls back to the serial protocol
+/// when \p contexts cannot shard (AccessorSource::make_shard == nullptr).
+std::size_t deliver_messages_sharded(const ContextLayout& layout, ProcId first,
+                                     std::uint64_t count, AccessorSource& contexts,
+                                     ProcId id_base, DeliveryScratch& scratch,
+                                     std::size_t threads);
 
 }  // namespace dbsp::model

@@ -22,6 +22,22 @@ Provenance Provenance::collect() {
     return p;
 }
 
+Json ProvenanceLeg::to_json() const {
+    Json j = Json::object();
+    j.set("name", name);
+    j.set("wall_seconds", wall_seconds);
+    j.set("threads", threads);
+    return j;
+}
+
+ProvenanceLeg ProvenanceLeg::from_json(const Json& j) {
+    ProvenanceLeg leg;
+    leg.name = j["name"].is_string() ? j["name"].as_string() : "unknown";
+    leg.wall_seconds = j["wall_seconds"].as_double(0.0);
+    leg.threads = static_cast<std::uint64_t>(j["threads"].as_double(1.0));
+    return leg;
+}
+
 Json Provenance::to_json() const {
     Json j = Json::object();
     j.set("git_sha", git_sha);
@@ -29,6 +45,11 @@ Json Provenance::to_json() const {
     j.set("compiler", compiler);
     j.set("threads", threads);
     j.set("timestamp", timestamp);
+    if (!legs.empty()) {
+        Json arr = Json::array();
+        for (const auto& leg : legs) arr.push_back(leg.to_json());
+        j.set("legs", std::move(arr));
+    }
     return j;
 }
 
@@ -39,6 +60,9 @@ Provenance Provenance::from_json(const Json& j) {
     p.compiler = j["compiler"].is_string() ? j["compiler"].as_string() : "unknown";
     p.threads = static_cast<std::uint64_t>(j["threads"].as_double(0.0));
     p.timestamp = j["timestamp"].is_string() ? j["timestamp"].as_string() : "unknown";
+    if (j["legs"].is_array()) {
+        for (const Json& lj : j["legs"].items()) p.legs.push_back(ProvenanceLeg::from_json(lj));
+    }
     return p;
 }
 

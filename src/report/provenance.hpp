@@ -7,10 +7,26 @@
 /// how many threads it ran.
 
 #include <string>
+#include <vector>
 
 #include "report/json.hpp"
 
 namespace dbsp::report {
+
+/// Wall-clock record of one timed section of a bench binary (a sweep, a
+/// serial trace re-run, ...). Legs record the *actual* worker count the
+/// section ran on, so a committed artifact shows whether a baseline was
+/// produced serially or in parallel. Wall time is informational only —
+/// the regression gate never compares it (model costs are what must be
+/// bit-stable; seconds vary by host).
+struct ProvenanceLeg {
+    std::string name;
+    double wall_seconds = 0.0;
+    std::uint64_t threads = 1;  ///< worker count the leg actually used
+
+    Json to_json() const;
+    static ProvenanceLeg from_json(const Json& j);
+};
 
 struct Provenance {
     std::string git_sha;     ///< configure-time git SHA ("unknown" outside a checkout)
@@ -18,6 +34,8 @@ struct Provenance {
     std::string compiler;    ///< compiler id + version
     std::uint64_t threads = 1;  ///< harness worker count (util::default_threads)
     std::string timestamp;   ///< UTC, ISO 8601
+    /// Per-leg wall times (empty for binaries that don't record any).
+    std::vector<ProvenanceLeg> legs;
 
     /// Collect the envelope for the current process/build.
     static Provenance collect();

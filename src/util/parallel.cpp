@@ -1,7 +1,9 @@
 #include "util/parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <charconv>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -38,11 +40,145 @@ std::size_t default_threads() {
     return hw > 0 ? hw : 1;
 }
 
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
-                  std::size_t threads) {
+namespace {
+
+/// Set while a thread is running pool work (workers permanently, callers for
+/// the duration of their own job). Nested parallel_for calls from inside a
+/// job run inline instead of re-entering the pool — composing an outer
+/// benchmark sweep with executor-internal sharding must not oversubscribe.
+thread_local bool t_in_parallel_region = false;
+
+/// Lazily grown pool of persistent workers. One job runs at a time
+/// (serialized by job_mutex_); the caller participates, and exactly
+/// min(threads - 1, pool size) workers join it via the slot counter, so an
+/// explicit `threads = k` uses k participants even on a wide machine —
+/// scaling measurements stay honest.
+class Pool {
+public:
+    static Pool& instance() {
+        static Pool pool;
+        return pool;
+    }
+
+    void run(std::size_t n, std::size_t nchunks, std::size_t grain, void* ctx,
+             detail::ChunkFn fn, std::size_t threads) {
+        std::lock_guard<std::mutex> job(job_mutex_);
+        ensure_workers(threads - 1);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            n_ = n;
+            nchunks_ = nchunks;
+            grain_ = grain;
+            ctx_ = ctx;
+            fn_ = fn;
+            error_ = nullptr;
+            next_.store(0, std::memory_order_relaxed);
+            const std::size_t helpers = std::min(threads - 1, workers_.size());
+            slots_.store(static_cast<long>(helpers), std::memory_order_relaxed);
+            ++epoch_;
+        }
+        work_cv_.notify_all();
+
+        const bool was_inside = t_in_parallel_region;
+        t_in_parallel_region = true;
+        drain();
+        t_in_parallel_region = was_inside;
+
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            done_cv_.wait(lock, [&] { return busy_ == 0; });
+            // Workers that wake late for this epoch must find no free slot.
+            slots_.store(0, std::memory_order_relaxed);
+        }
+        if (error_) std::rethrow_exception(error_);
+    }
+
+private:
+    Pool() = default;
+
+    ~Pool() {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        work_cv_.notify_all();
+        for (auto& worker : workers_) worker.join();
+    }
+
+    void ensure_workers(std::size_t want) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        while (workers_.size() < want) {
+            workers_.emplace_back([this] { worker_loop(); });
+        }
+    }
+
+    void worker_loop() {
+        t_in_parallel_region = true;
+        std::unique_lock<std::mutex> lock(mutex_);
+        std::uint64_t seen = 0;
+        while (true) {
+            work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+            if (stop_) return;
+            seen = epoch_;
+            if (slots_.fetch_sub(1, std::memory_order_acquire) <= 0) continue;
+            ++busy_;
+            lock.unlock();
+            drain();
+            lock.lock();
+            if (--busy_ == 0) done_cv_.notify_all();
+        }
+    }
+
+    /// Claim and run chunks until the job's counter is exhausted. Captures
+    /// the first exception; later chunks still run so the job always drains.
+    void drain() {
+        while (true) {
+            const std::size_t k = next_.fetch_add(1, std::memory_order_relaxed);
+            if (k >= nchunks_) return;
+            const std::size_t begin = k * grain_;
+            const std::size_t end = std::min(n_, begin + grain_);
+            try {
+                fn_(ctx_, begin, end);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex_);
+                if (!error_) error_ = std::current_exception();
+            }
+        }
+    }
+
+    std::mutex job_mutex_;  ///< serializes top-level jobs
+
+    std::mutex mutex_;  ///< guards epoch_/busy_/stop_/workers_ + job fields
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    std::vector<std::thread> workers_;
+    std::uint64_t epoch_ = 0;
+    std::size_t busy_ = 0;
+    bool stop_ = false;
+
+    // Current job (written under mutex_ before the epoch bump publishes it).
+    std::size_t n_ = 0;
+    std::size_t nchunks_ = 0;
+    std::size_t grain_ = 1;
+    void* ctx_ = nullptr;
+    detail::ChunkFn fn_ = nullptr;
+    std::atomic<std::size_t> next_{0};
+    std::atomic<long> slots_{0};
+    std::mutex error_mutex_;
+    std::exception_ptr error_;
+};
+
+}  // namespace
+
+namespace detail {
+
+void parallel_for_impl(std::size_t n, std::size_t grain, void* ctx, ChunkFn fn,
+                       std::size_t threads) {
     if (n == 0) return;
     if (threads == 0) threads = default_threads();
-    if (threads > n) threads = n;
+    const std::size_t nchunks = (n + grain - 1) / grain;
+    if (threads > nchunks) threads = nchunks;
+
     // Utilization telemetry, once per call (never per task).
     static auto& metric_calls = report::metric_counter("parallel.for_calls");
     static auto& metric_tasks = report::metric_counter("parallel.tasks");
@@ -50,34 +186,17 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
     metric_calls.add();
     metric_tasks.add(n);
     metric_workers.observe(threads);
-    if (threads <= 1) {
-        for (std::size_t i = 0; i < n; ++i) body(i);
+
+    if (threads <= 1 || t_in_parallel_region) {
+        for (std::size_t k = 0; k < nchunks; ++k) {
+            const std::size_t begin = k * grain;
+            fn(ctx, begin, std::min(n, begin + grain));
+        }
         return;
     }
-
-    std::atomic<std::size_t> next{0};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-
-    auto worker = [&] {
-        while (true) {
-            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n) return;
-            try {
-                body(i);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error) first_error = std::current_exception();
-            }
-        }
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(threads - 1);
-    for (std::size_t t = 1; t < threads; ++t) pool.emplace_back(worker);
-    worker();
-    for (auto& th : pool) th.join();
-    if (first_error) std::rethrow_exception(first_error);
+    Pool::instance().run(n, nchunks, grain, ctx, fn, threads);
 }
+
+}  // namespace detail
 
 }  // namespace dbsp::util

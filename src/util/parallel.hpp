@@ -1,15 +1,23 @@
 #pragma once
 
 /// \file parallel.hpp
-/// Minimal thread-pool parallel-for used by the benchmark harness. The
-/// simulators themselves stay single-threaded (the cost models are
-/// sequential by definition); parallelism only exploits the independence of
-/// distinct (access function, size) sweep points.
+/// Minimal persistent-pool parallel-for shared by the benchmark harness and
+/// the executors. Benchmarks use it across independent (access function,
+/// size) sweep points; the simulators use it to run the independent
+/// submachines of a D-BSP superstep concurrently (see
+/// docs in EXPERIMENTS.md: parallelism never changes what is charged — every
+/// executor folds costs through per-shard accumulators merged in a fixed
+/// order, so results are bit-identical at every thread count).
+///
+/// The callable is a template parameter (no std::function allocation or
+/// per-index indirect call on the hot path); the type-erased trampoline
+/// hands contiguous index blocks to the pool.
 
 #include <cstddef>
-#include <functional>
+#include <memory>
 #include <optional>
 #include <string_view>
+#include <type_traits>
 
 namespace dbsp::util {
 
@@ -26,12 +34,50 @@ std::optional<std::size_t> parse_thread_count(std::string_view value);
 /// warning on stderr.
 std::size_t default_threads();
 
+namespace detail {
+
+/// Type-erased chunk runner: invoke the callable at `ctx` for [begin, end).
+using ChunkFn = void (*)(void* ctx, std::size_t begin, std::size_t end);
+
+/// Dispatch `n` indices in blocks of `grain` to up to `threads` participants
+/// (callers + pool workers). Runs inline when threads <= 1, when only one
+/// block exists, or when already inside a pool worker (nested calls never
+/// oversubscribe). The first exception thrown by any block is rethrown on
+/// the caller's thread after the job drains.
+void parallel_for_impl(std::size_t n, std::size_t grain, void* ctx, ChunkFn fn,
+                       std::size_t threads);
+
+}  // namespace detail
+
 /// Run body(i) for i in [0, n) on up to `threads` workers (0 = default).
-/// Indices are handed out through an atomic counter, so the assignment of
-/// indices to threads is dynamic but every index runs exactly once. The
-/// first exception thrown by any body is rethrown on the caller's thread
-/// after all workers have joined.
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
-                  std::size_t threads = 0);
+/// Index blocks are handed out through an atomic counter, so the assignment
+/// of indices to threads is dynamic but every index runs exactly once.
+template <typename F>
+void parallel_for(std::size_t n, F&& body, std::size_t threads = 0) {
+    using Fn = std::remove_reference_t<F>;
+    detail::parallel_for_impl(
+        n, 1, const_cast<std::remove_const_t<Fn>*>(std::addressof(body)),
+        [](void* ctx, std::size_t begin, std::size_t end) {
+            Fn& f = *static_cast<Fn*>(ctx);
+            for (std::size_t i = begin; i < end; ++i) f(i);
+        },
+        threads);
+}
+
+/// Blocked variant: body(begin, end) receives whole index ranges of up to
+/// `block` indices each. Use when per-index work is tiny and the body can
+/// amortize setup across a contiguous run (the executors' shard loops).
+template <typename F>
+void parallel_for_blocked(std::size_t n, std::size_t block, F&& body,
+                          std::size_t threads = 0) {
+    using Fn = std::remove_reference_t<F>;
+    detail::parallel_for_impl(
+        n, block > 0 ? block : 1,
+        const_cast<std::remove_const_t<Fn>*>(std::addressof(body)),
+        [](void* ctx, std::size_t begin, std::size_t end) {
+            (*static_cast<Fn*>(ctx))(begin, end);
+        },
+        threads);
+}
 
 }  // namespace dbsp::util

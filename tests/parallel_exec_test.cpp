@@ -1,0 +1,363 @@
+/// Tests for the parallel superstep execution layer: the worker pool
+/// (util::parallel_for), the shard accumulators and their deterministic
+/// cluster-order merge, the trace buffer replay, sharded delivery, and the
+/// end-to-end bit-identity of every threaded executor against its serial run.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "algos/bitonic_sort.hpp"
+#include "algos/matmul.hpp"
+#include "core/bt_simulator.hpp"
+#include "core/hmm_simulator.hpp"
+#include "core/naive_hmm_simulator.hpp"
+#include "core/smoothing.hpp"
+#include "model/dbsp_machine.hpp"
+#include "model/superstep_exec.hpp"
+#include "trace/sink.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace dbsp {
+namespace {
+
+using model::AccessFunction;
+using model::ContextLayout;
+using model::ProcId;
+using model::Word;
+
+// --- util::parallel_for ----------------------------------------------------
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+    constexpr std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    util::parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, ZeroIterationsIsANoop) {
+    bool called = false;
+    util::parallel_for(0, [&](std::size_t) { called = true; }, 4);
+    EXPECT_FALSE(called);
+    util::parallel_for_blocked(0, 16, [&](std::size_t, std::size_t) { called = true; }, 4);
+    EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, BlockedCoversDisjointAlignedBlocks) {
+    constexpr std::size_t n = 1000, block = 64;
+    std::vector<std::atomic<int>> hits(n);
+    util::parallel_for_blocked(
+        n, block,
+        [&](std::size_t begin, std::size_t end) {
+            EXPECT_EQ(begin % block, 0u);
+            EXPECT_LE(end, n);
+            EXPECT_LE(end - begin, block);
+            for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+        },
+        4);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, SerialWhenThreadsIsOne) {
+    // threads == 1 must not involve the pool: the body runs on this thread.
+    const auto caller = std::this_thread::get_id();
+    util::parallel_for(100, [&](std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    }, 1);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+    EXPECT_THROW(
+        util::parallel_for(
+            256,
+            [&](std::size_t i) {
+                if (i == 137) throw std::runtime_error("boom");
+            },
+            4),
+        std::runtime_error);
+}
+
+TEST(ParallelFor, NestedCallsRunInline) {
+    // A parallel_for inside a parallel_for region must not deadlock or
+    // oversubscribe: the inner call runs inline on the worker.
+    std::atomic<int> total{0};
+    util::parallel_for(
+        8,
+        [&](std::size_t) {
+            util::parallel_for(8, [&](std::size_t) { total.fetch_add(1); }, 4);
+        },
+        4);
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ParallelFor, ParseThreadCountIsStrict) {
+    EXPECT_EQ(util::parse_thread_count("4"), std::size_t{4});
+    EXPECT_FALSE(util::parse_thread_count("0").has_value());
+    EXPECT_FALSE(util::parse_thread_count("4x").has_value());
+    EXPECT_FALSE(util::parse_thread_count("").has_value());
+    EXPECT_FALSE(util::parse_thread_count("-2").has_value());
+}
+
+// --- trace::BufferSink replay ---------------------------------------------
+
+TEST(BufferSink, MergeReplayMatchesDirectEventStream) {
+    // Prefix table for range events: f(x) = x over 16 addresses.
+    std::vector<double> prefix(17, 0.0);
+    for (std::size_t i = 0; i < 16; ++i) prefix[i + 1] = prefix[i] + static_cast<double>(i);
+
+    // Events applied directly to one sink...
+    trace::Sink direct;
+    direct.access(3, 2.5);
+    direct.access_range(prefix, 2, 9);
+    direct.charge(7.0);
+    direct.block_op(prefix, 4.25, 2, {{1, 4}, {8, 11}});
+    direct.block_transfer(0, 8, 4, 1.5, 5.5);
+    direct.messages(3);
+
+    // ...and the same events buffered, then merged into a fresh sink.
+    trace::BufferSink buffer;
+    EXPECT_TRUE(buffer.empty());
+    buffer.access(3, 2.5);
+    buffer.access_range(prefix, 2, 9);
+    buffer.charge(7.0);
+    buffer.block_op(prefix, 4.25, 2, {{1, 4}, {8, 11}});
+    buffer.block_transfer(0, 8, 4, 1.5, 5.5);
+    buffer.messages(3);
+    EXPECT_FALSE(buffer.empty());
+
+    trace::Sink merged;
+    merged.merge_replay(buffer);
+    EXPECT_EQ(merged.total(), direct.total());  // bit-identical fold
+    EXPECT_EQ(buffer.total(), direct.total());
+
+    buffer.clear();
+    EXPECT_TRUE(buffer.empty());
+    EXPECT_EQ(buffer.total(), 0.0);
+}
+
+TEST(BufferSink, MergeReplayAccumulatesOntoExistingTotal) {
+    trace::Sink sink;
+    sink.charge(10.0);
+    trace::BufferSink buffer;
+    buffer.access(0, 1.25);
+    buffer.charge(2.0);
+    sink.merge_replay(buffer);
+    EXPECT_EQ(sink.total(), 10.0 + (0.0 + 1.25 + 2.0));
+}
+
+// --- sharded delivery ------------------------------------------------------
+
+namespace {
+
+/// Build contexts for `count` processors where each sends `sends` messages to
+/// (p + k + 1) % count, payloads derived from (p, k).
+std::vector<std::vector<Word>> make_sending_contexts(const ContextLayout& layout,
+                                                     std::uint64_t count,
+                                                     std::size_t sends) {
+    std::vector<std::vector<Word>> contexts(count,
+                                            std::vector<Word>(layout.context_words(), 0));
+    for (std::uint64_t p = 0; p < count; ++p) {
+        contexts[p][layout.out_count_offset()] = sends;
+        for (std::size_t k = 0; k < sends; ++k) {
+            const std::size_t off = layout.out_record_offset(k);
+            contexts[p][off] = (p + k + 1) % count;  // dest
+            contexts[p][off + 1] = 1000 * p + k;     // payload0
+            contexts[p][off + 2] = 7 * p + k;        // payload1
+        }
+    }
+    return contexts;
+}
+
+}  // namespace
+
+TEST(ShardedDelivery, MatchesSerialDeliveryExactly) {
+    const ContextLayout layout{.data_words = 4, .max_messages = 6};
+    // Spans several 64-proc shards, with a ragged tail.
+    const std::uint64_t count = 200;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        auto serial = make_sending_contexts(layout, count, 3);
+        auto sharded = make_sending_contexts(layout, count, 3);
+        model::VectorAccessorSource serial_src(serial, layout.context_words());
+        model::VectorAccessorSource sharded_src(sharded, layout.context_words());
+        model::DeliveryScratch scratch;
+        const std::size_t max_serial =
+            model::deliver_messages(layout, 0, count, serial_src, 5);
+        const std::size_t max_sharded = model::deliver_messages_sharded(
+            layout, 0, count, sharded_src, 5, scratch, threads);
+        EXPECT_EQ(max_serial, max_sharded) << "threads=" << threads;
+        EXPECT_EQ(serial, sharded) << "threads=" << threads;
+    }
+}
+
+TEST(ShardedDelivery, EmptyShardsAndZeroMessages) {
+    const ContextLayout layout{.data_words = 2, .max_messages = 2};
+    const std::uint64_t count = 130;  // three shards, the last nearly empty
+    auto contexts = make_sending_contexts(layout, count, 0);
+    const auto before = contexts;
+    model::VectorAccessorSource src(contexts, layout.context_words());
+    model::DeliveryScratch scratch;
+    const std::size_t got =
+        model::deliver_messages_sharded(layout, 0, count, src, 0, scratch, 4);
+    EXPECT_EQ(got, 0u);
+    EXPECT_EQ(contexts, before);  // nothing moved
+}
+
+TEST(ShardedDelivery, ScratchReusedAcrossSources) {
+    // The same scratch driven by two different owners must reset its shards.
+    const ContextLayout layout{.data_words = 2, .max_messages = 4};
+    model::DeliveryScratch scratch;
+    for (int round = 0; round < 2; ++round) {
+        auto a = make_sending_contexts(layout, 70, 2);
+        auto b = make_sending_contexts(layout, 70, 2);
+        model::VectorAccessorSource sa(a, layout.context_words());
+        model::VectorAccessorSource sb(b, layout.context_words());
+        const std::size_t ra = model::deliver_messages_sharded(layout, 0, 70, sa, 0,
+                                                               scratch, 2);
+        const std::size_t rb = model::deliver_messages_sharded(layout, 0, 70, sb, 0,
+                                                               scratch, 2);
+        EXPECT_EQ(ra, rb);
+        EXPECT_EQ(a, b);
+    }
+}
+
+// --- executor bit-identity across thread counts ----------------------------
+
+namespace {
+
+std::unique_ptr<model::Program> make_bitonic(std::uint64_t v) {
+    SplitMix64 rng(99);
+    std::vector<Word> keys(v);
+    for (auto& k : keys) k = rng.next();
+    return std::make_unique<algo::BitonicSortProgram>(keys);
+}
+
+}  // namespace
+
+TEST(ParallelExecutors, DirectMachineBitIdentical) {
+    const auto program = make_bitonic(64);
+    const AccessFunction f = AccessFunction::polynomial(0.5);
+    model::DbspMachine serial(f);
+    const auto ref = serial.run(*program);
+    for (const std::size_t t : {std::size_t{2}, std::size_t{4}}) {
+        trace::Sink sink;
+        model::DbspMachine par(f);
+        par.set_threads(t);
+        par.set_trace(&sink);
+        const auto got = par.run(*program);
+        EXPECT_EQ(got.time, ref.time) << "threads=" << t;
+        EXPECT_EQ(got.contexts, ref.contexts) << "threads=" << t;
+        EXPECT_EQ(sink.total(), got.time) << "threads=" << t;
+    }
+}
+
+TEST(ParallelExecutors, HmmSimulatorBitIdentical) {
+    const auto program = make_bitonic(64);
+    const AccessFunction f = AccessFunction::polynomial(0.5);
+    const std::size_t mu = program->layout().context_words();
+    const auto labels = core::hmm_label_set(f, mu, 64);
+    auto smoothed = core::smooth(*program, labels);
+    const auto ref = core::HmmSimulator(f).simulate(*smoothed);
+    for (const std::size_t t : {std::size_t{2}, std::size_t{4}}) {
+        trace::Sink sink;
+        core::HmmSimulator::Options opt;
+        opt.threads = t;
+        opt.trace = &sink;
+        const auto got = core::HmmSimulator(f, opt).simulate(*smoothed);
+        EXPECT_EQ(got.hmm_cost, ref.hmm_cost) << "threads=" << t;
+        EXPECT_EQ(got.words_touched, ref.words_touched) << "threads=" << t;
+        EXPECT_EQ(got.rounds, ref.rounds) << "threads=" << t;
+        EXPECT_EQ(got.contexts, ref.contexts) << "threads=" << t;
+        EXPECT_EQ(sink.total(), got.hmm_cost) << "threads=" << t;
+    }
+}
+
+TEST(ParallelExecutors, BtSimulatorBitIdentical) {
+    const auto program = make_bitonic(32);
+    const AccessFunction f = AccessFunction::polynomial(0.35);
+    const std::size_t mu = program->layout().context_words();
+    const auto labels = core::bt_label_set(f, mu, 32);
+    auto smoothed = core::smooth(*program, labels);
+    const auto ref = core::BtSimulator(f).simulate(*smoothed);
+    for (const std::size_t t : {std::size_t{2}, std::size_t{4}}) {
+        trace::Sink sink;
+        core::BtSimulator::Options opt;
+        opt.threads = t;
+        opt.trace = &sink;
+        const auto got = core::BtSimulator(f, opt).simulate(*smoothed);
+        EXPECT_EQ(got.bt_cost, ref.bt_cost) << "threads=" << t;
+        EXPECT_EQ(got.compute_cost, ref.compute_cost) << "threads=" << t;
+        EXPECT_EQ(got.deliver_cost, ref.deliver_cost) << "threads=" << t;
+        EXPECT_EQ(got.layout_cost, ref.layout_cost) << "threads=" << t;
+        EXPECT_EQ(got.word_access, ref.word_access) << "threads=" << t;
+        EXPECT_EQ(got.block_transfers, ref.block_transfers) << "threads=" << t;
+        EXPECT_EQ(got.contexts, ref.contexts) << "threads=" << t;
+        EXPECT_EQ(sink.total(), got.bt_cost) << "threads=" << t;
+    }
+}
+
+TEST(ParallelExecutors, NaiveHmmSimulatorBitIdentical) {
+    const auto program = make_bitonic(64);
+    const AccessFunction f = AccessFunction::logarithmic();
+    const auto ref = core::NaiveHmmSimulator(f).simulate(*program);
+    for (const std::size_t t : {std::size_t{2}, std::size_t{4}}) {
+        trace::Sink sink;
+        core::NaiveHmmSimulator::Options opt;
+        opt.threads = t;
+        opt.trace = &sink;
+        const auto got = core::NaiveHmmSimulator(f, opt).simulate(*program);
+        EXPECT_EQ(got.hmm_cost, ref.hmm_cost) << "threads=" << t;
+        EXPECT_EQ(got.contexts, ref.contexts) << "threads=" << t;
+        EXPECT_EQ(sink.total(), got.hmm_cost) << "threads=" << t;
+    }
+}
+
+TEST(ParallelExecutors, SingleProcessorProgramIsUnaffected) {
+    // v = 1: one cluster of size one everywhere — the degenerate edge of the
+    // shard structure (single shard, single exec, no messages).
+    const auto program = make_bitonic(1);
+    const AccessFunction f = AccessFunction::polynomial(0.5);
+    const std::size_t mu = program->layout().context_words();
+    const auto labels = core::hmm_label_set(f, mu, 1);
+    auto smoothed = core::smooth(*program, labels);
+    const auto ref = core::HmmSimulator(f).simulate(*smoothed);
+    core::HmmSimulator::Options opt;
+    opt.threads = 4;
+    const auto got = core::HmmSimulator(f, opt).simulate(*smoothed);
+    EXPECT_EQ(got.hmm_cost, ref.hmm_cost);
+    EXPECT_EQ(got.contexts, ref.contexts);
+
+    model::DbspMachine par(f);
+    par.set_threads(4);
+    const auto direct = par.run(*program);
+    model::DbspMachine ser(f);
+    const auto direct_ref = ser.run(*program);
+    EXPECT_EQ(direct.time, direct_ref.time);
+    EXPECT_EQ(direct.contexts, direct_ref.contexts);
+}
+
+TEST(ParallelExecutors, MatmulAcrossThreadCounts) {
+    // A second workload shape (heavier per-step compute, range accesses).
+    SplitMix64 rng(7);
+    std::vector<Word> a(64), b(64);
+    for (auto& x : a) x = rng.next_below(1 << 12);
+    for (auto& x : b) x = rng.next_below(1 << 12);
+    algo::MatMulProgram program(a, b);
+    const AccessFunction f = AccessFunction::polynomial(0.5);
+    const std::size_t mu = program.layout().context_words();
+    const auto labels = core::hmm_label_set(f, mu, 64);
+    auto smoothed = core::smooth(program, labels);
+    const auto ref = core::HmmSimulator(f).simulate(*smoothed);
+    core::HmmSimulator::Options opt;
+    opt.threads = 3;  // non-power-of-two worker count
+    const auto got = core::HmmSimulator(f, opt).simulate(*smoothed);
+    EXPECT_EQ(got.hmm_cost, ref.hmm_cost);
+    EXPECT_EQ(got.contexts, ref.contexts);
+}
+
+}  // namespace
+}  // namespace dbsp
