@@ -15,12 +15,16 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "locality/sink.hpp"
 #include "model/access_function.hpp"
 #include "report/experiment.hpp"
 #include "report/trace_bundle.hpp"
@@ -135,13 +139,22 @@ public:
     }
 
     /// Check measured >= floor_value (e.g. a separation the paper says grows).
-    bool check_min(const std::string& label, double measured, double floor_value) {
+    /// `drift_tolerance`, when non-zero, does not affect this verdict — it is
+    /// recorded in the artifact and read by the regression gate as the
+    /// allowed *absolute* drift of the measured value vs the committed
+    /// baseline, replacing the default relative-drift rule. Declare it on
+    /// checks whose measured value is exact but fold-order sensitive (e.g.
+    /// locality scores, whose last decimals move when an engine change
+    /// regroups the identical event stream).
+    bool check_min(const std::string& label, double measured, double floor_value,
+                   double drift_tolerance = 0.0) {
         report::Check c;
         c.label = label;
         c.id = report::ExperimentResult::slugify(label);
         c.kind = "min";
         c.measured = measured;
         c.predicted = floor_value;
+        c.tolerance = drift_tolerance;
         c.pass = report::Check::evaluate(c.kind, measured, floor_value, 0.0);
         std::printf("%-44s measured %.3f (>= %.3f required) [%s]\n", label.c_str(),
                     measured, floor_value, c.pass ? "pass" : "FAIL");
@@ -150,13 +163,16 @@ public:
     }
 
     /// Check measured <= ceiling_value (e.g. an overhead the paper bounds).
-    bool check_max(const std::string& label, double measured, double ceiling_value) {
+    /// `drift_tolerance` as in check_min.
+    bool check_max(const std::string& label, double measured, double ceiling_value,
+                   double drift_tolerance = 0.0) {
         report::Check c;
         c.label = label;
         c.id = report::ExperimentResult::slugify(label);
         c.kind = "max";
         c.measured = measured;
         c.predicted = ceiling_value;
+        c.tolerance = drift_tolerance;
         c.pass = report::Check::evaluate(c.kind, measured, ceiling_value, 0.0);
         std::printf("%-44s measured %.3f (<= %.3f required) [%s]\n", label.c_str(),
                     measured, ceiling_value, c.pass ? "pass" : "FAIL");
@@ -256,6 +272,64 @@ public:
 
 private:
     report::TraceBundle bundle_;
+};
+
+/// Opt-in address-stream locality profiling for the experiment binaries,
+/// driven by the DBSP_LOCALITY environment variable (the --locality analogue
+/// of EnvTrace / DBSP_TRACE):
+///   unset / "" / "0"  — disabled;
+///   "1" / "exact"     — exact reuse-distance engine;
+///   "sampled"         — SHARDS-sampled engine at the default production rate;
+///   "sampled@R"       — SHARDS-sampled at rate R in (0, 1].
+/// Any other value disables the hook with a stderr warning — an experiment
+/// sweep should not die on a typo in an observability knob.
+/// Like EnvTrace, the sink is not thread-safe: binaries attach it to one
+/// representative configuration re-run serially after the parallel sweep.
+class EnvLocality {
+public:
+    EnvLocality() {
+        const char* value = std::getenv("DBSP_LOCALITY");
+        if (value == nullptr || value[0] == '\0' || std::strcmp(value, "0") == 0) return;
+        locality::LocalityOptions options;
+        if (std::strcmp(value, "1") == 0 || std::strcmp(value, "exact") == 0) {
+            // exact defaults
+        } else if (std::strcmp(value, "sampled") == 0) {
+            options.mode = locality::LocalityOptions::Mode::kSampled;
+        } else if (std::strncmp(value, "sampled@", 8) == 0) {
+            char* end = nullptr;
+            const double rate = std::strtod(value + 8, &end);
+            if (value[8] == '\0' || end == nullptr || *end != '\0' || !(rate > 0.0) ||
+                rate > 1.0) {
+                warn(value);
+                return;
+            }
+            options.mode = locality::LocalityOptions::Mode::kSampled;
+            options.sample_rate = rate;
+        } else {
+            warn(value);
+            return;
+        }
+        sink_ = std::make_unique<locality::LocalitySink>(options);
+    }
+
+    bool enabled() const { return sink_ != nullptr; }
+    locality::LocalitySink* sink() { return sink_.get(); }
+
+    /// Print the profiled run's analytics (reuse-distance histogram, working
+    /// set, score) for the traced leg.
+    void report(const std::string& what) {
+        if (sink_ != nullptr) sink_->profile().print(stdout, "DBSP_LOCALITY " + what);
+    }
+
+private:
+    static void warn(const char* value) {
+        std::fprintf(stderr,
+                     "bench: ignoring DBSP_LOCALITY=\"%s\" (expected 0, 1, exact, "
+                     "sampled, or sampled@R with R in (0, 1])\n",
+                     value);
+    }
+
+    std::unique_ptr<locality::LocalitySink> sink_;
 };
 
 /// The paper's case-study access functions.

@@ -99,6 +99,90 @@ private:
     std::string context_;
 };
 
+/// Locality-profiler mode axes, shared by the HMM and BT blocks. \p run
+/// re-executes the simulation with the given sink attached; it must be
+/// deterministic, so every sink sees the identical reference stream.
+///  * batched vs per-word: the engine's O(log n + b) bulk path promises an
+///    event stream — and therefore a profile — bit-identical to feeding
+///    every word through record() alone;
+///  * sampled rate 1.0: the SHARDS filter passes every address and all rate
+///    corrections are the identity, so the profile must equal exact's;
+///  * sampled rate 0.25: the estimates are unbiased but noisy; the band
+///    below is a tripwire calibrated like the theorem slacks — wide enough
+///    that only a broken rate correction (not an unlucky sample) trips it,
+///    and gated on a minimum measured-reference count so tiny programs
+///    don't produce degenerate estimates.
+template <typename RunTraced>
+void check_locality_modes(Reporter& rep, const std::string& tag, RunTraced&& run) {
+    locality::LocalitySink exact_sink;
+    run(exact_sink);
+    const locality::LocalityProfile exact = exact_sink.profile();
+
+    {
+        locality::LocalityOptions opts;
+        opts.batched = false;
+        locality::LocalitySink per_word(opts);
+        run(per_word);
+        if (!exact.identical(per_word.profile())) {
+            rep.fail(tag, "batched profile differs from per-word profile");
+        }
+    }
+    {
+        locality::LocalityOptions opts;
+        opts.mode = locality::LocalityOptions::Mode::kSampled;
+        opts.sample_rate = 1.0;
+        locality::LocalitySink full(opts);
+        run(full);
+        if (!exact.identical(full.profile())) {
+            rep.fail(tag, "rate-1.0 sampled profile differs from exact profile");
+        }
+    }
+    {
+        locality::LocalityOptions opts;
+        opts.mode = locality::LocalityOptions::Mode::kSampled;
+        opts.sample_rate = 0.25;
+        locality::LocalitySink sampled_sink(opts);
+        run(sampled_sink);
+        locality::LocalityProfile approx = sampled_sink.profile();
+        if (approx.accesses != exact.accesses) {
+            std::ostringstream os;
+            os << "sampled mode counted " << approx.accesses << " references, exact "
+               << exact.accesses;
+            rep.fail(tag, os.str());
+        }
+        // SHARDS estimation error scales with the *sampled working set*
+        // (roughly 1/sqrt(distinct sampled addresses)), so the band is only
+        // meaningful once the sample holds enough addresses — tiny fuzz
+        // programs where three sampled addresses decide every hit fraction
+        // are skipped rather than band-checked.
+        constexpr std::uint64_t kMinSampledRefs = 512;
+        constexpr std::uint64_t kMinSampledAddrs = 64;
+        if (approx.sampled_accesses >= kMinSampledRefs &&
+            approx.distinct_addresses >= kMinSampledAddrs) {
+            const double ds = std::abs(approx.locality_score() - exact.locality_score());
+            if (!(ds <= std::max(1.5, 0.5 * exact.locality_score()))) {
+                std::ostringstream os;
+                os.precision(17);
+                os << "sampled locality score " << approx.locality_score()
+                   << " outside band of exact " << exact.locality_score();
+                rep.fail(tag, os.str());
+            }
+            for (unsigned level = 1; level <= exact.max_level(); ++level) {
+                const double dh =
+                    std::abs(approx.hit_fraction(level) - exact.hit_fraction(level));
+                if (!(dh <= 0.45)) {
+                    std::ostringstream os;
+                    os.precision(17);
+                    os << "sampled hit fraction at level " << level << " is "
+                       << approx.hit_fraction(level) << ", exact "
+                       << exact.hit_fraction(level);
+                    rep.fail(tag, os.str());
+                }
+            }
+        }
+    }
+}
+
 std::vector<std::vector<Word>> images_of(const std::vector<std::vector<Word>>& contexts,
                                          const ContextLayout& layout) {
     std::vector<std::vector<Word>> images;
@@ -299,6 +383,12 @@ DiffReport check_program(model::Program& program, const DiffConfig& config) {
                     rep.fail("locality-counts", os.str());
                 }
             }
+            if (config.check_locality) {
+                check_locality_modes(rep, "hmm-locality-modes",
+                                     [&](locality::LocalitySink& sink) {
+                                         (void)run_hmm(true, true, &sink);
+                                     });
+            }
             if (config.check_bounds && v >= kBoundMinProcessors) {
                 const double bound =
                     kTheorem5Slack * core::theorem5_bound(sm_direct, f, v, mu);
@@ -391,6 +481,12 @@ DiffReport check_program(model::Program& program, const DiffConfig& config) {
                        << transferred;
                     rep.fail("locality-counts", os.str());
                 }
+            }
+            if (config.check_locality) {
+                check_locality_modes(rep, "bt-locality-modes",
+                                     [&](locality::LocalitySink& sink) {
+                                         (void)run_bt(true, true, &sink);
+                                     });
             }
             {
                 // Component attribution must account for the whole charge.

@@ -19,6 +19,10 @@
 ///    across every bulk/cache/trace combination;
 ///  * trace mirror: an attached sink's total() equals the executor's charged
 ///    cost bit for bit;
+///  * locality modes: the profiler's batched fast path reproduces the
+///    per-word reference path bit for bit, SHARDS sampling at rate 1.0
+///    degenerates to the exact profile, and sub-rate sampling stays inside
+///    a generous error band of the exact analytics;
 ///  * model invariants: per-superstep direct costs are >= 1 and fold exactly
 ///    to the total (monotone accumulation); smoothed relabelings satisfy
 ///    Definition 3 (is_smooth); BT component attribution
@@ -69,6 +73,12 @@ struct DiffConfig {
     bool check_bounds = true;
     /// Record the program and re-check the replay's structure.
     bool check_recorded = true;
+    /// Cross-check the locality-profiler mode axes on the HMM and BT
+    /// simulators: batched vs per-word profiles must be bit-identical,
+    /// rate-1.0 sampling must degenerate to the exact profile, and a
+    /// down-sampled profile must stay inside a wide sanity corridor of the
+    /// exact one (broken rate correction, not sampling noise, trips it).
+    bool check_locality = true;
     /// Worker-thread counts for the parallel-execution axis. Every threaded
     /// executor (direct, HMM, BT, naive HMM) re-runs at each count and must
     /// reproduce its serial run exactly: bit-identical cost, bit-identical

@@ -7,7 +7,9 @@
 /// A shard accessor reads/writes the machine's words directly (uncharged raw
 /// storage) while folding every charge into a private hmm::ShardAccount —
 /// with exactly the machine's accumulation procedure — and every trace event
-/// into a private trace::BufferSink. Charging and data placement are
+/// into a trace::Sink (a private trace::BufferSink when shards run
+/// concurrently; the real sink, inside a shard_begin/shard_end bracket, when
+/// the simulator delivers a serial shard's events directly). Charging and data placement are
 /// decoupled: charges use the *virtual* base address (where the serial
 /// schedule would have placed the context, e.g. block 0 for step execution)
 /// while the data moves at the *physical* base (where the context actually
@@ -35,9 +37,8 @@ namespace dbsp::core {
 template <bool Traced>
 class HmmShardAccessor final : public model::ContextAccessor {
 public:
-    HmmShardAccessor(hmm::Machine& m, hmm::ShardAccount& account,
-                     trace::BufferSink* buffer, model::Addr vbase, model::Addr pbase,
-                     std::size_t mu)
+    HmmShardAccessor(hmm::Machine& m, hmm::ShardAccount& account, trace::Sink* buffer,
+                     model::Addr vbase, model::Addr pbase, std::size_t mu)
         : m_(m), account_(account), buffer_(buffer), vbase_(vbase), pbase_(pbase),
           mu_(mu) {}
 
@@ -103,9 +104,11 @@ public:
 private:
     hmm::Machine& m_;
     hmm::ShardAccount& account_;
-    trace::BufferSink* buffer_;  ///< non-null iff Traced
-    model::Addr vbase_;          ///< charged addresses
-    model::Addr pbase_;          ///< data addresses
+    trace::Sink* buffer_;  ///< non-null iff Traced; a private BufferSink for
+                           ///< parallel shards, the real sink for serial
+                           ///< direct delivery (shard_begin/shard_end)
+    model::Addr vbase_;    ///< charged addresses
+    model::Addr pbase_;    ///< data addresses
     std::size_t mu_;
 };
 

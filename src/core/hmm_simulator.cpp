@@ -102,10 +102,12 @@ HmmSimResult HmmSimulator::simulate_with(
     model::DeliveryScratch scratch;
 
     // Step 2a shard state, one slot per cluster position; reused each round.
+    // Trace buffers exist only when a parallel round can need them — serial
+    // rounds deliver events straight to the sink (see Step 2a below).
     const std::size_t threads =
         options_.threads == 0 ? util::default_threads() : options_.threads;
     std::vector<hmm::ShardAccount> exec_accounts(v);
-    std::vector<trace::BufferSink> exec_buffers(sink != nullptr ? v : 0);
+    std::vector<trace::BufferSink> exec_buffers(sink != nullptr && threads > 1 ? v : 0);
 
     HmmSimResult result;
     result.data_words = program.data_words();
@@ -165,20 +167,24 @@ HmmSimResult HmmSimulator::simulate_with(
         // on memory. So the round executes every context of the cluster IN
         // PLACE (possibly concurrently: the submachines are independent),
         // charging virtual block-0 addresses into a private shard account
-        // and trace buffer, and then replays the serial charge stream in
-        // cluster order: swap-in charge, the shard's charges, swap-out
-        // charge. Identical memory image, identical charges, at every
-        // thread count.
-        auto exec_one = [&](std::uint64_t idx) {
+        // and trace events into a shard sink, and emits the serial charge
+        // stream in cluster order: swap-in charge, the shard's charges,
+        // swap-out charge. When the round runs on one thread anyway, the
+        // shard's step executes at exactly the position where its buffer
+        // would have been replayed, so the events go straight to the real
+        // sink inside a shard_begin/shard_end bracket — same stream, same
+        // totals, no buffer. Identical memory image, identical charges, at
+        // every thread count.
+        auto exec_one = [&](std::uint64_t idx, trace::Sink* events) {
             DBSP_ASSERT(st.proc_of_block[idx] == first + idx);
             const ProcId p = first + idx;
             hmm::ShardAccount& account = exec_accounts[idx];
             model::StepOutcome out;
-            if (sink != nullptr) {
-                HmmShardAccessor<true> acc(st.machine, account, &exec_buffers[idx],
+            if (events != nullptr) {
+                HmmShardAccessor<true> acc(st.machine, account, events,
                                            st.block_addr(0), st.block_addr(idx), mu);
                 out = model::run_processor_step(program, layout, tree, s, p, acc);
-                exec_buffers[idx].charge(static_cast<double>(out.ops));
+                events->charge(static_cast<double>(out.ops));
             } else {
                 HmmShardAccessor<false> acc(st.machine, account, nullptr,
                                             st.block_addr(0), st.block_addr(idx), mu);
@@ -186,10 +192,14 @@ HmmSimResult HmmSimulator::simulate_with(
             }
             account.cost += static_cast<double>(out.ops);  // unit op costs
         };
-        if (threads > 1 && csize > 1) {
-            util::parallel_for(csize, exec_one, threads);
-        } else {
-            for (std::uint64_t idx = 0; idx < csize; ++idx) exec_one(idx);
+        const bool parallel_round = threads > 1 && csize > 1;
+        if (parallel_round) {
+            util::parallel_for(
+                csize,
+                [&](std::uint64_t idx) {
+                    exec_one(idx, sink != nullptr ? &exec_buffers[idx] : nullptr);
+                },
+                threads);
         }
         for (std::uint64_t idx = 0; idx < csize; ++idx) {
             if (idx > 0) {
@@ -198,12 +208,20 @@ HmmSimResult HmmSimulator::simulate_with(
             }
             {
                 trace::PhaseScope exec(sink, ph(trace::Phase::kStepExec), label);
-                st.machine.merge_shard(exec_accounts[idx]);
-                exec_accounts[idx].clear();
-                if (sink != nullptr) {
+                if (!parallel_round) {
+                    if (sink != nullptr) {
+                        sink->shard_begin();
+                        exec_one(idx, sink);
+                        sink->shard_end();
+                    } else {
+                        exec_one(idx, nullptr);
+                    }
+                } else if (sink != nullptr) {
                     sink->merge_replay(exec_buffers[idx]);
                     exec_buffers[idx].clear();
                 }
+                st.machine.merge_shard(exec_accounts[idx]);
+                exec_accounts[idx].clear();
             }
             if (idx > 0) {
                 trace::PhaseScope move(sink, ph(trace::Phase::kContextMove), label);

@@ -1,40 +1,26 @@
 #include "locality/profile.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
 
 #include "util/table.hpp"
 
 namespace dbsp::locality {
 
-void LocalityProfile::note(const ReuseDistanceProfiler::Event& e) {
-    ++accesses;
-    if (e.cold) {
-        ++cold_misses;
-        return;
-    }
-    distance_count[std::bit_width(e.distance)] += 1;
-    score_sum += std::log2(static_cast<double>(e.distance) + 1.0);
-    const unsigned tb = std::bit_width(e.time);
-    time_count[tb] += 1;
-    time_sum[tb] += static_cast<double>(e.time);
-}
-
 double LocalityProfile::locality_score() const {
-    const std::uint64_t finite = accesses - cold_misses;
-    return finite > 0 ? score_sum / static_cast<double>(finite) : 0.0;
+    const std::uint64_t finite = sampled_accesses - cold_misses;
+    return finite > 0 ? score_total() / static_cast<double>(finite) : 0.0;
 }
 
 double LocalityProfile::hit_fraction(unsigned level) const {
-    if (accesses == 0) return 0.0;
+    if (sampled_accesses == 0) return 0.0;
     std::uint64_t hits = 0;
     for (unsigned b = 0; b <= std::min(level, kBuckets - 1); ++b) hits += distance_count[b];
-    return static_cast<double>(hits) / static_cast<double>(accesses);
+    return static_cast<double>(hits) / static_cast<double>(sampled_accesses);
 }
 
 double LocalityProfile::working_set(unsigned j) const {
-    if (accesses == 0) return 0.0;
+    if (sampled_accesses == 0) return 0.0;
     const double tau = std::ldexp(1.0, static_cast<int>(j));
     // Denning-Schwartz: w(tau) = (1/T) sum_i min(r_i, tau); a reuse time r
     // lands in bucket bit_width(r), so r < tau = 2^j iff its bucket is <= j.
@@ -42,16 +28,16 @@ double LocalityProfile::working_set(unsigned j) const {
     std::uint64_t truncated = cold_misses;  // cold references count tau
     for (unsigned b = 0; b < kBuckets; ++b) {
         if (b <= j) {
-            sum += time_sum[b];
+            sum += static_cast<double>(time_sum[b]);
         } else {
             truncated += time_count[b];
         }
     }
     sum += tau * static_cast<double>(truncated);
-    const double w = sum / static_cast<double>(accesses);
+    const double w = sum / static_cast<double>(sampled_accesses);
     // Stream-boundary cap: a finite trace can never hold a window with more
     // distinct addresses than it touched in total.
-    return std::min(w, static_cast<double>(distinct_addresses));
+    return std::min(w, distinct_estimate());
 }
 
 unsigned LocalityProfile::max_level() const {
@@ -64,9 +50,13 @@ unsigned LocalityProfile::max_level() const {
 
 report::Json LocalityProfile::to_json() const {
     report::Json j = report::Json::object();
-    j.set("schema", "dbsp-locality-v1");
+    j.set("schema", "dbsp-locality-v2");
+    j.set("mode", sampled_mode ? "sampled" : "exact");
+    j.set("sample_rate", sample_rate);
     j.set("accesses", accesses);
+    j.set("sampled_accesses", sampled_accesses);
     j.set("distinct_addresses", distinct_addresses);
+    if (sampled_mode) j.set("estimated_distinct", distinct_estimate());
     j.set("cold_misses", cold_misses);
     j.set("locality_score", locality_score());
 
@@ -98,9 +88,10 @@ report::Json LocalityProfile::to_json() const {
         report::Json row = report::Json::object();
         row.set("level", static_cast<std::uint64_t>(l));
         row.set("capacity", std::ldexp(1.0, static_cast<int>(l)));
-        row.set("share", accesses > 0 ? static_cast<double>(distance_count[l]) /
-                                            static_cast<double>(accesses)
-                                      : 0.0);
+        row.set("share", sampled_accesses > 0
+                             ? static_cast<double>(distance_count[l]) /
+                                   static_cast<double>(sampled_accesses)
+                             : 0.0);
         row.set("hit_ratio", hit_fraction(l));
         levels.push_back(std::move(row));
     }
@@ -115,7 +106,14 @@ void LocalityProfile::print(std::FILE* out, const std::string& title) const {
                  title.c_str(), static_cast<unsigned long long>(accesses),
                  static_cast<unsigned long long>(distinct_addresses),
                  static_cast<unsigned long long>(cold_misses), locality_score());
-    if (accesses == 0) return;
+    if (sampled_mode) {
+        std::fprintf(out,
+                     "  mode: sampled @ rate %.4g (%llu sampled references, "
+                     "~%.0f distinct estimated)\n",
+                     sample_rate, static_cast<unsigned long long>(sampled_accesses),
+                     distinct_estimate());
+    }
+    if (sampled_accesses == 0) return;
 
     const unsigned top = max_level();
     Table table({"level", "distance band", "capacity", "refs", "share", "hit ratio"});
@@ -131,7 +129,7 @@ void LocalityProfile::print(std::FILE* out, const std::string& title) const {
         table.add_row({std::to_string(l), band, capacity,
                        std::to_string(distance_count[l]),
                        Table::fmt(static_cast<double>(distance_count[l]) /
-                                  static_cast<double>(accesses)),
+                                  static_cast<double>(sampled_accesses)),
                        Table::fmt(hit_fraction(l))});
     }
     std::fprintf(out, "%s", table.str().c_str());

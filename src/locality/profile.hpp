@@ -15,8 +15,25 @@
 ///  * the scalar locality score: mean log2(d+1) over finite-distance
 ///    references (0 = every reuse is immediate; cold misses are reported
 ///    separately and excluded from the mean).
+///
+/// Accounting is replay-exact: reuse times are summed in 128-bit integers
+/// (associative, so any run-length grouping of the event stream folds to the
+/// same bits) and the score is accumulated run-length-encoded — consecutive
+/// equal distances extend a pending (distance, count) run that is flushed as
+/// one count * log2(d+1) term. Both make a batched event stream fold to a
+/// profile bit-identical to the per-word stream's, which the differential
+/// oracle asserts via identical().
+///
+/// Sampled mode (SHARDS): only spatially sampled references carry events;
+/// sampled distances are unbiased estimates of distance * rate, so note_run
+/// rescales them by 1/rate before bucketing, and the ratio denominators use
+/// sampled_accesses (reuse times need no correction — the clock advances for
+/// every reference). At rate 1.0 every correction is the identity and the
+/// profile is bit-identical to exact mode.
 
 #include <array>
+#include <bit>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -30,17 +47,82 @@ struct LocalityProfile {
     /// One bucket per possible bit_width of a 64-bit distance/time.
     static constexpr unsigned kBuckets = 65;
 
-    std::uint64_t accesses = 0;
+    std::uint64_t accesses = 0;          ///< every reference, sampled or not
+    std::uint64_t sampled_accesses = 0;  ///< references that carried an event
     std::uint64_t cold_misses = 0;
     std::uint64_t distinct_addresses = 0;
-    double score_sum = 0.0;  ///< sum of log2(d+1) over finite distances
+    double score_sum = 0.0;  ///< flushed sum of count * log2(d+1) run terms
+
+    /// Run-length score accumulator: the current run of equal distances.
+    std::uint64_t pending_distance = 0;
+    std::uint64_t pending_count = 0;
+
+    /// Sampling configuration (mirrors the engine's; affects scaling and
+    /// denominators only — see file comment).
+    bool sampled_mode = false;
+    double sample_rate = 1.0;
+    double inv_rate = 1.0;
 
     std::array<std::uint64_t, kBuckets> distance_count{};
     std::array<std::uint64_t, kBuckets> time_count{};  ///< finite reuse times
-    std::array<double, kBuckets> time_sum{};
+    /// Exact integer reuse-time sums per bucket. 128 bits: a bucket-b sum is
+    /// bounded by count * 2^b and the clock itself is < 2^64, so no stream
+    /// can overflow this.
+    std::array<unsigned __int128, kBuckets> time_sum{};
+
+    void set_mode(bool sampled, double rate) {
+        sampled_mode = sampled;
+        sample_rate = sampled ? rate : 1.0;
+        inv_rate = sampled && rate > 0.0 ? 1.0 / rate : 1.0;
+    }
 
     /// Fold one reuse event into the histograms.
-    void note(const ReuseDistanceProfiler::Event& e);
+    void note(const ReuseDistanceProfiler::Event& e) { note_run(e, 1); }
+
+    /// Fold \p n consecutive identical events — bit-identical to calling
+    /// note(e) n times (integer adds are associative; the score run-length
+    /// state advances the same way).
+    void note_run(const ReuseDistanceProfiler::Event& e, std::uint64_t n) {
+        accesses += n;
+        if (!e.sampled) return;
+        sampled_accesses += n;
+        if (e.cold) {
+            // Cold contract: first-touch distance and time are *infinite* —
+            // whatever the event's numeric fields hold, they never reach the
+            // finite histograms or the score.
+            cold_misses += n;
+            return;
+        }
+        std::uint64_t d = e.distance;
+        if (sampled_mode) {
+            d = static_cast<std::uint64_t>(
+                std::llround(static_cast<double>(d) * inv_rate));
+        }
+        distance_count[std::bit_width(d)] += n;
+        if (pending_count != 0 && pending_distance == d) {
+            pending_count += n;
+        } else {
+            flush_score();
+            pending_distance = d;
+            pending_count = n;
+        }
+        const unsigned tb = std::bit_width(e.time);
+        time_count[tb] += n;
+        time_sum[tb] += static_cast<unsigned __int128>(e.time) * n;
+    }
+
+    /// Profiles are bit-identical: every counter, histogram bucket, and the
+    /// score accumulator state match exactly (mode fields are excluded, so an
+    /// exact profile and a rate-1.0 sampled profile of the same stream
+    /// compare equal).
+    bool identical(const LocalityProfile& o) const {
+        return accesses == o.accesses && sampled_accesses == o.sampled_accesses &&
+               cold_misses == o.cold_misses &&
+               distinct_addresses == o.distinct_addresses && score_sum == o.score_sum &&
+               pending_distance == o.pending_distance &&
+               pending_count == o.pending_count && distance_count == o.distance_count &&
+               time_count == o.time_count && time_sum == o.time_sum;
+    }
 
     /// Mean log2(d+1) over finite-distance references; 0 when there are none.
     double locality_score() const;
@@ -57,11 +139,48 @@ struct LocalityProfile {
     /// hits). At least 1 so tables always have a row.
     unsigned max_level() const;
 
-    /// `dbsp-locality-v1` JSON document fragment.
+    /// `dbsp-locality-v2` JSON document fragment.
     report::Json to_json() const;
 
     /// Paper-style text report (histogram + per-level hit ratios + w(tau)).
     void print(std::FILE* out, const std::string& title) const;
+
+private:
+    void flush_score() {
+        if (pending_count != 0) {
+            // d = 0 contributes count * log2(1) = count * 0.0; adding +0.0 to
+            // a (always non-negative, non-NaN) sum is a bitwise no-op, so the
+            // dominant zero-distance runs skip the FP work entirely. The
+            // one-entry log2 cache absorbs the alternating d/0/d/0 pattern of
+            // multi-touch bulk ops (one log2 per *distinct* flushed distance).
+            if (pending_distance != 0) {
+                if (pending_distance != cached_distance) {
+                    cached_distance = pending_distance;
+                    cached_log = std::log2(static_cast<double>(pending_distance) + 1.0);
+                }
+                score_sum += static_cast<double>(pending_count) * cached_log;
+            }
+            pending_count = 0;
+        }
+    }
+    /// score_sum including the pending run, without mutating state.
+    double score_total() const {
+        double s = score_sum;
+        if (pending_count != 0 && pending_distance != 0) {
+            s += static_cast<double>(pending_count) *
+                 std::log2(static_cast<double>(pending_distance) + 1.0);
+        }
+        return s;
+    }
+    /// Sample-corrected distinct-address estimate (identity in exact mode).
+    double distinct_estimate() const {
+        return static_cast<double>(distinct_addresses) * (sampled_mode ? inv_rate : 1.0);
+    }
+
+    /// flush_score() memo (derived state, excluded from identical()): the
+    /// last flushed non-zero distance and its log2(d+1).
+    std::uint64_t cached_distance = 0;
+    double cached_log = 0.0;
 };
 
 }  // namespace dbsp::locality

@@ -1,18 +1,51 @@
 #pragma once
 
 /// \file reuse_distance.hpp
-/// The per-access reuse-distance engine. For every reference it reports
+/// The reuse-distance engine. For every reference it reports
 ///  * the LRU stack distance: the number of *distinct* addresses touched
 ///    since the previous reference to the same address (infinite on first
 ///    touch) — under LRU inclusion, a reference hits in any memory of
 ///    capacity C iff its distance is < C;
 ///  * the reuse time: the number of references since that previous
 ///    reference — the quantity the Denning working-set recurrence averages.
-/// Cost: one hash-map probe plus O(log n) expected treap work per access,
-/// with n the number of distinct live addresses.
+///
+/// Two operating modes (Mode):
+///  * kExact — every reference is measured. record() costs O(log n) expected
+///    treap work; record_range() batches a bulk access of b contiguous words
+///    into O(log n + b) amortized: the b new timestamps are appended as one
+///    run, and the displaced previous timestamps of a strictly-ascending
+///    warm run are cut out with at most two splits, with the stack distance
+///    of the whole run computed in closed form (see below).
+///  * kSampled — SHARDS-style fixed-rate spatial sampling (Waldspurger et
+///    al.): a reference is measured iff splitmix(addr) < rate * 2^64, so
+///    every address is consistently in or out of the sample and the sampled
+///    stack distances are unbiased estimates of distance * rate. Treap state
+///    exists only for sampled addresses; the clock still advances for every
+///    reference, so reuse *times* stay exact. rate = 1.0 degenerates to
+///    bit-identical exact behavior.
+///
+/// Closed-form batched distance. Process a bulk op of b cells at offsets
+/// o = 0..b-1, each touched `touches` times (timestamps c0 + o*touches + 1
+/// .. c0 + (o+1)*touches); defer the insertion of all final timestamps to
+/// one appended run. For a maximal warm segment of k cells whose previous
+/// timestamps strictly ascend (any gaps — order suffices) and whose span
+/// [p_0, p_{k-1}] contains no stranger timestamp (verified by
+/// erase_span_exact), cell j's per-word query would see `above` stranger
+/// keys beyond p_{k-1}, the k-1-j not-yet-displaced segment prevs above
+/// p_j, and done+j already-assigned final stamps of this op — so
+/// d_j = above + (k-1-j) + (done+j) = above + k - 1 + done, constant
+/// across the segment. A segment that fails the no-stranger check retries
+/// on its maximal fixed-stride subruns (each usually the intact residue of
+/// one earlier bulk op), and only true leftovers pay per-cell queries with
+/// the same `+ done + j` pending-insert correction — so batched and
+/// per-word event streams are bit-identical by construction (a fuzz-oracle
+/// invariant).
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "locality/reuse_tree.hpp"
 #include "model/types.hpp"
@@ -23,41 +56,361 @@ using model::Addr;
 
 class ReuseDistanceProfiler {
 public:
+    enum class Mode { kExact, kSampled };
+
     struct Event {
         bool cold;               ///< first touch: distance and time are infinite
         std::uint64_t distance;  ///< LRU stack distance (0 = consecutive reuse)
         std::uint64_t time;      ///< references since the previous touch (>= 1)
+        bool sampled = true;     ///< false: skipped by the sampling filter
+                                 ///< (only the reference count is meaningful)
     };
+
+    ReuseDistanceProfiler() = default;
+    ReuseDistanceProfiler(Mode mode, double sample_rate) {
+        if (mode == Mode::kSampled && sample_rate < 1.0) {
+            sample_all_ = false;
+            // rate * 2^64, exact for every representable rate < 1.
+            threshold_ = static_cast<std::uint64_t>(sample_rate * 18446744073709551616.0);
+        }
+    }
 
     /// Record one reference to \p x and return its reuse event.
     Event record(Addr x) {
         const std::uint64_t now = ++clock_;
-        const auto [it, inserted] = last_use_.try_emplace(x, now);
-        if (inserted) {
+        if (!sample_all_ && !address_sampled(x)) return Event{false, 0, 0, false};
+        ++sampled_;
+        std::uint64_t* s = slot(x);
+        const std::uint64_t prev = *s;
+        *s = now;
+        if (prev == 0) {
+            ++distinct_;
             tree_.insert(now);
+            last_stamp_ = now;
             return Event{true, 0, 0};
         }
-        const std::uint64_t prev = it->second;
-        const Event e{false, tree_.count_greater(prev), now - prev};
-        tree_.erase(prev);
-        tree_.insert(now);
-        it->second = now;
+        Event e{false, 0, now - prev};
+        if (prev == last_stamp_) {
+            // The previous reference was to this very address: its timestamp
+            // is the tree maximum, the distance is 0, and the key can be
+            // rewritten in place — no rebalancing.
+            tree_.replace_max(prev, now);
+        } else {
+            e.distance = tree_.erase_ranked(prev);
+            tree_.insert(now);
+        }
+        last_stamp_ = now;
         return e;
     }
 
+    /// Record `touches` consecutive references to each cell of [begin, end)
+    /// in ascending order — the linearization of one bulk machine op. Every
+    /// measured reuse event is delivered to fold(event, repeat) in stream
+    /// order; `repeat` > 1 compresses a run of identical consecutive events
+    /// (same distance, same time). Folding each event `repeat` times yields
+    /// exactly the per-word record() stream.
+    template <typename Fold>
+    void record_range(Addr begin, Addr end, unsigned touches, Fold&& fold) {
+        if (begin >= end || touches == 0) return;
+        if (!sample_all_) {
+            record_range_sampled(begin, end, touches, fold);
+            return;
+        }
+        if (end <= kDirectLimit) {
+            grow_direct(end);
+            record_range_exact(DirectSlots{stamps_.data()}, begin, end, touches, fold);
+        } else {
+            record_range_exact(AnySlots{this}, begin, end, touches, fold);
+        }
+    }
+
     std::uint64_t accesses() const { return clock_; }
-    std::uint64_t distinct_addresses() const { return last_use_.size(); }
+    std::uint64_t sampled_accesses() const { return sampled_; }
+    std::uint64_t distinct_addresses() const { return distinct_; }
 
     void clear() {
         tree_.clear();
-        last_use_.clear();
+        stamps_.clear();
+        far_.clear();
         clock_ = 0;
+        sampled_ = 0;
+        distinct_ = 0;
+        last_stamp_ = 0;
     }
 
 private:
+    /// Addresses below this are direct-mapped in a flat vector (machines back
+    /// their address spaces with flat arrays, so this covers every simulated
+    /// machine up to 64M words); rarer, larger addresses go through a hash
+    /// map. The vector grows lazily to the touched high-water mark.
+    static constexpr Addr kDirectLimit = Addr{1} << 26;
+
+    /// Below this length the closed-form span erase is not worth its two
+    /// splits; per-cell treap updates win.
+    static constexpr std::uint64_t kMinClosedRun = 2;
+
+    static bool address_sampled_hash(Addr x, std::uint64_t threshold) {
+        // SplitMix64 finalizer over the address: the SHARDS spatial filter.
+        std::uint64_t z = x + 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return (z ^ (z >> 31)) < threshold;
+    }
+    /// Memoized SHARDS filter: one bit per direct-mapped address, built
+    /// lazily as the touched address space grows. Bulk scans test 64
+    /// addresses per word load (and skip all 64 on a zero word, the common
+    /// case at low rates); far addresses hash directly.
+    bool address_sampled(Addr x) {
+        if (x < kDirectLimit) {
+            grow_bits(x + 1);
+            return (sample_bits_[x >> 6] >> (x & 63)) & 1;
+        }
+        return address_sampled_hash(x, threshold_);
+    }
+
+    void grow_bits(Addr end) {
+        const std::size_t words = (static_cast<std::size_t>(end) + 63) / 64;
+        if (sample_bits_.size() >= words) return;
+        std::size_t cap = sample_bits_.empty() ? 16 : sample_bits_.size();
+        while (cap < words) cap *= 2;
+        const std::size_t old = sample_bits_.size();
+        sample_bits_.resize(cap, 0);
+        for (std::size_t w = old; w < cap; ++w) {
+            std::uint64_t bits = 0;
+            for (unsigned b = 0; b < 64; ++b) {
+                if (address_sampled_hash((static_cast<Addr>(w) << 6) | b, threshold_)) {
+                    bits |= std::uint64_t{1} << b;
+                }
+            }
+            sample_bits_[w] = bits;
+        }
+    }
+
+    void grow_direct(Addr end) {
+        if (stamps_.size() < end) {
+            std::size_t cap = stamps_.empty() ? 1024 : stamps_.size();
+            while (cap < end) cap *= 2;
+            stamps_.resize(cap, 0);
+        }
+    }
+
+    std::uint64_t* slot(Addr x) {
+        if (x < kDirectLimit) {
+            grow_direct(x + 1);
+            return &stamps_[x];
+        }
+        return &far_[x];  // value-initialized to 0 (never touched)
+    }
+
+    struct DirectSlots {
+        std::uint64_t* base;
+        std::uint64_t load(Addr x) const { return base[x]; }
+        void store(Addr x, std::uint64_t v) const { base[x] = v; }
+    };
+    struct AnySlots {
+        ReuseDistanceProfiler* self;
+        std::uint64_t load(Addr x) const { return *self->slot(x); }
+        void store(Addr x, std::uint64_t v) const { *self->slot(x) = v; }
+    };
+
+    template <typename Slots, typename Fold>
+    void record_range_exact(Slots slots, Addr begin, Addr end, unsigned touches,
+                            Fold&& fold) {
+        const std::uint64_t b = end - begin;
+        const std::uint64_t t = touches;
+        const std::uint64_t c0 = clock_;
+        // Cell at offset o: first touch at c0 + o*t + 1, final at c0 + (o+1)*t.
+        std::uint64_t done = 0;  // cells processed; their final stamps are pending
+        Addr x = begin;
+        while (x < end) {
+            std::uint64_t prev = slots.load(x);
+            if (prev == 0) {
+                // Cold run: every cell a first touch, extra touches distance 0.
+                const Addr seg = x;
+                do {
+                    slots.store(x, c0 + (x - begin + 1) * t);
+                    ++x;
+                } while (x < end && slots.load(x) == 0);
+                const std::uint64_t k = x - seg;
+                distinct_ += k;
+                if (t == 1) {
+                    fold(Event{true, 0, 0}, k);
+                } else {
+                    for (std::uint64_t j = 0; j < k; ++j) {
+                        fold(Event{true, 0, 0}, 1);
+                        fold(Event{false, 0, 1}, t - 1);
+                    }
+                }
+                done += k;
+                continue;
+            }
+            // Warm run: maximal segment whose previous timestamps strictly
+            // ascend (any gaps — the closed form needs order and a
+            // stranger-free span, not uniform stride). The prevs are saved to
+            // a scratch buffer because the scan overwrites the slots.
+            const Addr seg = x;
+            const std::uint64_t o0 = x - begin;
+            prevs_.clear();
+            prevs_.push_back(prev);
+            std::uint64_t p_last = prev;
+            slots.store(x, c0 + (o0 + 1) * t);
+            ++x;
+            while (x < end) {
+                const std::uint64_t p = slots.load(x);
+                if (p == 0 || p <= p_last) break;
+                prevs_.push_back(p);
+                p_last = p;
+                slots.store(x, c0 + (x - begin + 1) * t);
+                ++x;
+            }
+            const std::uint64_t k = x - seg;
+            // Emit the events of subrange [j0, j0+n) of this segment, whose
+            // cells all share the constant closed-form distance d. Equal
+            // consecutive (d, time) events compress into one fold — the norm
+            // when the prevs came from one earlier bulk op over these cells.
+            const auto emit_closed = [&](std::uint64_t j0, std::uint64_t n,
+                                         std::uint64_t d) {
+                if (t == 1) {
+                    std::uint64_t run_time = c0 + (o0 + j0) * t + 1 - prevs_[j0];
+                    std::uint64_t run_n = 1;
+                    for (std::uint64_t j = j0 + 1; j < j0 + n; ++j) {
+                        const std::uint64_t time = c0 + (o0 + j) * t + 1 - prevs_[j];
+                        if (time == run_time) {
+                            ++run_n;
+                        } else {
+                            fold(Event{false, d, run_time}, run_n);
+                            run_time = time;
+                            run_n = 1;
+                        }
+                    }
+                    fold(Event{false, d, run_time}, run_n);
+                } else {
+                    for (std::uint64_t j = j0; j < j0 + n; ++j) {
+                        fold(Event{false, d, c0 + (o0 + j) * t + 1 - prevs_[j]}, 1);
+                        fold(Event{false, 0, 1}, t - 1);
+                    }
+                }
+            };
+            std::uint64_t above = 0;
+            if (k >= kMinClosedRun && tree_.erase_span_exact(prevs_[0], p_last, k, &above)) {
+                emit_closed(0, k, above + k - 1 + done);
+            } else {
+                // Stranger timestamps interleave the whole span (or the run
+                // is too short). Retry on maximal fixed-stride subruns —
+                // prevs written by one earlier bulk op form such a subrun and
+                // are usually stranger-free — and only true leftovers pay
+                // per-cell queries (with the pending-insert correction).
+                std::uint64_t j = 0;
+                while (j < k) {
+                    std::uint64_t ks = 1;
+                    if (j + 1 < k) {
+                        const std::uint64_t stride = prevs_[j + 1] - prevs_[j];
+                        while (j + ks < k && prevs_[j + ks] - prevs_[j + ks - 1] == stride) {
+                            ++ks;
+                        }
+                    }
+                    if (ks >= kMinClosedRun &&
+                        tree_.erase_span_exact(prevs_[j], prevs_[j + ks - 1], ks, &above)) {
+                        emit_closed(j, ks, above + ks - 1 + done + j);
+                    } else {
+                        for (std::uint64_t i = j; i < j + ks; ++i) {
+                            const std::uint64_t p = prevs_[i];
+                            const std::uint64_t d = tree_.erase_ranked(p) + done + i;
+                            fold(Event{false, d, c0 + (o0 + i) * t + 1 - p}, 1);
+                            if (t > 1) fold(Event{false, 0, 1}, t - 1);
+                        }
+                    }
+                    j += ks;
+                }
+            }
+            done += k;
+        }
+        tree_.append_run(c0 + t, t, b);
+        clock_ = c0 + b * t;
+        sampled_ += b * t;
+        last_stamp_ = c0 + b * t;
+    }
+
+    template <typename Fold>
+    void record_range_sampled(Addr begin, Addr end, unsigned touches, Fold&& fold) {
+        const std::uint64_t t = touches;
+        const std::uint64_t c0 = clock_;
+        std::uint64_t skipped = 0;  // coalesced unsampled references
+        // Measure one sampled cell; stamps c0 + (x-begin)*t + 1 .. + t.
+        const auto measure = [&](Addr x) {
+            if (skipped != 0) {
+                fold(Event{false, 0, 0, false}, skipped);
+                skipped = 0;
+            }
+            sampled_ += t;
+            const std::uint64_t base = c0 + (x - begin) * t;
+            std::uint64_t* s = slot(x);
+            const std::uint64_t prev = *s;
+            const std::uint64_t final_stamp = base + t;
+            *s = final_stamp;
+            if (prev == 0) {
+                ++distinct_;
+                tree_.insert(final_stamp);
+                fold(Event{true, 0, 0}, 1);
+            } else {
+                const std::uint64_t d = tree_.erase_ranked(prev);
+                tree_.insert(final_stamp);
+                fold(Event{false, d, base + 1 - prev}, 1);
+            }
+            if (t > 1) fold(Event{false, 0, 1}, t - 1);
+            last_stamp_ = final_stamp;
+        };
+        if (end <= kDirectLimit) {
+            grow_bits(end);
+            Addr x = begin;
+            while (x < end) {
+                const Addr chunk = x >> 6;
+                const Addr chunk_end = std::min<Addr>(end, (chunk + 1) << 6);
+                std::uint64_t bits = sample_bits_[chunk];
+                bits &= ~std::uint64_t{0} << (x & 63);
+                if ((chunk_end & 63) != 0) {
+                    bits &= (std::uint64_t{1} << (chunk_end & 63)) - 1;
+                }
+                if (bits == 0) {  // the common case at low rates
+                    skipped += (chunk_end - x) * t;
+                    x = chunk_end;
+                    continue;
+                }
+                Addr next = x;
+                while (bits != 0) {
+                    const Addr sx = (chunk << 6) | static_cast<Addr>(std::countr_zero(bits));
+                    bits &= bits - 1;
+                    skipped += (sx - next) * t;
+                    measure(sx);
+                    next = sx + 1;
+                }
+                skipped += (chunk_end - next) * t;
+                x = chunk_end;
+            }
+        } else {
+            for (Addr x = begin; x < end; ++x) {
+                if (address_sampled(x)) {
+                    measure(x);
+                } else {
+                    skipped += t;
+                }
+            }
+        }
+        if (skipped != 0) fold(Event{false, 0, 0, false}, skipped);
+        clock_ = c0 + (end - begin) * t;
+    }
+
     ReuseTree tree_;
-    std::unordered_map<Addr, std::uint64_t> last_use_;
+    std::vector<std::uint64_t> stamps_;  ///< last final timestamp per address; 0 = never
+    std::unordered_map<Addr, std::uint64_t> far_;  ///< addresses >= kDirectLimit
+    std::vector<std::uint64_t> prevs_;        ///< warm-segment scan scratch
+    std::vector<std::uint64_t> sample_bits_;  ///< memoized filter, 1 bit/address
     std::uint64_t clock_ = 0;
+    std::uint64_t sampled_ = 0;
+    std::uint64_t distinct_ = 0;
+    std::uint64_t last_stamp_ = 0;  ///< newest timestamp inserted in the tree
+    std::uint64_t threshold_ = 0;
+    bool sample_all_ = true;
 };
 
 }  // namespace dbsp::locality

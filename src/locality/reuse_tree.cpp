@@ -14,7 +14,8 @@ std::uint64_t priority_of(std::uint64_t key) {
 
 }  // namespace
 
-std::int32_t ReuseTree::make_node(std::uint64_t key) {
+std::int32_t ReuseTree::make_node(std::uint64_t first, std::uint64_t stride,
+                                  std::uint64_t count) {
     std::int32_t t;
     if (!free_.empty()) {
         t = free_.back();
@@ -23,11 +24,31 @@ std::int32_t ReuseTree::make_node(std::uint64_t key) {
         t = static_cast<std::int32_t>(nodes_.size());
         nodes_.emplace_back();
     }
-    nodes_[t] = Node{key, priority_of(key), 1, kNil, kNil};
+    // Singleton runs get a canonical stride so run arithmetic never divides
+    // by zero and extend-by-one can pick any larger key.
+    if (count == 1) stride = 1;
+    nodes_[t] = Node{first, stride, count, priority_of(first), count, kNil, kNil};
     return t;
 }
 
 void ReuseTree::free_node(std::int32_t t) { free_.push_back(t); }
+
+void ReuseTree::free_subtree(std::int32_t t) {
+    if (t == kNil) return;
+    free_subtree(nodes_[t].left);
+    free_subtree(nodes_[t].right);
+    free_.push_back(t);
+}
+
+void ReuseTree::flush_tail() {
+    if (tail_count_ == 0) return;
+    max_key_ = tail_last();
+    const std::uint64_t first = tail_first_;
+    const std::uint64_t stride = tail_stride_;
+    const std::uint64_t count = tail_count_;
+    tail_count_ = 0;
+    root_ = merge(root_, make_node(first, stride, count));
+}
 
 void ReuseTree::split(std::int32_t t, std::uint64_t key, std::int32_t& l, std::int32_t& r) {
     if (t == kNil) {
@@ -35,14 +56,42 @@ void ReuseTree::split(std::int32_t t, std::uint64_t key, std::int32_t& l, std::i
         r = kNil;
         return;
     }
-    if (nodes_[t].key <= key) {
-        split(nodes_[t].right, key, nodes_[t].right, r);
+    // Recurse through locals, not through nodes_[t] references: the clip
+    // branch allocates, and a vector reallocation would dangle them.
+    if (last_of(nodes_[t]) <= key) {
+        std::int32_t cl = kNil;
+        std::int32_t cr = kNil;
+        split(nodes_[t].right, key, cl, cr);
+        nodes_[t].right = cl;
+        r = cr;
         l = t;
-    } else {
-        split(nodes_[t].left, key, l, nodes_[t].left);
+        pull(t);
+    } else if (nodes_[t].first > key) {
+        std::int32_t cl = kNil;
+        std::int32_t cr = kNil;
+        split(nodes_[t].left, key, cl, cr);
+        nodes_[t].left = cr;
+        l = cl;
         r = t;
+        pull(t);
+    } else {
+        // first <= key < last: clip the run. The left fragment keeps the
+        // node (its first key, hence its priority, is unchanged, so heap
+        // order on the l side is untouched); the right fragment is a fresh
+        // node merged into the old right subtree, which re-establishes heap
+        // order on the r side.
+        const std::uint64_t m = (key - nodes_[t].first) / nodes_[t].stride + 1;
+        const std::uint64_t frag_first = nodes_[t].first + m * nodes_[t].stride;
+        const std::uint64_t frag_stride = nodes_[t].stride;
+        const std::uint64_t frag_count = nodes_[t].count - m;
+        const std::int32_t old_right = nodes_[t].right;
+        const std::int32_t u = make_node(frag_first, frag_stride, frag_count);
+        r = merge(u, old_right);
+        nodes_[t].count = m;
+        nodes_[t].right = kNil;
+        pull(t);
+        l = t;
     }
-    pull(t);
 }
 
 std::int32_t ReuseTree::merge(std::int32_t l, std::int32_t r) {
@@ -58,54 +107,328 @@ std::int32_t ReuseTree::merge(std::int32_t l, std::int32_t r) {
     return r;
 }
 
-void ReuseTree::insert(std::uint64_t key) {
-    const std::int32_t n = make_node(key);
-    std::int32_t l = kNil;
-    std::int32_t r = kNil;
-    split(root_, key, l, r);
-    root_ = merge(merge(l, n), r);
-}
-
-std::int32_t ReuseTree::erase_rec(std::int32_t t, std::uint64_t key) {
+std::int32_t ReuseTree::find_max(std::int32_t t) {
+    spine_.clear();
     if (t == kNil) return kNil;
-    if (nodes_[t].key == key) {
-        const std::int32_t m = merge(nodes_[t].left, nodes_[t].right);
-        free_node(t);
-        return m;
+    while (nodes_[t].right != kNil) {
+        spine_.push_back(t);
+        t = nodes_[t].right;
     }
-    if (key < nodes_[t].key) {
-        nodes_[t].left = erase_rec(nodes_[t].left, key);
-    } else {
-        nodes_[t].right = erase_rec(nodes_[t].right, key);
-    }
-    pull(t);
     return t;
 }
 
-void ReuseTree::erase(std::uint64_t key) { root_ = erase_rec(root_, key); }
+void ReuseTree::insert(std::uint64_t key) {
+    if (tail_count_ != 0) {
+        const std::uint64_t tlast = tail_last();
+        if (key > tlast) {
+            // New maximum: extend the tail in place when the stride allows
+            // (always for a singleton), else flush it and restart — O(1)
+            // amortized, no walks.
+            if (tail_count_ == 1) {
+                tail_stride_ = key - tail_first_;
+                tail_count_ = 2;
+                return;
+            }
+            if (key - tlast == tail_stride_) {
+                ++tail_count_;
+                return;
+            }
+            flush_tail();
+        } else {
+            // Out-of-order insert below (or inside the span of) the tail:
+            // demote the tail to a tree node and take the generic path.
+            flush_tail();
+        }
+    } else if (root_ == kNil || key > max_key_) {
+        // Provably above every tree key: start a fresh tail.
+        tail_first_ = key;
+        tail_stride_ = 1;
+        tail_count_ = 1;
+        return;
+    }
+    if (tail_count_ == 0 && key > max_key_) {
+        tail_first_ = key;
+        tail_stride_ = 1;
+        tail_count_ = 1;
+        return;
+    }
+    std::int32_t l = kNil;
+    std::int32_t r = kNil;
+    split(root_, key, l, r);
+    root_ = merge(merge(l, make_node(key, 1, 1)), r);
+    if (key > max_key_) max_key_ = key;
+}
 
-std::uint64_t ReuseTree::count_greater(std::uint64_t key) const {
+std::uint64_t ReuseTree::erase_ranked(std::uint64_t key) {
+    std::uint64_t above = 0;
+    if (tail_count_ != 0) {
+        if (key >= tail_first_) {
+            // The key can only live in the tail (every tree key is below
+            // tail_first_): pure run arithmetic, no walks.
+            const std::uint64_t tlast = tail_last();
+            if (key > tlast) return 0;
+            const std::uint64_t off = key - tail_first_;
+            const std::uint64_t idx = off / tail_stride_;
+            above = tail_count_ - idx - 1;
+            if (off % tail_stride_ != 0) return above;  // off-grid: absent
+            if (idx == 0) {
+                tail_first_ += tail_stride_;
+                if (--tail_count_ == 0) tail_stride_ = 1;
+            } else if (idx == tail_count_ - 1) {
+                --tail_count_;
+            } else {
+                // Middle of the tail: the part below the hole is no longer
+                // contiguous with the maximum — push it into the tree and
+                // keep the upper part as the tail.
+                const std::uint64_t low_first = tail_first_;
+                const std::uint64_t low_count = idx;
+                max_key_ = tail_first_ + (idx - 1) * tail_stride_;
+                tail_first_ += (idx + 1) * tail_stride_;
+                tail_count_ -= idx + 1;
+                root_ = merge(root_, make_node(low_first, tail_stride_, low_count));
+            }
+            return above;
+        }
+        above = tail_count_;  // the whole tail sits above the key
+    }
+    // One descent accumulates the rank and lands on the run containing key.
+    spine_.clear();
+    std::int32_t t = root_;
+    while (t != kNil) {
+        const Node& n = nodes_[t];
+        if (key < n.first) {
+            above += n.count + size_of(n.right);
+            spine_.push_back(t);
+            t = n.left;
+        } else if (key > last_of(n)) {
+            spine_.push_back(t);
+            t = n.right;
+        } else {
+            break;
+        }
+    }
+    if (t == kNil) return above;  // key falls in a gap between runs
+    const std::uint64_t off = key - nodes_[t].first;
+    const std::uint64_t idx = off / nodes_[t].stride;
+    above += size_of(nodes_[t].right) + (nodes_[t].count - idx - 1);
+    if (off % nodes_[t].stride != 0) return above;  // within span but off-grid
+    if (nodes_[t].count == 1) {
+        const std::int32_t sub = merge(nodes_[t].left, nodes_[t].right);
+        if (spine_.empty()) {
+            root_ = sub;
+        } else {
+            Node& parent = nodes_[spine_.back()];
+            (parent.left == t ? parent.left : parent.right) = sub;
+            for (const std::int32_t p : spine_) --nodes_[p].size;
+        }
+        free_node(t);
+        return above;
+    }
+    if (idx == 0) {
+        nodes_[t].first += nodes_[t].stride;
+        --nodes_[t].count;
+    } else if (idx == nodes_[t].count - 1) {
+        --nodes_[t].count;
+    } else {
+        // Middle of the run: keep the left part in this node and hang the
+        // right part off its right subtree. The fragment's fresh priority
+        // may locally exceed an ancestor's — harmless: heap order is only a
+        // balance heuristic here, every query depends on BST order and
+        // sizes alone.
+        const std::uint64_t frag_first = nodes_[t].first + (idx + 1) * nodes_[t].stride;
+        const std::uint64_t frag_stride = nodes_[t].stride;
+        const std::uint64_t frag_count = nodes_[t].count - idx - 1;
+        const std::int32_t old_right = nodes_[t].right;
+        const std::int32_t u = make_node(frag_first, frag_stride, frag_count);
+        nodes_[t].count = idx;
+        nodes_[t].right = merge(u, old_right);
+    }
+    pull(t);
+    for (const std::int32_t p : spine_) --nodes_[p].size;
+    return above;
+}
+
+void ReuseTree::append_run(std::uint64_t first, std::uint64_t stride, std::uint64_t count) {
+    if (count == 0) return;
+    if (tail_count_ != 0) {
+        const std::uint64_t tlast = tail_last();
+        if (first - tlast == stride && (tail_count_ == 1 || tail_stride_ == stride)) {
+            // The appended run continues the tail's arithmetic sequence:
+            // absorb it in place. Back-to-back bulk ops take this path, so
+            // the whole recent history stays one run.
+            tail_stride_ = stride;
+            tail_count_ += count;
+            return;
+        }
+        flush_tail();
+    }
+    // Every appended key exceeds every live key (contract), so the run is
+    // always eligible to be the fresh tail.
+    tail_first_ = first;
+    tail_stride_ = count == 1 ? 1 : stride;
+    tail_count_ = count;
+}
+
+bool ReuseTree::erase_span_exact(std::uint64_t lo, std::uint64_t hi, std::uint64_t expected,
+                                 std::uint64_t* above_out) {
+    if (tail_count_ != 0) {
+        if (lo == tail_first_ && hi == tail_last()) {
+            // Back-to-back re-access: the span is exactly the hot tail. Tree
+            // keys are all below it, so the span population is the tail
+            // itself and nothing sits above — O(1), no walks.
+            if (above_out != nullptr) *above_out = 0;
+            if (tail_count_ != expected) return false;
+            tail_count_ = 0;
+            tail_stride_ = 1;
+            return true;
+        }
+        if (hi >= tail_first_) flush_tail();  // partial overlap: demote
+    }
+    const std::uint64_t tail_above = tail_count_;  // whole tail is > hi here
+    // Fast path: the whole span is one tree run node (the run of an earlier
+    // bulk op, untouched since). In-order nodes hold disjoint, ordered key
+    // intervals, so a node whose run is *exactly* [lo, hi] certifies by
+    // itself that no stranger stamp lies in the span, and its rank
+    // accumulates for free during the descent.
+    spine_.clear();
+    std::uint64_t above = tail_above;
+    std::int32_t t = root_;
+    while (t != kNil) {
+        const Node& n = nodes_[t];
+        if (lo < n.first) {
+            above += n.count + size_of(n.right);
+            spine_.push_back(t);
+            t = n.left;
+        } else if (lo > last_of(n)) {
+            spine_.push_back(t);
+            t = n.right;
+        } else {
+            break;  // n's run contains lo
+        }
+    }
+    if (t != kNil && nodes_[t].first == lo && last_of(nodes_[t]) == hi) {
+        above += size_of(nodes_[t].right);
+        if (above_out != nullptr) *above_out = above;
+        if (nodes_[t].count != expected) return false;
+        const std::int32_t sub = merge(nodes_[t].left, nodes_[t].right);
+        if (spine_.empty()) {
+            root_ = sub;
+        } else {
+            Node& parent = nodes_[spine_.back()];
+            (parent.left == t ? parent.left : parent.right) = sub;
+            for (const std::int32_t p : spine_) nodes_[p].size -= expected;
+        }
+        free_node(t);
+        return true;
+    }
+    // Population check with two read-only rank walks: a mismatch (stranger
+    // stamps in the span, or missing ones) costs no restructuring at all.
+    const std::uint64_t tree_above = tree_count_greater(hi);
+    if (above_out != nullptr) *above_out = tree_above + tail_above;
+    const std::uint64_t in_span =
+        (lo == 0 ? size_of(root_) : tree_count_greater(lo - 1)) - tree_above;
+    if (in_span != expected) return false;
+    if (expected == 0) return true;
+    // General case: cut the span out with two splits (the population is
+    // already known to match, so this always succeeds).
+    std::int32_t low = kNil;
+    std::int32_t rest = kNil;
+    if (lo == 0) {
+        rest = root_;
+    } else {
+        split(root_, lo - 1, low, rest);
+    }
+    std::int32_t mid = kNil;
+    std::int32_t high = kNil;
+    split(rest, hi, mid, high);
+    free_subtree(mid);
+    root_ = merge(low, high);
+    return true;
+}
+
+bool ReuseTree::replace_max(std::uint64_t old_key, std::uint64_t new_key) {
+    if (tail_count_ != 0) {
+        if (tail_last() != old_key) return false;
+        if (tail_count_ == 1) {
+            tail_first_ = new_key;
+            tail_stride_ = 1;
+            return true;
+        }
+        // Shrink the tail by its last stamp and restart it at the new
+        // maximum; the remainder joins the tree as one node.
+        --tail_count_;
+        flush_tail();
+        tail_first_ = new_key;
+        tail_stride_ = 1;
+        tail_count_ = 1;
+        return true;
+    }
+    const std::int32_t t = find_max(root_);
+    if (t == kNil || last_of(nodes_[t]) != old_key) return false;
+    if (nodes_[t].count == 1) {
+        const std::int32_t sub = nodes_[t].left;  // max node has no right child
+        if (spine_.empty()) {
+            root_ = sub;
+        } else {
+            nodes_[spine_.back()].right = sub;
+            for (const std::int32_t p : spine_) --nodes_[p].size;
+        }
+        free_node(t);
+    } else {
+        --nodes_[t].count;
+        --nodes_[t].size;
+        for (const std::int32_t p : spine_) --nodes_[p].size;
+    }
+    tail_first_ = new_key;
+    tail_stride_ = 1;
+    tail_count_ = 1;
+    return true;
+}
+
+std::uint64_t ReuseTree::tree_count_greater(std::uint64_t key) const {
     std::uint64_t above = 0;
     std::int32_t t = root_;
     while (t != kNil) {
         const Node& n = nodes_[t];
-        if (key < n.key) {
-            above += 1 + size_of(n.right);
+        if (key < n.first) {
+            above += n.count + size_of(n.right);
             t = n.left;
-        } else if (key > n.key) {
+        } else if (key >= last_of(n)) {
+            if (key == last_of(n)) {
+                above += size_of(n.right);
+                break;
+            }
             t = n.right;
         } else {
-            above += size_of(n.right);
+            // Within the run's span: stamps > key are the run elements past
+            // floor((key - first) / stride), counted arithmetically.
+            const std::uint64_t le = (key - n.first) / n.stride + 1;
+            above += (n.count - le) + size_of(n.right);
             break;
         }
     }
     return above;
 }
 
+std::uint64_t ReuseTree::count_greater(std::uint64_t key) const {
+    if (tail_count_ != 0 && key >= tail_first_) {
+        const std::uint64_t tlast = tail_last();
+        if (key >= tlast) return 0;
+        const std::uint64_t le = (key - tail_first_) / tail_stride_ + 1;
+        return tail_count_ - le;
+    }
+    return (tail_count_ != 0 ? tail_count_ : 0) + tree_count_greater(key);
+}
+
 void ReuseTree::clear() {
     nodes_.clear();
     free_.clear();
+    spine_.clear();
     root_ = kNil;
+    tail_first_ = 0;
+    tail_stride_ = 1;
+    tail_count_ = 0;
+    max_key_ = 0;
 }
 
 }  // namespace dbsp::locality

@@ -1,13 +1,30 @@
 #pragma once
 
 /// \file reuse_tree.hpp
-/// Order-statistics treap over the LRU stack. The reuse-distance engine keys
-/// every resident address by its last-use timestamp (a strictly increasing
-/// counter), so the LRU stack *is* the set of live timestamps ordered by key,
-/// and the stack depth of an address equals the number of keys greater than
-/// its timestamp. Subtree sizes make that rank query O(log n); heap
-/// priorities derived by hashing the key keep the tree balanced in
-/// expectation without any RNG state, so runs are deterministic.
+/// Order-statistics treap over the LRU stack, with *run-compressed* nodes
+/// and a detached *hot tail*. The reuse-distance engine keys every resident
+/// address by its last-use timestamp (a strictly increasing counter), so the
+/// LRU stack *is* the set of live timestamps ordered by key, and the stack
+/// depth of an address equals the number of keys greater than its timestamp.
+///
+/// Timestamps from bulk operations arrive as arithmetic runs (first,
+/// first+stride, ...), and surviving stamps stay clustered, so the live set
+/// compresses into a few contiguous runs. Each node therefore stores a whole
+/// run {first, stride, count}; subtree sizes aggregate *stamp* counts, so
+/// rank queries stay O(depth) with within-run ranks computed arithmetically.
+/// This is what makes the exact engine cheap: the tree holds thousands of
+/// nodes where a per-stamp tree would hold millions, so every walk touches a
+/// cache-resident structure.
+///
+/// The maximum run — where every new timestamp lands — is held in three
+/// scalar members instead of a tree node. Extending it (insert of the
+/// current clock, append_run of a bulk op's stamps) and consuming it (the
+/// re-access of the range just touched, the same-address-twice rewrite) are
+/// O(1) with no walks at all; the tail is flushed into the tree as one node
+/// only when a non-contiguous run starts. Every query answer depends only on
+/// the live key *set*, never on the tail/tree partition, node fragmentation,
+/// or tree shape, so mixing batched and per-key updates yields bit-identical
+/// counts — the property the engine's bit-identity contract rests on.
 
 #include <cstdint>
 #include <vector>
@@ -17,19 +34,58 @@ namespace dbsp::locality {
 class ReuseTree {
 public:
     /// Insert \p key, which must not be present. The profiler only ever
-    /// inserts the current timestamp (greater than every live key), but the
-    /// implementation accepts any unique key — the tests exercise both.
+    /// inserts the current timestamp (greater than every live key, which
+    /// extends the hot tail in O(1)), but the implementation accepts any
+    /// unique key — the tests exercise both.
     void insert(std::uint64_t key);
 
     /// Remove \p key; no-op if absent.
-    void erase(std::uint64_t key);
+    void erase(std::uint64_t key) { (void)erase_ranked(key); }
+
+    /// Remove \p key and return the number of live keys strictly greater
+    /// than it — count_greater(key) and erase(key) fused into one descent
+    /// (the engine's per-cell path does exactly this pair). If \p key is
+    /// absent the tree is unchanged and the rank alone is returned.
+    std::uint64_t erase_ranked(std::uint64_t key);
+
+    /// Append the run \p first, first+stride, ..., first+(count-1)*stride
+    /// (stride >= 1 when count > 1). Every appended key must exceed every
+    /// live key (the engine appends the final timestamps of a bulk op, all
+    /// newer than anything live). Extends the hot tail in O(1) when the
+    /// stride continues it; otherwise the tail is flushed into the tree
+    /// (one O(log n) merge) and the run becomes the new tail.
+    void append_run(std::uint64_t first, std::uint64_t stride, std::uint64_t count);
+
+    /// If exactly \p expected live keys lie in [lo, hi], erase them all and
+    /// return true; otherwise leave the tree unchanged and return false.
+    /// Either way *above_out (when non-null) receives the number of live
+    /// keys > hi. The back-to-back re-access pattern — the span is exactly
+    /// the hot tail — is O(1); a span that is exactly one tree node is one
+    /// descent; the general case costs two rank walks plus two splits, and
+    /// a failed check is read-only.
+    ///
+    /// This is the batched eviction check of the engine's closed-form path:
+    /// "expected == span population" certifies that no stranger timestamp
+    /// interleaves the run, which is exactly the condition under which an
+    /// ascending re-access run has one constant stack distance.
+    bool erase_span_exact(std::uint64_t lo, std::uint64_t hi, std::uint64_t expected,
+                          std::uint64_t* above_out);
+
+    /// If \p old_key is the maximum live key, replace it with \p new_key
+    /// (which must exceed every live key) and return true; return false
+    /// without touching the tree otherwise. This is the cheap path for the
+    /// extremely common "touch the same address twice in a row" reference.
+    bool replace_max(std::uint64_t old_key, std::uint64_t new_key);
 
     /// Number of live keys strictly greater than \p key. With timestamp
     /// keys this is the LRU stack depth above the queried last-use time,
     /// i.e. the reuse distance.
     std::uint64_t count_greater(std::uint64_t key) const;
 
-    std::uint64_t size() const { return root_ == kNil ? 0 : nodes_[root_].size; }
+    /// Live stamp count (not node count — runs are transparent).
+    std::uint64_t size() const {
+        return (root_ == kNil ? 0 : nodes_[root_].size) + tail_count_;
+    }
 
     void clear();
 
@@ -37,27 +93,55 @@ private:
     static constexpr std::int32_t kNil = -1;
 
     struct Node {
-        std::uint64_t key;
+        std::uint64_t first;
+        std::uint64_t stride;
+        std::uint64_t count;  ///< stamps in this run
         std::uint64_t prio;
-        std::uint64_t size;
+        std::uint64_t size;  ///< stamps in this subtree
         std::int32_t left;
         std::int32_t right;
     };
 
+    static std::uint64_t last_of(const Node& n) {
+        return n.first + (n.count - 1) * n.stride;
+    }
+    std::uint64_t tail_last() const {
+        return tail_first_ + (tail_count_ - 1) * tail_stride_;
+    }
     std::uint64_t size_of(std::int32_t t) const { return t == kNil ? 0 : nodes_[t].size; }
     void pull(std::int32_t t) {
-        nodes_[t].size = 1 + size_of(nodes_[t].left) + size_of(nodes_[t].right);
+        nodes_[t].size =
+            nodes_[t].count + size_of(nodes_[t].left) + size_of(nodes_[t].right);
     }
-    std::int32_t make_node(std::uint64_t key);
+    std::int32_t make_node(std::uint64_t first, std::uint64_t stride, std::uint64_t count);
     void free_node(std::int32_t t);
-    /// Split by key: keys <= \p key into \p l, keys > \p key into \p r.
+    void free_subtree(std::int32_t t);
+    /// Push the hot tail into the tree as one node (no-op when empty).
+    void flush_tail();
+    /// Split by key: stamps <= \p key into \p l, stamps > \p key into \p r.
+    /// A run straddling the boundary is clipped into two fragment nodes.
     void split(std::int32_t t, std::uint64_t key, std::int32_t& l, std::int32_t& r);
     std::int32_t merge(std::int32_t l, std::int32_t r);
-    std::int32_t erase_rec(std::int32_t t, std::uint64_t key);
+    /// count_greater over the tree part only (tail handled by callers).
+    std::uint64_t tree_count_greater(std::uint64_t key) const;
+    /// Descend the right spine to the maximum tree run, recording the path
+    /// in spine_. Returns kNil on an empty tree.
+    std::int32_t find_max(std::int32_t t);
 
     std::vector<Node> nodes_;
     std::vector<std::int32_t> free_;
+    std::vector<std::int32_t> spine_;  ///< right-spine scratch for in-place edits
     std::int32_t root_ = kNil;
+
+    /// Hot tail: the maximum run, kept out of the tree. Empty iff
+    /// tail_count_ == 0; when present, every tail key exceeds every tree key.
+    std::uint64_t tail_first_ = 0;
+    std::uint64_t tail_stride_ = 1;
+    std::uint64_t tail_count_ = 0;
+    /// Monotone upper bound on the largest tree key ever held (never
+    /// lowered by erases — only used as a conservative "may a fresh tail
+    /// start above the tree?" test for out-of-order inserts).
+    std::uint64_t max_key_ = 0;
 };
 
 }  // namespace dbsp::locality

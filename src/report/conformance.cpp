@@ -25,6 +25,9 @@ std::optional<MicroData> MicroData::from_json(const Json& j, std::string* error)
     m.tracing_overhead_pct = j["tracing_overhead_pct"].as_double(0.0);
     m.locality_overhead_pct = j["locality_overhead_pct"].as_double(0.0);
     m.locality_enabled_overhead_pct = j["locality_enabled_overhead_pct"].as_double(0.0);
+    m.locality_sampled_overhead_pct = j["locality_sampled_overhead_pct"].as_double(0.0);
+    m.locality_sampled_score_abs_err =
+        j["locality_sampled_score_abs_err"].as_double(0.0);
     m.costs_bit_identical = j["costs_bit_identical"].as_bool(true);
     m.trace_exact = j["trace_total_equals_cost"].as_bool(true);
     m.locality_counts_exact = j["locality_counts_exact"].as_bool(true);
@@ -236,8 +239,10 @@ std::string CombinedReport::markdown(const CombinedReport* baseline) const {
                fmt(micro->tracing_overhead_pct) + "%\n";
         out += "- locality profiling overhead: disabled path " +
                fmt(micro->locality_overhead_pct) + "% (A/A re-measurement of the "
-               "null-sink leg), LocalitySink attached " +
-               fmt(micro->locality_enabled_overhead_pct) + "%\n";
+               "null-sink leg), exact engine " +
+               fmt(micro->locality_enabled_overhead_pct) + "%, sampled engine " +
+               fmt(micro->locality_sampled_overhead_pct) + "% (score abs err " +
+               fmt(micro->locality_sampled_score_abs_err) + ")\n";
         out += std::string("- costs bit-identical: ") +
                (micro->costs_bit_identical ? "yes" : "**NO**") + ", trace mirror exact: " +
                (micro->trace_exact ? "yes" : "**NO**") + ", locality counts exact: " +
@@ -297,6 +302,16 @@ std::vector<std::string> gate_violations(const CombinedReport& current,
                               fmt(cc->measured) + ", allowed " + fmt(options.exponent_drift) +
                               ")");
                 }
+            } else if ((bc.kind == "min" || bc.kind == "max") && bc.tolerance > 0.0) {
+                // The check declares its own absolute drift allowance (an
+                // exact but fold-order-sensitive value; see GateOptions).
+                const double drift = std::fabs(cc->measured - bc.measured);
+                if (drift > bc.tolerance) {
+                    violation(base_exp.id + "/" + bc.id + ": measured value drifted " +
+                              fmt(drift) + " from baseline (" + fmt(bc.measured) + " -> " +
+                              fmt(cc->measured) + ", allowed " + fmt(bc.tolerance) +
+                              " absolute)");
+                }
             } else {
                 const double denom = std::max(std::fabs(bc.measured), 1e-12);
                 const double drift = std::fabs(cc->measured - bc.measured) / denom;
@@ -327,6 +342,32 @@ std::vector<std::string> gate_violations(const CombinedReport& current,
         }
         if (!current.micro->locality_counts_exact) {
             violation("micro: LocalitySink reference counts no longer match words_touched");
+        }
+    }
+
+    // Enabled-path ceilings are absolute bounds on the current run (no
+    // baseline needed): "profiling stays affordable" is a property of head,
+    // not a drift. Old artifacts without the keys default to 0 and pass.
+    if (current.micro) {
+        if (current.micro->locality_enabled_overhead_pct >
+            options.locality_enabled_overhead_max_pct) {
+            violation("micro: exact locality profiling overhead " +
+                      fmt(current.micro->locality_enabled_overhead_pct) +
+                      "% exceeds ceiling " +
+                      fmt(options.locality_enabled_overhead_max_pct) + "%");
+        }
+        if (current.micro->locality_sampled_overhead_pct >
+            options.locality_sampled_overhead_max_pct) {
+            violation("micro: sampled locality profiling overhead " +
+                      fmt(current.micro->locality_sampled_overhead_pct) +
+                      "% exceeds ceiling " +
+                      fmt(options.locality_sampled_overhead_max_pct) + "%");
+        }
+        if (current.micro->locality_sampled_score_abs_err >
+            options.locality_sampled_score_err_max) {
+            violation("micro: sampled locality score error " +
+                      fmt(current.micro->locality_sampled_score_abs_err) +
+                      " exceeds ceiling " + fmt(options.locality_sampled_score_err_max));
         }
     }
 

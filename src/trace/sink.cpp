@@ -246,5 +246,16 @@ void MultiSink::merge_replay(const BufferSink& shard) {
     for (Sink* c : children_) c->merge_replay(shard);
     set_total(saved + shard.total());
 }
+void MultiSink::shard_begin() {
+    // Bracket this sink's own total and every child's: each keeps folding
+    // the directly-delivered shard events through the forwarding overrides
+    // and rebases independently at shard_end, mirroring merge_replay.
+    Sink::shard_begin();
+    for (Sink* c : children_) c->shard_begin();
+}
+void MultiSink::shard_end() {
+    Sink::shard_end();
+    for (Sink* c : children_) c->shard_end();
+}
 
 }  // namespace dbsp::trace

@@ -129,6 +129,23 @@ public:
     /// shard account, so the bit-for-bit mirror survives sharded execution.
     virtual void merge_replay(const BufferSink& shard);
 
+    /// Direct-delivery counterpart of merge_replay for *serial* execution:
+    /// when a simulator runs a shard's step at the position where its buffer
+    /// would have been replayed anyway, it can skip the BufferSink entirely
+    /// and stream the events straight into this sink between shard_begin()
+    /// and shard_end(). The bracket reproduces merge_replay's total
+    /// arithmetic exactly: begin stashes the running total and zeroes it (so
+    /// the shard's events fold from zero, just as they would in a fresh
+    /// BufferSink), end overwrites it with `stashed + shard subtotal` — the
+    /// same single add the machine's account merge performs. Event order and
+    /// every total are bit-identical to the buffer+replay path. Brackets do
+    /// not nest.
+    virtual void shard_begin() {
+        shard_saved_ = total_;
+        total_ = 0.0;
+    }
+    virtual void shard_end() { total_ = shard_saved_ + total_; }
+
     /// Running mirror of the machine's charged cost; equals it bit for bit.
     double total() const { return total_; }
 
@@ -159,6 +176,7 @@ protected:
 
 private:
     double total_ = 0.0;
+    double shard_saved_ = 0.0;  ///< total stashed by an open shard_begin()
 };
 
 /// RAII phase scope; null-safe so emission sites need no branching of their
@@ -260,6 +278,8 @@ public:
     void phase_end(Phase phase) override;
     void reset_total() override;
     void merge_replay(const BufferSink& shard) override;
+    void shard_begin() override;
+    void shard_end() override;
 
 private:
     std::vector<Sink*> children_;

@@ -50,6 +50,176 @@ TEST(ReuseTree, InsertEraseCountAgainstBruteForce) {
     EXPECT_EQ(tree.count_greater(0), 0u);
 }
 
+TEST(ReuseTree, EraseAbsentKeyLeavesTheTreeUnchanged) {
+    ReuseTree tree;
+    tree.insert(10);
+    tree.insert(20);
+    tree.insert(30);
+    tree.erase(15);  // absent, inside the key span
+    tree.erase(5);   // absent, below the minimum
+    tree.erase(99);  // absent, above the maximum
+    EXPECT_EQ(tree.size(), 3u);
+    EXPECT_EQ(tree.count_greater(9), 3u);
+    EXPECT_EQ(tree.count_greater(10), 2u);
+    // erase_ranked on an absent key returns the rank alone, without mutating.
+    EXPECT_EQ(tree.erase_ranked(15), 2u);
+    EXPECT_EQ(tree.size(), 3u);
+    EXPECT_EQ(tree.count_greater(0), 3u);
+}
+
+TEST(ReuseTree, NonMonotoneInsertionKeepsExactRanks) {
+    // The engine only ever inserts the current (maximal) timestamp, but the
+    // structure accepts any unique key; out-of-order inserts force tail
+    // flushes and mid-tree splits.
+    ReuseTree tree;
+    std::set<std::uint64_t> ref;
+    for (std::uint64_t k : {100u, 50u, 75u, 25u, 150u, 1u, 125u, 99u, 101u}) {
+        tree.insert(k);
+        ref.insert(k);
+        for (std::uint64_t probe : {0u, 25u, 75u, 100u, 149u, 150u}) {
+            ASSERT_EQ(tree.count_greater(probe),
+                      static_cast<std::uint64_t>(
+                          std::distance(ref.upper_bound(probe), ref.end())))
+                << "probe " << probe << " after inserting " << k;
+        }
+    }
+    EXPECT_EQ(tree.size(), ref.size());
+}
+
+TEST(ReuseTree, ClearRecyclesNodesThroughTheFreeList) {
+    ReuseTree tree;
+    for (int round = 0; round < 3; ++round) {
+        // Descending inserts defeat the hot tail, so the tree itself holds
+        // the nodes that clear() must push onto the free list ...
+        for (std::uint64_t k = 200; k > 0; k -= 2) tree.insert(k);
+        EXPECT_EQ(tree.size(), 100u);
+        EXPECT_EQ(tree.count_greater(100), 50u);
+        tree.clear();
+        EXPECT_EQ(tree.size(), 0u);
+        EXPECT_EQ(tree.count_greater(0), 0u);
+        // ... and the rebuild after clear() runs on recycled nodes, which
+        // must behave exactly like fresh ones.
+        for (std::uint64_t k = 0; k < 64; ++k) tree.insert(k * 3);
+        EXPECT_EQ(tree.size(), 64u);
+        EXPECT_EQ(tree.count_greater(95), 32u);  // keys 96, 99, ..., 189
+        tree.clear();
+    }
+}
+
+TEST(ReuseTree, CountGreaterAtTheKeyExtremes) {
+    ReuseTree tree;
+    EXPECT_EQ(tree.count_greater(0), 0u);
+    EXPECT_EQ(tree.count_greater(UINT64_MAX), 0u);
+    tree.insert(0);
+    EXPECT_EQ(tree.count_greater(0), 0u);  // strictly greater
+    tree.insert(UINT64_MAX);
+    EXPECT_EQ(tree.count_greater(0), 1u);
+    EXPECT_EQ(tree.count_greater(UINT64_MAX - 1), 1u);
+    EXPECT_EQ(tree.count_greater(UINT64_MAX), 0u);
+    tree.erase(0);
+    tree.erase(UINT64_MAX);
+    EXPECT_EQ(tree.size(), 0u);
+    EXPECT_EQ(tree.count_greater(0), 0u);
+}
+
+/// Sorted-vector reference model for the batched tree operations — the
+/// brute-force oracle the run-compressed treap (and its two rewrites) is
+/// cross-checked against.
+struct TreeOracle {
+    std::vector<std::uint64_t> keys;  // sorted ascending
+
+    std::uint64_t count_greater(std::uint64_t k) const {
+        return static_cast<std::uint64_t>(
+            keys.end() - std::upper_bound(keys.begin(), keys.end(), k));
+    }
+    std::uint64_t erase_ranked(std::uint64_t k) {
+        const std::uint64_t above = count_greater(k);
+        const auto it = std::lower_bound(keys.begin(), keys.end(), k);
+        if (it != keys.end() && *it == k) keys.erase(it);
+        return above;
+    }
+    void append_run(std::uint64_t first, std::uint64_t stride, std::uint64_t count) {
+        for (std::uint64_t i = 0; i < count; ++i) keys.push_back(first + i * stride);
+    }
+    bool erase_span_exact(std::uint64_t lo, std::uint64_t hi, std::uint64_t expected,
+                          std::uint64_t* above_out) {
+        const auto b = std::lower_bound(keys.begin(), keys.end(), lo);
+        const auto e = std::upper_bound(keys.begin(), keys.end(), hi);
+        if (above_out != nullptr) {
+            *above_out = static_cast<std::uint64_t>(keys.end() - e);
+        }
+        if (static_cast<std::uint64_t>(e - b) != expected) return false;
+        keys.erase(b, e);
+        return true;
+    }
+    bool replace_max(std::uint64_t old_key, std::uint64_t new_key) {
+        if (keys.empty() || keys.back() != old_key) return false;
+        keys.back() = new_key;
+        return true;
+    }
+};
+
+TEST(ReuseTree, BatchedOperationsMatchASortedVectorOracle) {
+    ReuseTree tree;
+    TreeOracle oracle;
+    SplitMix64 rng(2024);
+    std::uint64_t clock = 1;  // fresh keys come from here, above every live key
+    for (int step = 0; step < 3000; ++step) {
+        switch (rng.next_below(5)) {
+            case 0: {  // append_run of fresh ascending stamps
+                const std::uint64_t stride = 1 + rng.next_below(3);
+                const std::uint64_t count = 1 + rng.next_below(16);
+                tree.append_run(clock, stride, count);
+                oracle.append_run(clock, stride, count);
+                clock += stride * count;
+                break;
+            }
+            case 1: {  // erase_ranked of a (frequently absent) key
+                const std::uint64_t k = rng.next_below(clock);
+                ASSERT_EQ(tree.erase_ranked(k), oracle.erase_ranked(k)) << "step " << step;
+                break;
+            }
+            case 2: {  // erase_span_exact, half the time with a wrong population
+                const std::uint64_t lo = rng.next_below(clock);
+                const std::uint64_t hi = lo + rng.next_below(64);
+                const auto b =
+                    std::lower_bound(oracle.keys.begin(), oracle.keys.end(), lo);
+                const auto e =
+                    std::upper_bound(oracle.keys.begin(), oracle.keys.end(), hi);
+                const auto pop = static_cast<std::uint64_t>(e - b);
+                const std::uint64_t expected = rng.next_below(2) == 0 ? pop : pop + 1;
+                std::uint64_t above_tree = 0, above_oracle = 0;
+                const bool rt = tree.erase_span_exact(lo, hi, expected, &above_tree);
+                const bool ro = oracle.erase_span_exact(lo, hi, expected, &above_oracle);
+                ASSERT_EQ(rt, ro) << "step " << step;
+                ASSERT_EQ(above_tree, above_oracle) << "step " << step;
+                break;
+            }
+            case 3: {  // replace_max, hitting and missing
+                if (oracle.keys.empty()) break;
+                const std::uint64_t old_key =
+                    rng.next_below(2) == 0 ? oracle.keys.back() : rng.next_below(clock);
+                const std::uint64_t new_key = clock;
+                const bool rt = tree.replace_max(old_key, new_key);
+                const bool ro = oracle.replace_max(old_key, new_key);
+                ASSERT_EQ(rt, ro) << "step " << step;
+                if (rt) clock = new_key + 1;
+                break;
+            }
+            case 4: {  // single fresh insert (extends the hot tail)
+                tree.insert(clock);
+                oracle.keys.push_back(clock);
+                ++clock;
+                break;
+            }
+        }
+        ASSERT_EQ(tree.size(), oracle.keys.size()) << "step " << step;
+        const std::uint64_t probe = rng.next_below(clock + 2);
+        ASSERT_EQ(tree.count_greater(probe), oracle.count_greater(probe))
+            << "step " << step << " probe " << probe;
+    }
+}
+
 TEST(ReuseDistance, FirstTouchesAreCold) {
     ReuseDistanceProfiler prof;
     for (Addr x = 0; x < 100; ++x) {
@@ -115,7 +285,9 @@ TEST(ReuseDistance, MatchesBruteForceStackSimulation) {
         const auto got = prof.record(x);
         const auto want = brute.touch(x);
         ASSERT_EQ(got.cold, want.cold) << "access " << i;
-        if (!got.cold) ASSERT_EQ(got.distance, want.distance) << "access " << i;
+        if (!got.cold) {
+            ASSERT_EQ(got.distance, want.distance) << "access " << i;
+        }
     }
     EXPECT_EQ(prof.distinct_addresses(), brute.stack.size());
 }
@@ -181,8 +353,11 @@ TEST(Profile, JsonRoundTripCarriesTheAnalytics) {
     std::string error;
     const auto parsed = report::Json::parse(j.dump(), &error);
     ASSERT_TRUE(parsed.has_value()) << error;
-    EXPECT_EQ((*parsed)["schema"].as_string(), "dbsp-locality-v1");
+    EXPECT_EQ((*parsed)["schema"].as_string(), "dbsp-locality-v2");
+    EXPECT_EQ((*parsed)["mode"].as_string(), "exact");
+    EXPECT_DOUBLE_EQ((*parsed)["sample_rate"].as_double(), 1.0);
     EXPECT_DOUBLE_EQ((*parsed)["accesses"].as_double(), 640.0);
+    EXPECT_DOUBLE_EQ((*parsed)["sampled_accesses"].as_double(), 640.0);
     EXPECT_DOUBLE_EQ((*parsed)["distinct_addresses"].as_double(), 32.0);
     EXPECT_DOUBLE_EQ((*parsed)["cold_misses"].as_double(), 32.0);
     EXPECT_DOUBLE_EQ((*parsed)["locality_score"].as_double(), profile.locality_score());
@@ -192,6 +367,136 @@ TEST(Profile, JsonRoundTripCarriesTheAnalytics) {
     ASSERT_EQ((*parsed)["levels"].size(), profile.max_level() + 1);
     EXPECT_EQ((*parsed)["working_set"]["tau"].size(),
               (*parsed)["working_set"]["w"].size());
+}
+
+TEST(Profile, ColdEventsNeverReachTheFiniteHistogramsOrScore) {
+    // Regression lock on the cold contract: a first touch's distance and
+    // time are *infinite*, so whatever numeric values the event happens to
+    // carry must never reach the finite histograms, the reuse-time sums, or
+    // the score. (A fold of cold events into the score once produced subtly
+    // deflated scores without failing any analytic identity — hence the
+    // explicit lock.)
+    LocalityProfile profile;
+    const ReuseDistanceProfiler::Event cold{true, 123, 7, true};
+    profile.note(cold);
+    profile.note_run(cold, 41);
+    EXPECT_EQ(profile.accesses, 42u);
+    EXPECT_EQ(profile.cold_misses, 42u);
+    EXPECT_DOUBLE_EQ(profile.locality_score(), 0.0);
+    for (unsigned b = 0; b < LocalityProfile::kBuckets; ++b) {
+        ASSERT_EQ(profile.distance_count[b], 0u) << "bucket " << b;
+        ASSERT_EQ(profile.time_count[b], 0u) << "bucket " << b;
+        ASSERT_TRUE(profile.time_sum[b] == 0) << "bucket " << b;
+    }
+    for (unsigned l = 0; l <= 10; ++l) {
+        EXPECT_DOUBLE_EQ(profile.hit_fraction(l), 0.0) << "level " << l;
+    }
+}
+
+TEST(Profile, NoteRunIsBitIdenticalToRepeatedNote) {
+    LocalityProfile runs, singles;
+    SplitMix64 rng(31);
+    for (int i = 0; i < 300; ++i) {
+        ReuseDistanceProfiler::Event e{false, 0, 1, true};
+        e.cold = rng.next_below(8) == 0;
+        e.sampled = rng.next_below(8) != 0;
+        e.distance = rng.next_below(1 << 12);
+        e.time = 1 + rng.next_below(1 << 12);
+        const std::uint64_t n = 1 + rng.next_below(9);
+        runs.note_run(e, n);
+        for (std::uint64_t j = 0; j < n; ++j) singles.note(e);
+    }
+    EXPECT_TRUE(runs.identical(singles));
+}
+
+/// Drive the same deterministic mix of traced machine operations (every
+/// charged kind: single words, ranges, block ops, charge-only sweeps) so two
+/// sinks under different options see the identical reference stream.
+void drive_machine(hmm::Machine& machine) {
+    SplitMix64 rng(11);
+    std::vector<model::Word> buf(64, 5);
+    for (int i = 0; i < 500; ++i) {
+        switch (rng.next_below(7)) {
+            case 0:
+                machine.write_traced(rng.next_below(2048), rng.next());
+                break;
+            case 1:
+                (void)machine.read_traced(rng.next_below(2048));
+                break;
+            case 2:
+                machine.write_range(rng.next_below(2048 - 64), buf);
+                break;
+            case 3:
+                machine.read_range(rng.next_below(2048 - 32),
+                                   std::span<model::Word>(buf.data(), 32));
+                break;
+            case 4:
+                machine.swap_blocks(rng.next_below(512), 1024 + rng.next_below(512), 64);
+                break;
+            case 5:
+                machine.copy_block(rng.next_below(512), 1024 + rng.next_below(512), 32);
+                break;
+            case 6: {
+                const std::uint64_t begin = rng.next_below(1024);
+                machine.charge_range(begin, begin + 1 + rng.next_below(128));
+                break;
+            }
+        }
+    }
+}
+
+TEST(LocalitySink, BatchedAndPerWordPathsAreBitIdentical) {
+    // The tentpole's core contract: the O(log n + b) batched engine path and
+    // coalescing produce a profile bit-identical to the per-word reference
+    // path on the same stream (also a fuzz-oracle invariant; this is the
+    // deterministic unit-test anchor).
+    const auto f = model::AccessFunction::polynomial(0.5);
+    LocalityOptions per_word;
+    per_word.batched = false;
+    LocalitySink fast, slow(per_word);
+    hmm::Machine m_fast(f, 2048), m_slow(f, 2048);
+    m_fast.set_trace(&fast);
+    m_slow.set_trace(&slow);
+    drive_machine(m_fast);
+    drive_machine(m_slow);
+    EXPECT_EQ(fast.recorded_accesses(), slow.recorded_accesses());
+    EXPECT_EQ(fast.total(), slow.total());
+    EXPECT_TRUE(fast.profile().identical(slow.profile()));
+}
+
+TEST(LocalitySink, SampledRateOneIsBitIdenticalToExact) {
+    const auto f = model::AccessFunction::polynomial(0.5);
+    LocalityOptions sampled_opts;
+    sampled_opts.mode = LocalityOptions::Mode::kSampled;
+    sampled_opts.sample_rate = 1.0;
+    LocalitySink exact, sampled(sampled_opts);
+    hmm::Machine m_exact(f, 2048), m_sampled(f, 2048);
+    m_exact.set_trace(&exact);
+    m_sampled.set_trace(&sampled);
+    drive_machine(m_exact);
+    drive_machine(m_sampled);
+    EXPECT_TRUE(exact.profile().identical(sampled.profile()));
+}
+
+TEST(LocalitySink, SampledModeStillCountsEveryReference) {
+    const auto f = model::AccessFunction::polynomial(0.5);
+    LocalityOptions opts;
+    opts.mode = LocalityOptions::Mode::kSampled;
+    opts.sample_rate = 0.25;
+    LocalitySink sink(opts);
+    hmm::Machine machine(f, 2048);
+    machine.set_trace(&sink);
+    drive_machine(machine);
+    // The clock and cost mirror are exact in sampled mode; only the
+    // distance measurements are subsampled.
+    EXPECT_EQ(sink.recorded_accesses(), machine.words_touched());
+    EXPECT_EQ(sink.total(), machine.cost());
+    EXPECT_GT(sink.sampled_accesses(), 0u);
+    EXPECT_LT(sink.sampled_accesses(), sink.recorded_accesses());
+    LocalityProfile p = sink.profile();
+    EXPECT_EQ(p.accesses, machine.words_touched());
+    EXPECT_EQ(p.sampled_accesses, sink.sampled_accesses());
+    EXPECT_GT(p.locality_score(), 0.0);
 }
 
 TEST(LocalitySink, CountsAndCostsMatchTheMachine) {

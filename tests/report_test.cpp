@@ -367,6 +367,83 @@ TEST(Gate, PassesAgainstItselfAndCatchesEachRegressionKind) {
     }
 }
 
+TEST(Gate, MinCheckHonorsItsDeclaredAbsoluteDriftTolerance) {
+    // A min/max check that declares a non-zero tolerance opts out of the
+    // default relative-drift rule in favor of that absolute allowance — the
+    // escape hatch for exact but fold-order-sensitive values like locality
+    // scores (see GateOptions).
+    CombinedReport base = sample_report();
+    Check& bc = base.experiments[0].checks[0];
+    bc.kind = "min";
+    bc.measured = 0.10;
+    bc.predicted = 0.05;
+    bc.tolerance = 0.05;
+    bc.pass = true;
+    const GateOptions opts;
+    {
+        // 40% relative drift would trip the default rule; 0.04 absolute is
+        // within the declared allowance.
+        CombinedReport cur = base;
+        cur.experiments[0].checks[0].measured = 0.14;
+        EXPECT_TRUE(report::gate_violations(cur, base, opts).empty());
+    }
+    {
+        CombinedReport cur = base;
+        cur.experiments[0].checks[0].measured = 0.16;  // 0.06 absolute > 0.05
+        const auto v = report::gate_violations(cur, base, opts);
+        ASSERT_EQ(v.size(), 1u);
+        EXPECT_NE(v[0].find("absolute"), std::string::npos);
+    }
+    {
+        // Without a declared tolerance the relative rule still applies.
+        CombinedReport b2 = base;
+        b2.experiments[0].checks[0].tolerance = 0.0;
+        CombinedReport cur = b2;
+        cur.experiments[0].checks[0].measured = 0.14;
+        const auto v = report::gate_violations(cur, b2, opts);
+        ASSERT_EQ(v.size(), 1u);
+        EXPECT_NE(v[0].find("value drifted"), std::string::npos);
+    }
+}
+
+TEST(Gate, LocalityOverheadCeilingsAreAbsoluteBoundsOnHead) {
+    const CombinedReport base = sample_report();
+    const GateOptions opts;
+    const auto with_locality = [&](double exact_pct, double sampled_pct,
+                                   double score_err) {
+        CombinedReport cur = base;
+        Json doc = micro_doc(1e6);
+        doc.set("locality_enabled_overhead_pct", exact_pct);
+        doc.set("locality_sampled_overhead_pct", sampled_pct);
+        doc.set("locality_sampled_score_abs_err", score_err);
+        std::string error;
+        cur.micro = *MicroData::from_json(doc, &error);
+        return cur;
+    };
+    EXPECT_TRUE(
+        report::gate_violations(with_locality(3000, 250, 0.2), base, opts).empty());
+    {
+        const auto v = report::gate_violations(with_locality(4500, 250, 0.2), base, opts);
+        ASSERT_EQ(v.size(), 1u);
+        EXPECT_NE(v[0].find("exact locality profiling overhead"), std::string::npos);
+    }
+    {
+        const auto v = report::gate_violations(with_locality(3000, 450, 0.2), base, opts);
+        ASSERT_EQ(v.size(), 1u);
+        EXPECT_NE(v[0].find("sampled locality profiling overhead"), std::string::npos);
+    }
+    {
+        const auto v = report::gate_violations(with_locality(3000, 250, 0.7), base, opts);
+        ASSERT_EQ(v.size(), 1u);
+        EXPECT_NE(v[0].find("score error"), std::string::npos);
+    }
+    // The ceilings are configurable like every other gate knob.
+    GateOptions tight = opts;
+    tight.locality_enabled_overhead_max_pct = 1000.0;
+    EXPECT_EQ(
+        report::gate_violations(with_locality(3000, 250, 0.2), base, tight).size(), 1u);
+}
+
 TEST(Gate, MarkdownDashboardCarriesVerdictsAndBaselineDeltas) {
     const CombinedReport base = sample_report();
     CombinedReport cur = base;

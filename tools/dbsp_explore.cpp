@@ -9,7 +9,7 @@
 ///   dbsp_explore --program fft|fft-rec|matmul|bitonic|oddeven|route
 ///                [--v N] [--f x^A | log] [--model hmm|bt|both|none]
 ///                [--seed S] [--trace[=chrome.json]]
-///                [--locality[=profile.json]] [--rational]
+///                [--locality[=profile.json][:sampled[@rate]]] [--rational]
 ///
 /// Examples:
 ///   dbsp_explore --program bitonic --v 1024 --f x^0.5 --model both
@@ -17,12 +17,17 @@
 ///   dbsp_explore --program matmul --v 4096 --f log --trace
 ///   dbsp_explore --program fft --v 256 --model both --trace=trace.json
 ///   dbsp_explore --program fft --v 4096 --model hmm --locality=profile.json
+///   dbsp_explore --program fft --v 65536 --model hmm --locality:sampled@0.05
 ///
 /// --trace observes *costs* (where the charged f()-time went, by phase and
 /// level); --locality observes the *address stream* (reuse distances, working
 /// set, per-level hit ratios of the simulated run). The two attach to the
 /// same simulation legs and can be combined. The direct D-BSP leg has no
 /// memory address stream, so --locality covers only the HMM/BT legs.
+/// `:sampled[@rate]` switches the profiler to the SHARDS-sampled engine
+/// (default rate 0.01): rate-corrected approximate analytics at a fraction of
+/// the exact engine's cost — the right mode for large runs where the score
+/// and CDF shape matter more than the last decimal.
 
 #include <charconv>
 #include <complex>
@@ -60,7 +65,7 @@ using namespace dbsp;
                  "usage: %s --program fft|fft-rec|matmul|bitonic|oddeven|route\n"
                  "          [--v N] [--f x^A|log] [--model hmm|bt|both|none]\n"
                  "          [--seed S] [--trace[=chrome.json]]\n"
-                 "          [--locality[=profile.json]] [--rational]\n",
+                 "          [--locality[=profile.json][:sampled[@rate]]] [--rational]\n",
                  self);
     std::exit(2);
 }
@@ -156,6 +161,8 @@ int main(int argc, char** argv) {
     bool trace_enabled = false;
     std::string trace_path;
     bool locality_enabled = false;
+    bool locality_sampled = false;
+    double locality_rate = 0.01;
     std::string locality_path;
     bool rational = false;
     model::AccessFunction f = model::AccessFunction::polynomial(0.5);
@@ -183,12 +190,36 @@ int main(int argc, char** argv) {
             trace_enabled = true;
             trace_path = arg.substr(std::strlen("--trace="));
             if (trace_path.empty()) bad_arg("--trace", arg.c_str(), "a file path");
-        } else if (arg == "--locality") {
+        } else if (arg.rfind("--locality", 0) == 0) {
+            // --locality[=path][:sampled[@rate]] — optional JSON output path,
+            // optional SHARDS-sampled engine with an optional explicit rate.
             locality_enabled = true;
-        } else if (arg.rfind("--locality=", 0) == 0) {
-            locality_enabled = true;
-            locality_path = arg.substr(std::strlen("--locality="));
-            if (locality_path.empty()) bad_arg("--locality", arg.c_str(), "a file path");
+            std::string rest = arg.substr(std::strlen("--locality"));
+            const std::size_t colon = rest.rfind(":sampled");
+            if (colon != std::string::npos) {
+                const std::string mode = rest.substr(colon + 1);
+                rest = rest.substr(0, colon);
+                locality_sampled = true;
+                if (mode != "sampled") {
+                    const char* rate_str = mode.c_str() + std::strlen("sampled");
+                    char* end = nullptr;
+                    const double rate =
+                        (*rate_str == '@') ? std::strtod(rate_str + 1, &end) : 0.0;
+                    if (*rate_str != '@' || rate_str[1] == '\0' || end == nullptr ||
+                        *end != '\0' || !(rate > 0.0) || rate > 1.0) {
+                        bad_arg("--locality", arg.c_str(),
+                                ":sampled or :sampled@R with R in (0, 1]");
+                    }
+                    locality_rate = rate;
+                }
+            }
+            if (!rest.empty()) {
+                if (rest[0] != '=' || rest.size() == 1) {
+                    bad_arg("--locality", arg.c_str(),
+                            "--locality[=path][:sampled[@rate]]");
+                }
+                locality_path = rest.substr(1);
+            }
         } else if (arg == "--rational") {
             rational = true;
         } else {
@@ -223,8 +254,14 @@ int main(int argc, char** argv) {
                 direct.computation_time(), direct.communication_time());
     direct_trace.report("dbsp_explore", "", direct.time);
 
+    locality::LocalityOptions locality_options;
+    if (locality_sampled) {
+        locality_options.mode = locality::LocalityOptions::Mode::kSampled;
+        locality_options.sample_rate = locality_rate;
+    }
+
     report::TraceBundle hmm_trace = make_leg_trace(trace_enabled, chrome, "hmm");
-    locality::LocalitySink hmm_loc;
+    locality::LocalitySink hmm_loc(locality_options);
     bool have_hmm_profile = false;
     if (model_name == "hmm" || model_name == "both") {
         auto prog = make_program(program_name, v, seed);
@@ -245,7 +282,7 @@ int main(int argc, char** argv) {
         }
     }
     report::TraceBundle bt_trace = make_leg_trace(trace_enabled, chrome, "bt");
-    locality::LocalitySink bt_loc;
+    locality::LocalitySink bt_loc(locality_options);
     bool have_bt_profile = false;
     if (model_name == "bt" || model_name == "both") {
         auto prog = make_program(program_name, v, seed);
@@ -281,11 +318,13 @@ int main(int argc, char** argv) {
 
     if (!locality_path.empty()) {
         report::Json doc = report::Json::object();
-        doc.set("schema", "dbsp-locality-v1");
+        doc.set("schema", "dbsp-locality-v2");
         doc.set("provenance", report::Provenance::collect().to_json());
         doc.set("program", program_name);
         doc.set("v", v);
         doc.set("f", f.name());
+        doc.set("mode", locality_sampled ? "sampled" : "exact");
+        if (locality_sampled) doc.set("sample_rate", locality_rate);
         report::Json profiles = report::Json::object();
         if (have_hmm_profile) profiles.set("hmm", hmm_loc.profile().to_json());
         if (have_bt_profile) profiles.set("bt", bt_loc.profile().to_json());

@@ -23,6 +23,12 @@
 ///     --exponent-drift X gate: max |exponent - baseline| (default 0.05)
 ///     --value-drift X    gate: max relative value drift (default 0.25)
 ///     --perf-drop X      gate: max words/sec drop, percent (default 35)
+///     --locality-overhead-max X         gate: ceiling on the exact-mode
+///                        enabled-path locality overhead, percent (default 4000)
+///     --locality-sampled-overhead-max X gate: same for the sampled mode
+///                        (default 400)
+///     --locality-score-err-max X        gate: ceiling on the sampled-mode
+///                        locality-score absolute error (default 0.5)
 ///
 /// Exit status: 0 all checks pass and the gate is clean; 1 a conformance
 /// check fails or the gate trips; 2 usage error or unreadable/unwritable
@@ -138,6 +144,15 @@ int main(int argc, char** argv) {
             gate.value_drift_rel = parse_double("--value-drift", next());
         } else if (arg == "--perf-drop") {
             gate.perf_drop_pct = parse_double("--perf-drop", next());
+        } else if (arg == "--locality-overhead-max") {
+            gate.locality_enabled_overhead_max_pct =
+                parse_double("--locality-overhead-max", next());
+        } else if (arg == "--locality-sampled-overhead-max") {
+            gate.locality_sampled_overhead_max_pct =
+                parse_double("--locality-sampled-overhead-max", next());
+        } else if (arg == "--locality-score-err-max") {
+            gate.locality_sampled_score_err_max =
+                parse_double("--locality-score-err-max", next());
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "dbsp_report: unknown flag \"%s\"\n", arg.c_str());
             usage(argv[0]);
