@@ -16,7 +16,7 @@ Machine::Machine(AccessFunction f, std::uint64_t capacity)
 // one batch per machine lifetime — same discipline (and same reason) as
 // hmm::Machine::note_bulk: per-op atomics are unaffordable on range ops that
 // often move single message records. Per-word read()/write() carry no hook.
-Machine::~Machine() {
+void Machine::publish_metrics() {
     if (range_ops_ == 0 && block_transfers_ == 0) return;
     static auto& ops = report::metric_counter("bt.range_ops");
     static auto& range_words = report::metric_counter("bt.range_words");
@@ -32,7 +32,14 @@ Machine::~Machine() {
             transfer_size.add_to_bucket(b, transfer_size_by_bucket_[b]);
         }
     }
+    range_ops_ = 0;
+    range_words_ = 0;
+    block_transfers_ = 0;
+    transfer_words_ = 0;
+    transfer_size_by_bucket_.fill(0);
 }
+
+Machine::~Machine() { publish_metrics(); }
 
 Word Machine::traced_read_tail(Addr x) {
     trace_->access(x, table_->cost(x));

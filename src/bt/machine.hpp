@@ -55,9 +55,15 @@ class Machine {
 public:
     Machine(AccessFunction f, std::uint64_t capacity);
 
-    /// Publishes the accumulated range/transfer telemetry to the global
-    /// metrics registry in one batch (plain-member accumulation on the hot
-    /// paths; see the note in machine.cpp).
+    /// Publish the accumulated range/transfer telemetry to the global
+    /// metrics registry in one batch and zero the local accumulators
+    /// (plain-member accumulation on the hot paths; see the note in
+    /// machine.cpp). Safe to call repeatedly — a long-lived process
+    /// (dbsp_serve) flushes after each request without double-counting at
+    /// destruction.
+    void publish_metrics();
+
+    /// Publishes any telemetry not yet flushed via publish_metrics().
     ~Machine();
 
     /// --- charged word accesses (HMM-style) ---------------------------------

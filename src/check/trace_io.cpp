@@ -15,6 +15,19 @@ namespace {
 constexpr const char* kSpecHeader = "dbsp-spec v1";
 constexpr const char* kTraceHeader = "dbsp-trace v2";
 
+/// Geometry ceilings enforced *before* any event-table allocation. A repro
+/// file is a few kilobytes and the fuzz corpus stays under v=16, steps=8 —
+/// but the same parser now also reads untrusted dbsp_serve requests, where
+/// "v 1152921504606846976" must produce an error reply, not an out-of-memory
+/// abort while sizing the event matrix. The per-field caps are generous
+/// (64Ki processors, 4Ki supersteps); the cell cap bounds the one allocation
+/// the header controls, steps x v event slots.
+constexpr std::uint64_t kMaxProcessors = 1ull << 16;
+constexpr std::uint64_t kMaxSupersteps = 1ull << 12;
+constexpr std::uint64_t kMaxDataWords = 1ull << 12;
+constexpr std::uint64_t kMaxMessages = 1ull << 12;
+constexpr std::uint64_t kMaxEventCells = 1ull << 20;
+
 /// Line-oriented reader with one-token lookahead on the line keyword.
 /// Comment lines (leading '#') and blank lines are skipped.
 class LineReader {
@@ -69,23 +82,44 @@ struct Header {
 bool parse_header(LineReader& reader, Header* h, std::string* error) {
     std::size_t steps = 0;
     bool have_steps = false;
+    bool have_v = false, have_d = false, have_b = false, have_seed = false,
+         have_labels = false;
+    // Each section may appear at most once: a duplicate "v"/"labels"/... line
+    // in a hand-edited (or adversarial) file silently overriding or extending
+    // the earlier one is exactly the kind of ambiguity a strict parser must
+    // reject.
+    const auto once = [&](bool& seen, const char* what) {
+        if (seen) return fail(error, std::string("duplicate ") + what + " line");
+        seen = true;
+        return true;
+    };
     while (!reader.eof()) {
         const std::string& kw = reader.keyword();
         if (kw == "event" || kw == "end") break;
         if (kw == "v") {
+            if (!once(have_v, "v")) return false;
             if (!reader.fields(h->v)) return fail(error, "bad v line");
         } else if (kw == "D") {
+            if (!once(have_d, "D")) return false;
             if (!reader.fields(h->data_words)) return fail(error, "bad D line");
         } else if (kw == "B") {
+            if (!once(have_b, "B")) return false;
             if (!reader.fields(h->max_messages)) return fail(error, "bad B line");
         } else if (kw == "seed") {
+            if (!once(have_seed, "seed")) return false;
             if (!reader.fields(h->seed)) return fail(error, "bad seed line");
         } else if (kw == "steps") {
+            if (!once(have_steps, "steps")) return false;
             if (!reader.fields(steps)) return fail(error, "bad steps line");
-            have_steps = true;
         } else if (kw == "labels") {
+            if (!once(have_labels, "labels")) return false;
             unsigned l = 0;
-            while (reader.rest() >> l) h->labels.push_back(l);
+            while (reader.rest() >> l) {
+                if (h->labels.size() >= kMaxSupersteps) {
+                    return fail(error, "too many labels");
+                }
+                h->labels.push_back(l);
+            }
         } else {
             return fail(error, "unknown header keyword: " + kw);
         }
@@ -97,6 +131,17 @@ bool parse_header(LineReader& reader, Header* h, std::string* error) {
         return fail(error, "steps/labels mismatch");
     }
     if (h->labels.empty()) return fail(error, "no supersteps");
+    // Geometry ceilings — checked here, before the caller sizes the
+    // steps x v event matrix off these fields.
+    if (h->v > kMaxProcessors) return fail(error, "v exceeds parser limit");
+    if (h->data_words > kMaxDataWords) return fail(error, "D exceeds parser limit");
+    if (h->max_messages > kMaxMessages) return fail(error, "B exceeds parser limit");
+    if (h->labels.size() > kMaxSupersteps) {
+        return fail(error, "steps exceeds parser limit");
+    }
+    if (h->labels.size() * h->v > kMaxEventCells) {
+        return fail(error, "steps * v exceeds parser limit");
+    }
     return true;
 }
 

@@ -23,10 +23,11 @@ void Machine::note_bulk(Addr deepest, std::uint64_t words) {
     bulk_words_by_level_[std::bit_width(deepest)] += words;
 }
 
-Machine::~Machine() {
+void Machine::publish_metrics() {
     if (words_touched_ != 0) {
         static auto& touched = report::metric_counter("hmm.words_touched");
         touched.add(words_touched_);
+        words_touched_ = 0;
     }
     if (bulk_ops_ == 0) return;
     static auto& ops = report::metric_counter("hmm.bulk_ops");
@@ -37,7 +38,12 @@ Machine::~Machine() {
     for (unsigned b = 0; b < bulk_words_by_level_.size(); ++b) {
         if (bulk_words_by_level_[b] != 0) by_level.add_to_bucket(b, bulk_words_by_level_[b]);
     }
+    bulk_ops_ = 0;
+    bulk_words_ = 0;
+    bulk_words_by_level_.fill(0);
 }
+
+Machine::~Machine() { publish_metrics(); }
 
 Word Machine::read(Addr x) {
     DBSP_REQUIRE(x < capacity());

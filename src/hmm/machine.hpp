@@ -158,10 +158,18 @@ public:
     std::span<Word> raw() { return memory_; }
     std::span<const Word> raw() const { return memory_; }
 
-    /// Publishes the accumulated bulk-op telemetry to the global metrics
-    /// registry. Accumulation uses plain per-machine members (see note_bulk
-    /// in machine.cpp): per-op atomics would cost tens of percent on the
-    /// bulk delivery path, whose ranges are often single message records.
+    /// Publish the accumulated word-touch/bulk-op telemetry to the global
+    /// metrics registry and zero the local accumulators. Idempotent between
+    /// accesses: a second call with nothing new accumulated publishes
+    /// nothing, so a long-lived process (dbsp_serve) can flush after every
+    /// request — making snapshots equal the sum of per-request counts — and
+    /// a reused machine never double-counts at destruction. Accumulation
+    /// uses plain per-machine members (see note_bulk in machine.cpp):
+    /// per-op atomics would cost tens of percent on the bulk delivery path,
+    /// whose ranges are often single message records.
+    void publish_metrics();
+
+    /// Publishes any telemetry not yet flushed via publish_metrics().
     ~Machine();
 
 private:

@@ -21,6 +21,10 @@ report::Counter& slices_metric() {
     static auto& c = report::metric_counter("cost_table.slices");
     return c;
 }
+report::Counter& evictions_metric() {
+    static auto& c = report::metric_counter("cost_table.evictions");
+    return c;
+}
 
 }  // namespace
 
@@ -38,15 +42,16 @@ std::shared_ptr<const CostTable> CostTableCache::get(const AccessFunction& f,
             builds_metric().add();
         } else {
             auto it = tables_.find(f.key());
-            if (it != tables_.end() && it->second->capacity() >= capacity) {
-                if (it->second->capacity() == capacity) {
+            if (it != tables_.end() && it->second.table->capacity() >= capacity) {
+                touch(it);
+                if (it->second.table->capacity() == capacity) {
                     ++stats_.hits;
                     hits_metric().add();
-                    return it->second;
+                    return it->second.table;
                 }
                 ++stats_.slices;
                 slices_metric().add();
-                return std::make_shared<CostTable>(*it->second, capacity);
+                return std::make_shared<CostTable>(*it->second.table, capacity);
             }
             ++stats_.builds;
             builds_metric().add();
@@ -58,8 +63,15 @@ std::shared_ptr<const CostTable> CostTableCache::get(const AccessFunction& f,
     auto table = std::make_shared<const CostTable>(f, capacity);
     std::lock_guard<std::mutex> lock(mutex_);
     if (enabled_) {
-        auto& slot = tables_[f.key()];
-        if (!slot || slot->capacity() < capacity) slot = table;
+        auto [it, inserted] = tables_.try_emplace(f.key());
+        if (inserted) {
+            it->second.lru_pos = lru_.insert(lru_.begin(), it->first);
+        } else {
+            touch(it);
+        }
+        Entry& entry = it->second;
+        if (!entry.table || entry.table->capacity() < capacity) entry.table = table;
+        enforce_cap();
     }
     return table;
 }
@@ -72,17 +84,51 @@ CostTableCache::Stats CostTableCache::stats() const {
 void CostTableCache::clear() {
     std::lock_guard<std::mutex> lock(mutex_);
     tables_.clear();
+    lru_.clear();
 }
 
 void CostTableCache::set_enabled(bool enabled) {
     std::lock_guard<std::mutex> lock(mutex_);
     enabled_ = enabled;
-    if (!enabled) tables_.clear();
+    if (!enabled) {
+        tables_.clear();
+        lru_.clear();
+    }
 }
 
 bool CostTableCache::enabled() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return enabled_;
+}
+
+void CostTableCache::set_max_entries(std::size_t max_entries) {
+    if (max_entries == 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    max_entries_ = max_entries;
+    enforce_cap();
+}
+
+std::size_t CostTableCache::max_entries() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return max_entries_;
+}
+
+std::size_t CostTableCache::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tables_.size();
+}
+
+void CostTableCache::touch(std::unordered_map<std::string, Entry>::iterator it) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+}
+
+void CostTableCache::enforce_cap() {
+    while (tables_.size() > max_entries_) {
+        tables_.erase(lru_.back());
+        lru_.pop_back();
+        ++stats_.evictions;
+        evictions_metric().add();
+    }
 }
 
 }  // namespace dbsp::model

@@ -16,6 +16,14 @@
 ///
 /// Thread-safe: the parallel benchmark harness hits it from every worker.
 ///
+/// Bounded: the cache holds at most max_entries() tables and evicts the
+/// least-recently-used key beyond that. One bench run touches a handful of
+/// access functions, but a long-lived dbsp_serve process sees an unbounded
+/// stream of distinct fingerprints, and every table is O(capacity) words.
+/// Eviction is invisible to charged costs: a re-request after eviction
+/// rebuilds the identical prefix array (the build is a deterministic running
+/// sum of f), so only the builds/hits split changes, never a charged value.
+///
 /// Disabling: set_enabled(false) drops the cache's *own* references so later
 /// requests build fresh, but every table is handed out as a
 /// shared_ptr<const CostTable> — tables concurrent workers already hold stay
@@ -27,6 +35,7 @@
 /// on *cache effectiveness* (hit rates), never on correctness.
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -48,9 +57,10 @@ public:
     std::shared_ptr<const CostTable> get(const AccessFunction& f, std::uint64_t capacity);
 
     struct Stats {
-        std::uint64_t builds = 0;  ///< O(capacity) prefix constructions
-        std::uint64_t hits = 0;    ///< exact-capacity reuses
-        std::uint64_t slices = 0;  ///< smaller-capacity views of a cached table
+        std::uint64_t builds = 0;     ///< O(capacity) prefix constructions
+        std::uint64_t hits = 0;       ///< exact-capacity reuses
+        std::uint64_t slices = 0;     ///< smaller-capacity views of a cached table
+        std::uint64_t evictions = 0;  ///< LRU drops after exceeding max_entries
         /// Table builds a cacheless implementation would have performed.
         std::uint64_t builds_avoided() const { return hits + slices; }
     };
@@ -62,11 +72,38 @@ public:
     void set_enabled(bool enabled);
     bool enabled() const;
 
+    /// LRU bound on distinct cached keys. Setting a smaller bound evicts
+    /// immediately; 0 is rejected (use set_enabled(false) to bypass caching).
+    void set_max_entries(std::size_t max_entries);
+    std::size_t max_entries() const;
+
+    /// Number of tables currently held.
+    std::size_t size() const;
+
+    /// Default max_entries(): far above the handful of access functions any
+    /// single experiment uses, small enough that a serve process hosting
+    /// adversarially many distinct custom functions stays bounded.
+    static constexpr std::size_t kDefaultMaxEntries = 64;
+
 private:
+    struct Entry {
+        std::shared_ptr<const CostTable> table;
+        std::list<std::string>::iterator lru_pos;  ///< position in lru_
+    };
+
+    /// Mark \p it most-recently-used. Caller holds mutex_.
+    void touch(std::unordered_map<std::string, Entry>::iterator it);
+    /// Evict least-recently-used entries until size() <= max_entries_.
+    /// Caller holds mutex_.
+    void enforce_cap();
+
     mutable std::mutex mutex_;
     bool enabled_ = true;
     Stats stats_;
-    std::unordered_map<std::string, std::shared_ptr<const CostTable>> tables_;
+    std::size_t max_entries_ = kDefaultMaxEntries;
+    /// Keys ordered most- to least-recently used; back() evicts first.
+    std::list<std::string> lru_;
+    std::unordered_map<std::string, Entry> tables_;
 };
 
 /// RAII helper for tests: force the cache on/off within a scope.

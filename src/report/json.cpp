@@ -83,6 +83,35 @@ void indent_to(std::string& out, int indent) { out.append(static_cast<std::size_
 
 }  // namespace
 
+void Json::write_compact(std::string& out) const {
+    switch (type_) {
+        case Type::kNull: out += "null"; return;
+        case Type::kBool: out += bool_ ? "true" : "false"; return;
+        case Type::kNumber: write_number(out, number_); return;
+        case Type::kString: write_escaped(out, string_); return;
+        case Type::kArray: {
+            out += '[';
+            for (std::size_t i = 0; i < array_.size(); ++i) {
+                if (i > 0) out += ',';
+                array_[i].write_compact(out);
+            }
+            out += ']';
+            return;
+        }
+        case Type::kObject: {
+            out += '{';
+            for (std::size_t i = 0; i < members_.size(); ++i) {
+                if (i > 0) out += ',';
+                write_escaped(out, members_[i].first);
+                out += ':';
+                members_[i].second.write_compact(out);
+            }
+            out += '}';
+            return;
+        }
+    }
+}
+
 void Json::write(std::string& out, int indent) const {
     switch (type_) {
         case Type::kNull: out += "null"; return;
@@ -148,15 +177,27 @@ std::string Json::dump() const {
     return out;
 }
 
+std::string Json::dump_compact() const {
+    std::string out;
+    write_compact(out);
+    return out;
+}
+
 // --- parser -----------------------------------------------------------------
 
 namespace {
 
 class Parser {
 public:
-    explicit Parser(std::string_view text) : text_(text) {}
+    Parser(std::string_view text, const ParseLimits& limits)
+        : text_(text), limits_(limits) {}
 
     std::optional<Json> run(std::string* error) {
+        if (limits_.max_bytes != 0 && text_.size() > limits_.max_bytes) {
+            fail("document exceeds " + std::to_string(limits_.max_bytes) + " bytes");
+            emit(error);
+            return std::nullopt;
+        }
         skip_ws();
         Json value;
         if (!parse_value(value)) {
@@ -317,12 +358,25 @@ private:
         return true;
     }
 
+    /// Container-entry guard: depth is checked *before* recursing, so a
+    /// `[[[[...` bomb is rejected with a diagnostic long before the stack
+    /// frames of the recursive descent can overflow.
+    bool enter() {
+        if (limits_.max_depth != 0 && depth_ >= limits_.max_depth) {
+            return fail("nesting depth exceeds " + std::to_string(limits_.max_depth));
+        }
+        ++depth_;
+        return true;
+    }
+
     bool parse_array(Json& out) {
+        if (!enter()) return false;
         ++pos_;  // '['
         out = Json::array();
         skip_ws();
         if (pos_ < text_.size() && text_[pos_] == ']') {
             ++pos_;
+            --depth_;
             return true;
         }
         while (true) {
@@ -338,6 +392,7 @@ private:
             }
             if (text_[pos_] == ']') {
                 ++pos_;
+                --depth_;
                 return true;
             }
             return fail("',' or ']' expected in array");
@@ -345,11 +400,13 @@ private:
     }
 
     bool parse_object(Json& out) {
+        if (!enter()) return false;
         ++pos_;  // '{'
         out = Json::object();
         skip_ws();
         if (pos_ < text_.size() && text_[pos_] == '}') {
             ++pos_;
+            --depth_;
             return true;
         }
         while (true) {
@@ -373,6 +430,7 @@ private:
             }
             if (text_[pos_] == '}') {
                 ++pos_;
+                --depth_;
                 return true;
             }
             return fail("',' or '}' expected in object");
@@ -380,15 +438,18 @@ private:
     }
 
     std::string_view text_;
+    ParseLimits limits_;
     std::size_t pos_ = 0;
+    std::size_t depth_ = 0;
     std::string error_;
     std::size_t error_pos_ = 0;
 };
 
 }  // namespace
 
-std::optional<Json> Json::parse(std::string_view text, std::string* error) {
-    return Parser(text).run(error);
+std::optional<Json> Json::parse(std::string_view text, std::string* error,
+                                const ParseLimits& limits) {
+    return Parser(text, limits).run(error);
 }
 
 std::optional<Json> Json::load_file(const std::string& path, std::string* error) {

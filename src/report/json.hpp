@@ -14,6 +14,12 @@
 /// rejected with a position-tagged error message — malformed baselines must
 /// fail loudly in the regression gate, never be silently coerced.
 ///
+/// The parser is also bounded: nesting depth and document size are checked
+/// against ParseLimits and violations are *rejected* (an error message, not a
+/// recursive descent into a stack overflow). The defaults are far above
+/// anything the repo's own artifacts use; callers feeding the parser
+/// untrusted input (the dbsp_serve request path) pass tighter limits.
+///
 /// Objects preserve insertion order (a vector of pairs, not a map) so the
 /// emitted artifacts diff cleanly across regenerations.
 
@@ -29,6 +35,17 @@ namespace dbsp::report {
 
 class Json;
 using JsonMember = std::pair<std::string, Json>;
+
+/// Bounds enforced while parsing (see file comment). A zero field disables
+/// that bound.
+struct ParseLimits {
+    /// Maximum container nesting depth (arrays + objects). The repo's own
+    /// artifacts stay under 8; the default caps adversarial `[[[[...` input
+    /// long before the recursive-descent parser can exhaust the stack.
+    std::size_t max_depth = 64;
+    /// Maximum document size in bytes.
+    std::size_t max_bytes = 0;
+};
 
 class Json {
 public:
@@ -104,9 +121,16 @@ public:
     /// exact).
     std::string dump() const;
 
+    /// Single-line serialization with no indentation or spaces between
+    /// tokens, same number/string formatting as dump(). Never contains a
+    /// newline, so a compact document is exactly one line of the dbsp_serve
+    /// wire protocol. dump_compact() output re-parses to an equal value.
+    std::string dump_compact() const;
+
     /// Strict parse of a complete JSON document. On failure returns nullopt
     /// and, when \p error is non-null, stores a "line N: message" diagnostic.
-    static std::optional<Json> parse(std::string_view text, std::string* error = nullptr);
+    static std::optional<Json> parse(std::string_view text, std::string* error = nullptr,
+                                     const ParseLimits& limits = {});
 
     /// Convenience: read and parse a file. Distinguishes I/O failure from
     /// parse failure via the error message.
@@ -118,6 +142,7 @@ public:
 
 private:
     void write(std::string& out, int indent) const;
+    void write_compact(std::string& out) const;
 
     Type type_ = Type::kNull;
     bool bool_ = false;

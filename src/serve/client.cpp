@@ -1,0 +1,97 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dbsp::serve {
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+}
+
+}  // namespace
+
+bool Client::connect(const std::string& socket_path, std::string* error) {
+    close();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+        return fail(error, "invalid socket path");
+    }
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return fail(error, std::strerror(errno));
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+        const std::string message = std::strerror(errno);
+        close();
+        return fail(error, message);
+    }
+    return true;
+}
+
+void Client::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buffer_.clear();
+}
+
+bool Client::request(const std::string& line, std::string* reply, std::string* error) {
+    return request_batch({line}, nullptr, error) ? read_line(reply, error) : false;
+}
+
+bool Client::request_batch(const std::vector<std::string>& lines,
+                           std::vector<std::string>* replies, std::string* error) {
+    if (fd_ < 0) return fail(error, "not connected");
+    std::string wire;
+    for (const std::string& line : lines) {
+        wire += line;
+        wire += '\n';
+    }
+    const char* data = wire.data();
+    std::size_t n = wire.size();
+    while (n > 0) {
+        const ssize_t w = ::send(fd_, data, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR) continue;
+            return fail(error, std::strerror(errno));
+        }
+        data += static_cast<std::size_t>(w);
+        n -= static_cast<std::size_t>(w);
+    }
+    if (replies == nullptr) return true;
+    replies->clear();
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        std::string reply;
+        if (!read_line(&reply, error)) return false;
+        replies->push_back(std::move(reply));
+    }
+    return true;
+}
+
+bool Client::read_line(std::string* line, std::string* error) {
+    for (;;) {
+        const std::size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            if (line != nullptr) *line = buffer_.substr(0, nl);
+            buffer_.erase(0, nl + 1);
+            return true;
+        }
+        char chunk[4096];
+        const ssize_t r = ::read(fd_, chunk, sizeof(chunk));
+        if (r < 0 && errno == EINTR) continue;
+        if (r < 0) return fail(error, std::strerror(errno));
+        if (r == 0) return fail(error, "connection closed by server");
+        buffer_.append(chunk, static_cast<std::size_t>(r));
+    }
+}
+
+}  // namespace dbsp::serve

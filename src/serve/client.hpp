@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file client.hpp
+/// Minimal blocking client for the dbsp_serve protocol, used by the
+/// dbsp_loadgen tool and the socket round-trip tests. One connection, one
+/// reply line per request line; request_batch() writes a whole pipeline of
+/// lines before reading any reply (the protocol's batching mode — one
+/// socket round-trip amortized over the batch).
+
+#include <string>
+#include <vector>
+
+namespace dbsp::serve {
+
+class Client {
+public:
+    Client() = default;
+    ~Client() { close(); }
+
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    /// Connect to a serve socket. Returns false with a message on failure.
+    bool connect(const std::string& socket_path, std::string* error);
+
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+    /// One round trip: write \p line + '\n', read one reply line (without
+    /// the newline) into \p reply.
+    bool request(const std::string& line, std::string* reply, std::string* error);
+
+    /// Pipelined batch: write every line, then read exactly one reply per
+    /// line, in order.
+    bool request_batch(const std::vector<std::string>& lines,
+                       std::vector<std::string>* replies, std::string* error);
+
+private:
+    bool read_line(std::string* line, std::string* error);
+
+    int fd_ = -1;
+    std::string buffer_;  ///< bytes read past the last returned line
+};
+
+}  // namespace dbsp::serve

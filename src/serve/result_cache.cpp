@@ -1,0 +1,66 @@
+#include "serve/result_cache.hpp"
+
+#include "report/metrics.hpp"
+
+namespace dbsp::serve {
+
+namespace {
+
+report::Counter& hits_metric() {
+    static auto& c = report::metric_counter("serve.cache_hits");
+    return c;
+}
+report::Counter& misses_metric() {
+    static auto& c = report::metric_counter("serve.cache_misses");
+    return c;
+}
+report::Counter& evictions_metric() {
+    static auto& c = report::metric_counter("serve.cache_evictions");
+    return c;
+}
+
+}  // namespace
+
+std::optional<std::string> ResultCache::get(const std::string& fingerprint) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(fingerprint);
+    if (it == entries_.end()) {
+        ++misses_;
+        misses_metric().add();
+        return std::nullopt;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    ++hits_;
+    hits_metric().add();
+    return it->second.result;
+}
+
+void ResultCache::put(const std::string& fingerprint, std::string result) {
+    if (max_entries_ == 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = entries_.try_emplace(fingerprint);
+    if (inserted) {
+        it->second.lru_pos = lru_.insert(lru_.begin(), it->first);
+    } else {
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    }
+    it->second.result = std::move(result);
+    while (entries_.size() > max_entries_) {
+        entries_.erase(lru_.back());
+        lru_.pop_back();
+        ++evictions_;
+        evictions_metric().add();
+    }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.entries = entries_.size();
+    return s;
+}
+
+}  // namespace dbsp::serve

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file result_cache.hpp
+/// Memoized serve results: fingerprint -> compact "dbsp-serve-result-v1"
+/// bytes, bounded by LRU eviction (same discipline as the process-wide
+/// CostTableCache, which is the in-repo precedent for a server-lifetime
+/// cache). The cache stores the exact serialized string the miss path
+/// produced, so a hit replays byte-identical bytes by construction — the
+/// serve byte-identity guarantee never depends on re-serialization.
+///
+/// Thread-safe: concurrent connections share one cache. A racing miss on
+/// the same fingerprint wastes one simulation but stays correct (both
+/// producers serialize the identical deterministic document).
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace dbsp::serve {
+
+class ResultCache {
+public:
+    /// \p max_entries = 0 disables caching (every lookup misses, nothing is
+    /// stored).
+    explicit ResultCache(std::size_t max_entries) : max_entries_(max_entries) {}
+
+    /// The stored document for \p fingerprint, marking it most-recently
+    /// used; nullopt on miss.
+    std::optional<std::string> get(const std::string& fingerprint);
+
+    /// Store (or refresh) a document, evicting least-recently-used entries
+    /// beyond max_entries.
+    void put(const std::string& fingerprint, std::string result);
+
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t entries = 0;  ///< current size
+    };
+    Stats stats() const;
+
+private:
+    struct Entry {
+        std::string result;
+        std::list<std::string>::iterator lru_pos;
+    };
+
+    mutable std::mutex mutex_;
+    std::size_t max_entries_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+    /// Fingerprints ordered most- to least-recently used; back() evicts
+    /// first.
+    std::list<std::string> lru_;
+    std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace dbsp::serve

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file runner.hpp
+/// The deterministic request executor behind dbsp_serve: run one
+/// `dbsp-spec v1` program through the direct D-BSP executor plus the
+/// requested HMM/BT simulations and serialize the costs, theorem bounds,
+/// final-image digests and (optionally) locality profiles as one compact
+/// JSON document, schema "dbsp-serve-result-v1".
+///
+/// Determinism contract: the document is a pure function of (spec, options).
+/// It contains no timestamps, wall-clock durations, hostnames or thread
+/// counts — the executors' charged costs and final images are bit-identical
+/// at every `threads` setting (the fuzz oracle's threads axis), so the same
+/// request produces the same bytes on a 1-CPU container and a 32-core box.
+/// That is what makes the serve result cache sound: a cache hit replays the
+/// stored bytes, and `dbsp_explore --spec` reproduces them offline for the
+/// byte-identity conformance check.
+///
+/// The same property keys the cache: fingerprint() hashes the canonical
+/// spec serialization together with every option that influences the
+/// document (model selection, access function, locality mode/rate) — and
+/// deliberately NOT the thread count, which influences nothing.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "check/program_gen.hpp"
+#include "model/access_function.hpp"
+
+namespace dbsp::serve {
+
+/// Per-request knobs, all optional in the wire schema.
+struct RunOptions {
+    /// Which simulations to run: "hmm", "bt", "both" or "none" (direct
+    /// D-BSP cost only).
+    std::string model = "both";
+    /// Access function of the target hierarchical machine.
+    model::AccessFunction f = model::AccessFunction::polynomial(0.5);
+    /// Attach the address-stream locality profiler to the simulation legs.
+    bool locality = false;
+    /// SHARDS-sampled profiler instead of the exact engine.
+    bool sampled = false;
+    /// Sampling rate; must satisfy valid_sample_rate when sampled.
+    double sample_rate = 0.01;
+    /// Simulator worker threads: 0 = util::default_threads() (DBSP_THREADS
+    /// env), N = exactly N. Never part of the result or the fingerprint.
+    std::size_t threads = 0;
+};
+
+/// The one sampling-rate contract, shared by the dbsp_explore
+/// `--locality:sampled@rate` flag and the serve request schema: finite,
+/// strictly positive, at most 1. NaN, inf, 0, negatives and rates > 1 are
+/// all invalid — degenerate rates are rejected, never clamped.
+bool valid_sample_rate(double rate);
+
+/// Strict non-exiting access-function parse: "log" or "x^A" with A a full
+/// nonnegative floating-point literal, no trailing garbage. Returns nullopt
+/// (and a message) on violation.
+std::optional<model::AccessFunction> parse_function(const std::string& text,
+                                                    std::string* error);
+
+/// Cache key: FNV-1a over the canonical spec serialization and every
+/// result-influencing option. Two requests with equal fingerprints produce
+/// byte-identical result documents.
+std::string fingerprint(const check::ProgramSpec& spec, const RunOptions& options);
+
+/// Execute the spec and return the compact single-line
+/// "dbsp-serve-result-v1" document (no trailing newline). Deterministic;
+/// see the file comment.
+std::string run_to_json(const check::ProgramSpec& spec, const RunOptions& options);
+
+}  // namespace dbsp::serve

@@ -1,0 +1,239 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "report/experiment.hpp"
+#include "report/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/runner.hpp"
+
+namespace dbsp::serve {
+
+namespace {
+
+report::Counter& requests_metric() {
+    static auto& c = report::metric_counter("serve.requests");
+    return c;
+}
+report::Counter& errors_metric() {
+    static auto& c = report::metric_counter("serve.errors");
+    return c;
+}
+
+/// send() the whole buffer, riding out EINTR and short writes. MSG_NOSIGNAL:
+/// a client that disconnects mid-reply must surface as EPIPE here, not as a
+/// process-killing SIGPIPE.
+bool write_all(int fd, const char* data, std::size_t n) {
+    while (n > 0) {
+        const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        data += static_cast<std::size_t>(w);
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+}  // namespace
+
+Server::Server(Options options)
+    : options_(std::move(options)), cache_(options_.cache_entries) {}
+
+Server::~Server() {
+    request_stop();
+    for (std::thread& t : connection_threads_) {
+        if (t.joinable()) t.join();
+    }
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        ::unlink(options_.socket_path.c_str());
+    }
+}
+
+std::string Server::handle_line(const std::string& line) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    requests_metric().add();
+
+    Request req;
+    std::string error;
+    if (!parse_request(line, options_.max_request_bytes, &req, &error)) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        errors_metric().add();
+        return error_reply(error);
+    }
+
+    switch (req.op) {
+        case Request::Op::kPing: {
+            report::Json pong = report::Json::object();
+            pong.set("ok", true);
+            pong.set("pong", true);
+            return pong.dump_compact();
+        }
+        case Request::Op::kShutdown: {
+            request_stop();
+            report::Json bye = report::Json::object();
+            bye.set("ok", true);
+            bye.set("shutdown", true);
+            return bye.dump_compact();
+        }
+        case Request::Op::kMetrics:
+            // Live registry snapshot. Machines flush their telemetry before
+            // each run reply returns (publish_metrics at destruction inside
+            // run_to_json), so the snapshot equals the sum of all completed
+            // requests' counts.
+            return object_reply("metrics", report::metrics_to_json());
+        case Request::Op::kStats: {
+            const Stats s = stats();
+            report::Json body = report::Json::object();
+            body.set("requests", s.requests);
+            body.set("runs", s.runs);
+            body.set("errors", s.errors);
+            report::Json cache = report::Json::object();
+            cache.set("hits", s.cache.hits);
+            cache.set("misses", s.cache.misses);
+            cache.set("evictions", s.cache.evictions);
+            cache.set("entries", s.cache.entries);
+            body.set("cache", std::move(cache));
+            return object_reply("stats", body);
+        }
+        case Request::Op::kRun:
+            break;
+    }
+
+    runs_.fetch_add(1, std::memory_order_relaxed);
+    req.options.threads = options_.threads;
+    const std::string key = fingerprint(req.spec, req.options);
+    if (auto cached = cache_.get(key); cached.has_value()) {
+        return run_reply(*cached, /*cached=*/true);
+    }
+    const std::string result = run_to_json(req.spec, req.options);
+    cache_.put(key, result);
+    return run_reply(result, /*cached=*/false);
+}
+
+bool Server::start(std::string* error) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.socket_path.empty() ||
+        options_.socket_path.size() >= sizeof(addr.sun_path)) {
+        if (error != nullptr) *error = "invalid socket path";
+        return false;
+    }
+    std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+                options_.socket_path.size() + 1);
+
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        if (error != nullptr) *error = std::strerror(errno);
+        return false;
+    }
+    ::unlink(options_.socket_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+        ::listen(listen_fd_, 64) < 0) {
+        if (error != nullptr) *error = std::strerror(errno);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    return true;
+}
+
+int Server::serve_forever() {
+    while (!stop_.load(std::memory_order_relaxed)) {
+        pollfd pfd{listen_fd_, POLLIN, 0};
+        // The timeout bounds how long a stop request waits for the loop to
+        // notice; it is not a request deadline.
+        const int ready = ::poll(&pfd, 1, 100);
+        if (ready < 0 && errno != EINTR) break;
+        if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) continue;
+        track(fd, /*add=*/true);
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        connection_threads_.emplace_back([this, fd] { serve_connection(fd); });
+    }
+    {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+    }
+    for (std::thread& t : connection_threads_) {
+        if (t.joinable()) t.join();
+    }
+    connection_threads_.clear();
+    return 0;
+}
+
+void Server::request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+void Server::serve_connection(int fd) {
+    std::string buffer;
+    char chunk[4096];
+    // A line longer than max_request_bytes is answered with one structured
+    // error and then discarded up to its newline, so the connection stays
+    // usable (oversize_ drops the bytes, not the client).
+    bool discarding = false;
+    while (!stop_.load(std::memory_order_relaxed)) {
+        const ssize_t r = ::read(fd, chunk, sizeof(chunk));
+        if (r < 0 && errno == EINTR) continue;
+        if (r <= 0) break;
+        buffer.append(chunk, static_cast<std::size_t>(r));
+        std::size_t start = 0;
+        for (;;) {
+            const std::size_t nl = buffer.find('\n', start);
+            if (nl == std::string::npos) break;
+            if (discarding) {
+                discarding = false;
+            } else {
+                const std::string reply =
+                    handle_line(buffer.substr(start, nl - start)) + "\n";
+                if (!write_all(fd, reply.data(), reply.size())) {
+                    start = buffer.size();
+                    break;
+                }
+            }
+            start = nl + 1;
+        }
+        buffer.erase(0, start);
+        if (!discarding && buffer.size() > options_.max_request_bytes) {
+            errors_.fetch_add(1, std::memory_order_relaxed);
+            errors_metric().add();
+            const std::string reply = error_reply("request line exceeds size limit") + "\n";
+            if (!write_all(fd, reply.data(), reply.size())) break;
+            buffer.clear();
+            discarding = true;
+        }
+    }
+    ::close(fd);
+    track(fd, /*add=*/false);
+}
+
+void Server::track(int fd, bool add) {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    if (add) {
+        connection_fds_.push_back(fd);
+    } else {
+        connection_fds_.erase(
+            std::remove(connection_fds_.begin(), connection_fds_.end(), fd),
+            connection_fds_.end());
+    }
+}
+
+Server::Stats Server::stats() const {
+    Stats s;
+    s.requests = requests_.load(std::memory_order_relaxed);
+    s.runs = runs_.load(std::memory_order_relaxed);
+    s.errors = errors_.load(std::memory_order_relaxed);
+    s.cache = cache_.stats();
+    return s;
+}
+
+}  // namespace dbsp::serve

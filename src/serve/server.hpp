@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file server.hpp
+/// The dbsp_serve daemon core: a Unix-domain stream-socket server speaking
+/// the newline-framed protocol of protocol.hpp. Kept tool-independent so
+/// tests can drive it in-process (handle_line for the pure dispatch path, a
+/// background serve_forever() thread for full socket round-trips) under the
+/// sanitizers.
+///
+/// Concurrency: one accepting thread (serve_forever) plus one thread per
+/// connection. Connections pipeline: a client may write many request lines
+/// before reading, and replies come back strictly in request order.
+/// Simulations from concurrent connections share the process-wide
+/// parallel_for worker pool (top-level jobs are serialized by the pool, so
+/// concurrent run requests queue rather than oversubscribe) and share the
+/// ResultCache and CostTableCache.
+///
+/// Failure containment: every malformed request — unparsable JSON,
+/// overdeep/oversized documents, bad specs, degenerate sampling rates —
+/// produces a structured {"ok":false,...} reply on the same connection.
+/// The daemon only exits on op:"shutdown" or request_stop().
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/result_cache.hpp"
+
+namespace dbsp::serve {
+
+class Server {
+public:
+    struct Options {
+        std::string socket_path;
+        /// Simulator worker threads per run request: 0 = DBSP_THREADS env.
+        std::size_t threads = 0;
+        /// ResultCache LRU bound; 0 disables memoization.
+        std::size_t cache_entries = 128;
+        /// Maximum request-line length; longer lines get a structured error
+        /// and the remainder of the line is discarded.
+        std::size_t max_request_bytes = 4 << 20;
+    };
+
+    explicit Server(Options options);
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Dispatch one request line to one reply line (no framing, no socket).
+    /// This is the entire protocol logic; the socket layer only adds '\n'.
+    std::string handle_line(const std::string& line);
+
+    /// Bind + listen on options.socket_path (unlinking a stale socket file
+    /// first). Returns false with a message on failure.
+    bool start(std::string* error);
+
+    /// Accept/serve until op:"shutdown" or request_stop(). Returns 0 on a
+    /// clean stop. start() must have succeeded.
+    int serve_forever();
+
+    /// Stop the accept loop and shut down open connections (idempotent,
+    /// callable from any thread or from a signal-triggered path).
+    void request_stop();
+
+    bool stopping() const { return stop_.load(std::memory_order_relaxed); }
+
+    struct Stats {
+        std::uint64_t requests = 0;  ///< lines dispatched, all ops
+        std::uint64_t runs = 0;      ///< op:"run" requests accepted
+        std::uint64_t errors = 0;    ///< structured error replies
+        ResultCache::Stats cache;
+    };
+    Stats stats() const;
+
+private:
+    void serve_connection(int fd);
+    void track(int fd, bool add);
+
+    Options options_;
+    ResultCache cache_;
+    int listen_fd_ = -1;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> runs_{0};
+    std::atomic<std::uint64_t> errors_{0};
+    std::mutex connections_mutex_;
+    std::vector<int> connection_fds_;
+    std::vector<std::thread> connection_threads_;
+};
+
+}  // namespace dbsp::serve

@@ -10,6 +10,8 @@
 ///                [--v N] [--f x^A | log] [--model hmm|bt|both|none]
 ///                [--seed S] [--trace[=chrome.json]]
 ///                [--locality[=profile.json][:sampled[@rate]]] [--rational]
+///   dbsp_explore --spec FILE [--f x^A | log] [--model hmm|bt|both|none]
+///                [--locality[:sampled[@rate]]]
 ///
 /// Examples:
 ///   dbsp_explore --program bitonic --v 1024 --f x^0.5 --model both
@@ -28,17 +30,27 @@
 /// (default rate 0.01): rate-corrected approximate analytics at a fraction of
 /// the exact engine's cost — the right mode for large runs where the score
 /// and CDF shape matter more than the last decimal.
+///
+/// --spec FILE is the offline twin of a dbsp_serve run request: it executes
+/// the `dbsp-spec v1` program in FILE through the same serve::run_to_json
+/// runner and prints the compact "dbsp-serve-result-v1" document (one line).
+/// The serve conformance check compares a daemon reply byte-for-byte against
+/// this output.
 
 #include <charconv>
 #include <complex>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "algos/bitonic_sort.hpp"
+#include "check/trace_io.hpp"
+#include "serve/runner.hpp"
 #include "algos/fft_direct.hpp"
 #include "algos/fft_recursive.hpp"
 #include "algos/matmul.hpp"
@@ -65,7 +77,10 @@ using namespace dbsp;
                  "usage: %s --program fft|fft-rec|matmul|bitonic|oddeven|route\n"
                  "          [--v N] [--f x^A|log] [--model hmm|bt|both|none]\n"
                  "          [--seed S] [--trace[=chrome.json]]\n"
-                 "          [--locality[=profile.json][:sampled[@rate]]] [--rational]\n",
+                 "          [--locality[=profile.json][:sampled[@rate]]] [--rational]\n"
+                 "       %s --spec FILE [--f x^A|log] [--model hmm|bt|both|none]\n"
+                 "          [--locality[:sampled[@rate]]]\n",
+                 self,
                  self);
     std::exit(2);
 }
@@ -165,6 +180,7 @@ int main(int argc, char** argv) {
     double locality_rate = 0.01;
     std::string locality_path;
     bool rational = false;
+    std::string spec_path;
     model::AccessFunction f = model::AccessFunction::polynomial(0.5);
 
     for (int i = 1; i < argc; ++i) {
@@ -175,6 +191,8 @@ int main(int argc, char** argv) {
         };
         if (arg == "--program") {
             program_name = next();
+        } else if (arg == "--spec") {
+            spec_path = next();
         } else if (arg == "--v") {
             v = parse_u64("--v", next());
             if (v == 0) bad_arg("--v", "0", "a positive power of two");
@@ -234,6 +252,39 @@ int main(int argc, char** argv) {
     if (model_name != "hmm" && model_name != "bt" && model_name != "both" &&
         model_name != "none") {
         bad_arg("--model", model_name.c_str(), "hmm, bt, both, or none");
+    }
+
+    if (!spec_path.empty()) {
+        // Offline twin of a dbsp_serve run request: same runner, same bytes.
+        if (trace_enabled || !locality_path.empty()) {
+            std::fprintf(stderr,
+                         "dbsp_explore: --spec cannot be combined with --trace or a "
+                         "--locality output path\n");
+            return 2;
+        }
+        std::ifstream in(spec_path);
+        if (!in) {
+            std::fprintf(stderr, "dbsp_explore: cannot open spec \"%s\"\n",
+                         spec_path.c_str());
+            return 1;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        check::ProgramSpec spec;
+        std::string error;
+        if (!check::parse_spec(buf.str(), &spec, &error)) {
+            std::fprintf(stderr, "dbsp_explore: bad spec \"%s\": %s\n", spec_path.c_str(),
+                         error.c_str());
+            return 2;
+        }
+        serve::RunOptions run;
+        run.model = model_name;
+        run.f = f;
+        run.locality = locality_enabled;
+        run.sampled = locality_sampled;
+        run.sample_rate = locality_rate;
+        std::printf("%s\n", serve::run_to_json(spec, run).c_str());
+        return 0;
     }
 
     auto program = make_program(program_name, v, seed);

@@ -10,6 +10,15 @@
 //   dbsp_fuzz --seed 1 --iters 10000 --out tests/repros
 //   dbsp_fuzz --repro tests/repros/repro_hmm-image_42.txt
 //
+// --parse-fuzz switches to the adversarial *parser* fuzzer: each iteration
+// serializes a corpus spec (the same generator the shrinker corpus uses),
+// applies random byte/line mutations — truncations, duplicated header
+// sections, huge counts, spliced keywords — and feeds the mutant to
+// parse_repro and the serve request parser. The invariants are purely
+// defensive: no crash, every rejection carries a message, and every
+// *accepted* mutant is a valid spec that round-trips to a serialization
+// fixpoint. This is the barrage the dbsp_serve daemon faces on its socket.
+//
 // Deterministic: iteration i checks generator seed (--seed + i), so any
 // failure is reproducible from the printed seed alone. Exit codes: 0 all
 // clean, 1 divergence found, 2 usage error.
@@ -27,6 +36,9 @@
 #include "check/shrinker.hpp"
 #include "check/trace_io.hpp"
 #include "model/recorded_program.hpp"
+#include "report/json.hpp"
+#include "serve/protocol.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -35,13 +47,14 @@ using namespace dbsp;
 [[noreturn]] void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--seed S] [--iters N] [--out DIR] [--max-v V] [--no-shrink]\n"
-                 "       %s --repro FILE\n"
+                 "       %s --repro FILE | --parse-fuzz\n"
                  "  --seed S      base seed; iteration i uses seed S+i (default 1)\n"
                  "  --iters N     number of programs to generate and check (default 100)\n"
                  "  --out DIR     directory for shrunk repro files (default .)\n"
                  "  --max-v V     cap generated machine sizes at V processors\n"
                  "  --no-shrink   report the raw failing spec without reduction\n"
-                 "  --repro FILE  re-run one committed repro file through the oracle\n",
+                 "  --repro FILE  re-run one committed repro file through the oracle\n"
+                 "  --parse-fuzz  mutate serialized specs and attack the parsers\n",
                  argv0, argv0);
     std::exit(2);
 }
@@ -73,6 +86,118 @@ int run_repro(const std::string& path) {
     return 0;
 }
 
+/// One deterministic byte/line mutation. The menu is aimed at the parser's
+/// soft spots: framing (truncation, deleted chunks), the strict-header rules
+/// (duplicated lines), and numeric fields (huge counts spliced over tokens).
+void mutate(std::string* text, SplitMix64& rng) {
+    if (text->empty()) {
+        *text = "x";
+        return;
+    }
+    switch (rng.next_below(6)) {
+        case 0: {  // flip one byte
+            (*text)[rng.next_below(text->size())] =
+                static_cast<char>(rng.next_below(256));
+            break;
+        }
+        case 1: {  // truncate
+            text->resize(rng.next_below(text->size()));
+            break;
+        }
+        case 2: {  // duplicate a random line (header sections included)
+            const std::size_t at = rng.next_below(text->size());
+            const std::size_t begin = text->rfind('\n', at) + 1;  // npos+1 == 0
+            std::size_t end = text->find('\n', at);
+            if (end == std::string::npos) end = text->size();
+            const std::string line = text->substr(begin, end - begin) + "\n";
+            text->insert(begin, line);
+            break;
+        }
+        case 3: {  // splice a huge count over a random position
+            static const char* kHuge[] = {"1152921504606846976", "18446744073709551615",
+                                          "99999999999999999999", "-1"};
+            text->insert(rng.next_below(text->size()), kHuge[rng.next_below(4)]);
+            break;
+        }
+        case 4: {  // delete a random chunk
+            const std::size_t begin = rng.next_below(text->size());
+            const std::size_t len = 1 + rng.next_below(text->size() - begin);
+            text->erase(begin, len);
+            break;
+        }
+        case 5: {  // splice a keyword somewhere
+            static const char* kWords[] = {"\nevent ", "\nsend ", "\nlabels ", "\nend\n",
+                                           "\nv ",     "\nmsg ",  " "};
+            text->insert(rng.next_below(text->size()), kWords[rng.next_below(7)]);
+            break;
+        }
+    }
+}
+
+/// The --parse-fuzz main loop; see the file comment. Returns the exit code.
+int run_parse_fuzz(std::uint64_t seed, std::uint64_t iters) {
+    check::GenConfig config;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        const std::uint64_t iter_seed = seed + i;
+        SplitMix64 rng(iter_seed * 0x9e3779b97f4a7c15ull + 1);
+        std::string text = check::serialize_spec(check::generate_spec(config, iter_seed));
+        const std::uint64_t mutations = 1 + rng.next_below(8);
+        for (std::uint64_t k = 0; k < mutations; ++k) mutate(&text, rng);
+
+        check::Repro repro;
+        std::string error;
+        if (check::parse_repro(text, &repro, &error)) {
+            ++accepted;
+            if (repro.spec.has_value()) {
+                std::string why;
+                if (!check::spec_valid(*repro.spec, &why)) {
+                    std::printf("seed %llu FAILS: parser accepted an invalid spec: %s\n",
+                                static_cast<unsigned long long>(iter_seed), why.c_str());
+                    return 1;
+                }
+                // Accepted input must reach a serialization fixpoint: the
+                // canonical form re-parses to itself byte for byte.
+                const std::string round = check::serialize_spec(*repro.spec);
+                check::ProgramSpec again;
+                if (!check::parse_spec(round, &again, &error) ||
+                    check::serialize_spec(again) != round) {
+                    std::printf("seed %llu FAILS: accepted spec does not round-trip\n",
+                                static_cast<unsigned long long>(iter_seed));
+                    return 1;
+                }
+            }
+        } else {
+            ++rejected;
+            if (error.empty()) {
+                std::printf("seed %llu FAILS: rejection without a message\n",
+                            static_cast<unsigned long long>(iter_seed));
+                return 1;
+            }
+        }
+
+        // The same mutant as a serve request: must yield a parse verdict
+        // (never a crash), and every rejection must carry a message.
+        report::Json request = report::Json::object();
+        request.set("op", "run");
+        request.set("spec", text);
+        serve::Request parsed;
+        error.clear();
+        if (!serve::parse_request(request.dump_compact(), 4 << 20, &parsed, &error) &&
+            error.empty()) {
+            std::printf("seed %llu FAILS: serve rejection without a message\n",
+                        static_cast<unsigned long long>(iter_seed));
+            return 1;
+        }
+    }
+    std::printf("parse-fuzz: %llu iterations clean (%llu accepted, %llu rejected)\n",
+                static_cast<unsigned long long>(iters),
+                static_cast<unsigned long long>(accepted),
+                static_cast<unsigned long long>(rejected));
+    return 0;
+}
+
 /// True iff the shrunk divergence also reproduces through a RecordedProgram
 /// replay (same labels/ops/messages, digest-fold step semantics). When it
 /// does, the trace is the better repro: it freezes the computation without
@@ -97,6 +222,7 @@ int main(int argc, char** argv) {
     std::string out_dir = ".";
     std::string repro_path;
     bool do_shrink = true;
+    bool parse_fuzz = false;
 
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
@@ -116,6 +242,8 @@ int main(int argc, char** argv) {
             repro_path = next();
         } else if (std::strcmp(arg, "--no-shrink") == 0) {
             do_shrink = false;
+        } else if (std::strcmp(arg, "--parse-fuzz") == 0) {
+            parse_fuzz = true;
         } else {
             std::fprintf(stderr, "unknown argument: %s\n", arg);
             usage(argv[0]);
@@ -123,6 +251,7 @@ int main(int argc, char** argv) {
     }
     if (!repro_path.empty()) return run_repro(repro_path);
     if (iters == 0) usage(argv[0]);
+    if (parse_fuzz) return run_parse_fuzz(seed, iters);
 
     check::GenConfig config;
     if (max_v > 0) {

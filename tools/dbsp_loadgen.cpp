@@ -1,0 +1,415 @@
+/// dbsp_loadgen — load generator + conformance client for dbsp_serve.
+///
+/// Drives a daemon (optionally spawning one with --spawn) through four legs:
+///   1. correctness: for every distinct spec, a cache-miss request followed
+///      by a cache-hit request; each reply must be byte-identical to the
+///      locally computed serve::run_to_json document (the same runner
+///      dbsp_explore --spec uses), with cached=false then cached=true;
+///   2. malformed barrage: canned adversarial lines (broken JSON, nesting
+///      bombs, oversized geometry, degenerate sampling rates, unknown
+///      fields) — every one must come back as a structured
+///      {"ok":false,...} reply with the daemon still answering pings;
+///   3. latency: single round-trip run requests over the warmed cache,
+///      yielding the p50/p99 latency series;
+///   4. batched throughput: the same requests pipelined in batches.
+///
+/// With --out it writes BENCH_serve.json, a dbsp-experiment-v1 artifact
+/// (id "serve") whose checks are all deterministic — byte-identity
+/// mismatches, unstructured error count and daemon exit status must be 0,
+/// and the cache-hit ratio must reach its closed-form expectation — while
+/// the wall-clock numbers (p50/p99 ms, requests/s) ride along as ungated
+/// series. Throughput numbers from a 1-CPU dev container are NOT
+/// comparable across machines; only the deterministic checks are.
+///
+/// Usage:
+///   dbsp_loadgen --socket PATH [--spawn DBSP_SERVE_BIN] [--requests N]
+///                [--distinct K] [--batch B] [--threads N] [--out FILE]
+///
+/// Exit status: 0 when every check passes, 1 otherwise, 2 on bad flags.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/program_gen.hpp"
+#include "check/trace_io.hpp"
+#include "report/experiment.hpp"
+#include "report/json.hpp"
+#include "report/provenance.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/runner.hpp"
+
+namespace {
+
+using namespace dbsp;
+
+[[noreturn]] void usage(const char* self) {
+    std::fprintf(stderr,
+                 "usage: %s --socket PATH [--spawn DBSP_SERVE_BIN] [--requests N]\n"
+                 "          [--distinct K] [--batch B] [--threads N] [--out FILE]\n",
+                 self);
+    std::exit(2);
+}
+
+[[noreturn]] void bad_arg(const char* flag, const char* value, const char* expected) {
+    std::fprintf(stderr, "dbsp_loadgen: invalid %s \"%s\" (expected %s)\n", flag, value,
+                 expected);
+    std::exit(2);
+}
+
+std::uint64_t parse_u64(const char* flag, const char* value) {
+    std::uint64_t n = 0;
+    const char* end = value + std::strlen(value);
+    const auto [ptr, ec] = std::from_chars(value, end, n, 10);
+    if (ec != std::errc{} || ptr != end || value == end) {
+        bad_arg(flag, value, "an unsigned integer");
+    }
+    return n;
+}
+
+std::string run_line(const check::ProgramSpec& spec) {
+    report::Json req = report::Json::object();
+    req.set("op", "run");
+    req.set("spec", check::serialize_spec(spec));
+    return req.dump_compact();
+}
+
+double quantile(std::vector<double> sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t idx = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    return sorted[std::min(idx == 0 ? 0 : idx - 1, sorted.size() - 1)];
+}
+
+double now_ms() {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/// The barrage: every line must produce {"ok":false,"error":...}. Comments
+/// name the defense each line probes.
+std::vector<std::string> malformed_lines(const std::string& valid_spec) {
+    report::Json rate_high = report::Json::object();
+    rate_high.set("op", "run");
+    rate_high.set("spec", valid_spec);
+    report::Json loc = report::Json::object();
+    loc.set("mode", "sampled");
+    loc.set("rate", 1.5);
+    rate_high.set("locality", std::move(loc));
+
+    report::Json rate_zero = report::Json::object();
+    rate_zero.set("op", "run");
+    rate_zero.set("spec", valid_spec);
+    report::Json loc0 = report::Json::object();
+    loc0.set("mode", "sampled");
+    loc0.set("rate", 0.0);
+    rate_zero.set("locality", std::move(loc0));
+
+    std::vector<std::string> lines = {
+        "this is not json",                                     // not JSON at all
+        "{\"op\":\"run\"}",                                     // missing spec
+        "{\"op\":\"nope\"}",                                    // unknown op
+        "{\"op\":\"ping\",\"x\":1}",                            // unknown field
+        "{\"op\":\"run\",\"spec\":42}",                         // wrong type
+        std::string(64, '[') ,                                  // nesting bomb
+        "{\"op\":\"run\",\"spec\":\"dbsp-spec v1\\nv 4\"}",     // truncated spec
+        // duplicate header section
+        "{\"op\":\"run\",\"spec\":\"dbsp-spec v1\\nv 4\\nv 4\\nB 1\\nsteps 1\\n"
+        "labels 0\\nend\\n\"}",
+        // geometry bomb: v far beyond the parser cap must error, not OOM
+        "{\"op\":\"run\",\"spec\":\"dbsp-spec v1\\nv 1152921504606846976\\nB 1\\n"
+        "steps 1\\nlabels 0\\nend\\n\"}",
+        // degenerate sampling rates (NaN/inf don't even tokenize as JSON)
+        rate_high.dump_compact(),
+        rate_zero.dump_compact(),
+        "{\"op\":\"run\",\"spec\":\"x\",\"locality\":{\"mode\":\"sampled\","
+        "\"rate\":nan}}",
+    };
+    return lines;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string socket_path;
+    std::string spawn_bin;
+    std::string out_path;
+    std::uint64_t requests = 64;
+    std::uint64_t distinct = 8;
+    std::uint64_t batch = 8;
+    std::uint64_t threads = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            socket_path = next();
+        } else if (arg == "--spawn") {
+            spawn_bin = next();
+        } else if (arg == "--requests") {
+            requests = parse_u64("--requests", next());
+            if (requests == 0) bad_arg("--requests", "0", "a positive count");
+        } else if (arg == "--distinct") {
+            distinct = parse_u64("--distinct", next());
+            if (distinct == 0) bad_arg("--distinct", "0", "a positive count");
+        } else if (arg == "--batch") {
+            batch = parse_u64("--batch", next());
+            if (batch == 0) bad_arg("--batch", "0", "a positive count");
+        } else if (arg == "--threads") {
+            threads = parse_u64("--threads", next());
+        } else if (arg == "--out") {
+            out_path = next();
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (socket_path.empty()) usage(argv[0]);
+
+    pid_t daemon_pid = -1;
+    if (!spawn_bin.empty()) {
+        daemon_pid = ::fork();
+        if (daemon_pid < 0) {
+            std::perror("dbsp_loadgen: fork");
+            return 1;
+        }
+        if (daemon_pid == 0) {
+            const std::string threads_str = std::to_string(threads);
+            ::execl(spawn_bin.c_str(), spawn_bin.c_str(), "--socket",
+                    socket_path.c_str(), "--threads", threads_str.c_str(),
+                    static_cast<char*>(nullptr));
+            std::perror("dbsp_loadgen: exec dbsp_serve");
+            ::_exit(127);
+        }
+    }
+
+    serve::Client client;
+    std::string error;
+    bool connected = false;
+    for (int attempt = 0; attempt < 500; ++attempt) {
+        if (client.connect(socket_path, &error)) {
+            connected = true;
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (!connected) {
+        std::fprintf(stderr, "dbsp_loadgen: cannot connect to \"%s\": %s\n",
+                     socket_path.c_str(), error.c_str());
+        return 1;
+    }
+
+    // Distinct workloads: deterministic fuzz-generator specs, so the same
+    // flags reproduce the same byte streams everywhere.
+    check::GenConfig config;
+    std::vector<check::ProgramSpec> specs;
+    std::vector<std::string> expected;  // run_to_json bytes per spec
+    for (std::uint64_t i = 0; i < distinct; ++i) {
+        specs.push_back(check::generate_spec(config, 1000 + i));
+        expected.push_back(serve::run_to_json(specs.back(), serve::RunOptions{}));
+    }
+
+    // Leg 1: byte-identity on the miss and hit paths.
+    std::uint64_t mismatches = 0;
+    std::vector<double> miss_latency;
+    for (std::uint64_t i = 0; i < distinct; ++i) {
+        const std::string line = run_line(specs[i]);
+        for (int leg = 0; leg < 2; ++leg) {
+            std::string reply;
+            const double start = now_ms();
+            if (!client.request(line, &reply, &error)) {
+                std::fprintf(stderr, "dbsp_loadgen: request failed: %s\n", error.c_str());
+                return 1;
+            }
+            if (leg == 0) miss_latency.push_back(now_ms() - start);
+            const std::string want = serve::run_reply(expected[i], /*cached=*/leg == 1);
+            if (reply != want) {
+                ++mismatches;
+                std::fprintf(stderr,
+                             "dbsp_loadgen: reply mismatch for spec %llu (%s leg)\n",
+                             static_cast<unsigned long long>(i),
+                             leg == 0 ? "miss" : "hit");
+            }
+        }
+    }
+
+    // Leg 2: malformed barrage — structured errors, daemon stays up.
+    std::uint64_t unstructured = 0;
+    for (const std::string& line : malformed_lines(check::serialize_spec(specs[0]))) {
+        std::string reply;
+        if (!client.request(line, &reply, &error)) {
+            std::fprintf(stderr, "dbsp_loadgen: connection died on malformed input\n");
+            ++unstructured;
+            if (!client.connect(socket_path, &error)) break;
+            continue;
+        }
+        const auto doc = report::Json::parse(reply);
+        if (!doc.has_value() || (*doc)["ok"].as_bool(true) ||
+            (*doc)["error"].as_string().empty()) {
+            ++unstructured;
+            std::fprintf(stderr, "dbsp_loadgen: non-structured reply: %s\n",
+                         reply.c_str());
+        }
+    }
+    {
+        std::string reply;
+        if (!client.request("{\"op\":\"ping\"}", &reply, &error) ||
+            reply.find("\"pong\":true") == std::string::npos) {
+            std::fprintf(stderr, "dbsp_loadgen: daemon not answering after barrage\n");
+            ++unstructured;
+        }
+    }
+
+    // Leg 3: single round-trip latency over the warmed cache.
+    std::vector<double> latency;
+    for (std::uint64_t i = 0; i < requests; ++i) {
+        const std::string line = run_line(specs[i % distinct]);
+        std::string reply;
+        const double start = now_ms();
+        if (!client.request(line, &reply, &error)) {
+            std::fprintf(stderr, "dbsp_loadgen: request failed: %s\n", error.c_str());
+            return 1;
+        }
+        latency.push_back(now_ms() - start);
+    }
+
+    // Leg 4: pipelined batches.
+    const double batch_start = now_ms();
+    for (std::uint64_t done = 0; done < requests;) {
+        const std::uint64_t n = std::min<std::uint64_t>(batch, requests - done);
+        std::vector<std::string> lines;
+        for (std::uint64_t k = 0; k < n; ++k) {
+            lines.push_back(run_line(specs[(done + k) % distinct]));
+        }
+        std::vector<std::string> replies;
+        if (!client.request_batch(lines, &replies, &error)) {
+            std::fprintf(stderr, "dbsp_loadgen: batch failed: %s\n", error.c_str());
+            return 1;
+        }
+        done += n;
+    }
+    const double batch_seconds = (now_ms() - batch_start) / 1000.0;
+
+    // Cache accounting from the server's own stats.
+    double hit_ratio = 0.0;
+    {
+        std::string reply;
+        if (client.request("{\"op\":\"stats\"}", &reply, &error)) {
+            const auto doc = report::Json::parse(reply);
+            if (doc.has_value()) {
+                const report::Json& cache = (*doc)["stats"]["cache"];
+                const double hits = cache["hits"].as_double();
+                const double misses = cache["misses"].as_double();
+                if (hits + misses > 0) hit_ratio = hits / (hits + misses);
+            }
+        }
+    }
+    // Expectation: `distinct` misses from leg 1, everything else hits.
+    const double total_runs = static_cast<double>(2 * distinct + 2 * requests);
+    const double expected_ratio =
+        (total_runs - static_cast<double>(distinct)) / total_runs;
+
+    // Shutdown + exit-status check (only meaningful for a spawned daemon).
+    double daemon_exit = 0.0;
+    {
+        std::string reply;
+        client.request("{\"op\":\"shutdown\"}", &reply, &error);
+        client.close();
+        if (daemon_pid > 0) {
+            int status = 0;
+            if (::waitpid(daemon_pid, &status, 0) != daemon_pid ||
+                !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+                daemon_exit = 1.0;
+            }
+        }
+    }
+
+    const double p50 = quantile(latency, 0.50);
+    const double p99 = quantile(latency, 0.99);
+    const double rps = batch_seconds > 0
+                           ? static_cast<double>(requests) / batch_seconds
+                           : 0.0;
+    std::printf("serve load: %llu requests over %llu specs  p50 %.3f ms  p99 %.3f ms  "
+                "batched %.0f req/s  cache-hit %.4f (expected %.4f)\n",
+                static_cast<unsigned long long>(requests),
+                static_cast<unsigned long long>(distinct), p50, p99, rps, hit_ratio,
+                expected_ratio);
+
+    report::ExperimentResult result;
+    result.id = "serve";
+    result.title = "SERVE  simulation-as-a-service daemon";
+    result.claim = "serve replies are byte-identical to offline runs on miss and hit "
+                   "paths, malformed input yields structured errors, and the result "
+                   "cache reaches its closed-form hit ratio";
+    result.series.push_back({"latency_ms", [&] {
+                                 std::vector<double> xs(latency.size());
+                                 for (std::size_t i = 0; i < xs.size(); ++i) {
+                                     xs[i] = static_cast<double>(i + 1);
+                                 }
+                                 return xs;
+                             }(),
+                             latency});
+    result.series.push_back({"miss_latency_ms", [&] {
+                                 std::vector<double> xs(miss_latency.size());
+                                 for (std::size_t i = 0; i < xs.size(); ++i) {
+                                     xs[i] = static_cast<double>(i + 1);
+                                 }
+                                 return xs;
+                             }(),
+                             miss_latency});
+    result.series.push_back({"latency_quantiles_ms", {50.0, 99.0}, {p50, p99}});
+    result.series.push_back({"batched_throughput_rps", {1.0}, {rps}});
+
+    auto push_check = [&](const std::string& label, const std::string& kind,
+                          double measured, double predicted) {
+        report::Check c;
+        c.label = label;
+        c.id = report::ExperimentResult::slugify(label);
+        c.kind = kind;
+        c.measured = measured;
+        c.predicted = predicted;
+        c.tolerance = 0.0;
+        c.pass = report::Check::evaluate(kind, measured, predicted, 0.0);
+        std::printf("%-52s measured %.4f (%s %.4f) [%s]\n", label.c_str(), measured,
+                    kind == "max" ? "<=" : ">=", predicted, c.pass ? "pass" : "FAIL");
+        result.checks.push_back(c);
+    };
+    push_check("byte-identity mismatches (miss+hit legs)", "max",
+               static_cast<double>(mismatches), 0.0);
+    push_check("unstructured replies to malformed input", "max",
+               static_cast<double>(unstructured), 0.0);
+    push_check("daemon exit status", "max", daemon_exit, 0.0);
+    push_check("cache-hit ratio", "min", hit_ratio, expected_ratio);
+
+    std::size_t passed = 0;
+    for (const auto& c : result.checks) passed += c.pass ? 1 : 0;
+    std::printf("\nserve: %zu/%zu checks pass -> %s\n", passed, result.checks.size(),
+                result.pass() ? "PASS" : "FAIL");
+
+    if (!out_path.empty()) {
+        std::string write_error;
+        if (!result.to_json(report::Provenance::collect(), true)
+                 .save_file(out_path, &write_error)) {
+            std::fprintf(stderr, "dbsp_loadgen: cannot write %s: %s\n", out_path.c_str(),
+                         write_error.c_str());
+            return 2;
+        }
+        std::printf("wrote %s\n", out_path.c_str());
+    }
+    return result.pass() ? 0 : 1;
+}

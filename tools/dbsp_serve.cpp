@@ -1,0 +1,115 @@
+/// dbsp_serve — simulation-as-a-service daemon.
+///
+/// Listens on a Unix-domain stream socket for newline-framed JSON requests
+/// (see src/serve/protocol.hpp), runs `dbsp-spec v1` programs through the
+/// D-BSP/HMM/BT executors on the persistent worker pool, and replies with
+/// deterministic "dbsp-serve-result-v1" documents. Results are memoized in
+/// an LRU cache keyed by spec fingerprint; op:"metrics" serves a live
+/// registry snapshot; op:"shutdown" stops the daemon cleanly.
+///
+/// Usage:
+///   dbsp_serve --socket PATH [--threads N] [--cache N] [--max-request-bytes N]
+///
+/// Example session (socat or any line client):
+///   {"op":"ping"}
+///   {"op":"run","spec":"dbsp-spec v1\nv 4\nB 1\nsteps 1\nlabels 0\nend\n"}
+///   {"op":"shutdown"}
+///
+/// Exit status: 0 on clean shutdown (op:"shutdown" or SIGINT/SIGTERM),
+/// 2 on bad flags, 1 when the socket cannot be created.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <charconv>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace {
+
+dbsp::serve::Server* g_server = nullptr;
+
+void handle_signal(int) {
+    if (g_server != nullptr) g_server->request_stop();
+}
+
+[[noreturn]] void usage(const char* self) {
+    std::fprintf(stderr,
+                 "usage: %s --socket PATH [--threads N] [--cache N]\n"
+                 "          [--max-request-bytes N]\n",
+                 self);
+    std::exit(2);
+}
+
+[[noreturn]] void bad_arg(const char* flag, const char* value, const char* expected) {
+    std::fprintf(stderr, "dbsp_serve: invalid %s \"%s\" (expected %s)\n", flag, value,
+                 expected);
+    std::exit(2);
+}
+
+std::uint64_t parse_u64(const char* flag, const char* value) {
+    std::uint64_t n = 0;
+    const char* end = value + std::strlen(value);
+    const auto [ptr, ec] = std::from_chars(value, end, n, 10);
+    if (ec != std::errc{} || ptr != end || value == end) {
+        bad_arg(flag, value, "an unsigned integer");
+    }
+    return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    dbsp::serve::Server::Options options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            options.socket_path = next();
+        } else if (arg == "--threads") {
+            options.threads = parse_u64("--threads", next());
+        } else if (arg == "--cache") {
+            options.cache_entries = parse_u64("--cache", next());
+        } else if (arg == "--max-request-bytes") {
+            options.max_request_bytes = parse_u64("--max-request-bytes", next());
+            if (options.max_request_bytes == 0) {
+                bad_arg("--max-request-bytes", "0", "a positive byte count");
+            }
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (options.socket_path.empty()) usage(argv[0]);
+
+    dbsp::serve::Server server(options);
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "dbsp_serve: cannot listen on \"%s\": %s\n",
+                     options.socket_path.c_str(), error.c_str());
+        return 1;
+    }
+
+    g_server = &server;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    std::printf("dbsp_serve: listening on %s\n", options.socket_path.c_str());
+    std::fflush(stdout);
+    const int rc = server.serve_forever();
+    const auto stats = server.stats();
+    std::printf("dbsp_serve: clean shutdown after %llu requests "
+                "(%llu runs, %llu errors, cache %llu/%llu hits)\n",
+                static_cast<unsigned long long>(stats.requests),
+                static_cast<unsigned long long>(stats.runs),
+                static_cast<unsigned long long>(stats.errors),
+                static_cast<unsigned long long>(stats.cache.hits),
+                static_cast<unsigned long long>(stats.cache.hits + stats.cache.misses));
+    g_server = nullptr;
+    return rc;
+}
