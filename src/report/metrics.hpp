@@ -19,9 +19,20 @@
 /// reset_values() zeroes every instrument but keeps registrations (and the
 /// references call sites already hold) valid — instruments are never
 /// deallocated once registered.
+///
+/// Windowed instruments (WindowedCounter / WindowedHistogram) add the time
+/// dimension the monotonic registry lacks: a ring of per-second slots over
+/// which the telemetry layer computes rolling rates (QPS), ratios and
+/// bucket-interpolated quantiles for the 1s/10s/60s windows of the
+/// dbsp-telemetry-v1 frames. Time enters as an explicit integer epoch second
+/// supplied by the caller (steady-clock seconds in production, synthetic in
+/// tests) — the instruments themselves never read a clock, so window
+/// rollover is unit-testable without sleeping.
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -94,6 +105,80 @@ public:
 private:
     std::atomic<std::uint64_t> buckets_[kBuckets]{};
     std::atomic<std::uint64_t> total_{0};
+};
+
+/// Sliding-window event counter: a ring of per-second slots. A window query
+/// covers the last `window_s` *completed* seconds — epochs in
+/// [now_s - window_s, now_s - 1] — so a rate never includes the partial
+/// current second (which would systematically undercount). Slots whose epoch
+/// has fallen out of the ring are lazily reclaimed on the next add() that
+/// lands on them; sum_over() ignores stale epochs, so an idle window decays
+/// to zero without any background sweeper.
+///
+/// Thread-safe via a per-instrument mutex: updates happen at request
+/// granularity (never per word), so contention is negligible and the
+/// concurrent record-vs-snapshot path is TSAN-clean by construction.
+class WindowedCounter {
+public:
+    /// Ring capacity in seconds; must exceed the largest window queried
+    /// (60s) plus the live second.
+    static constexpr unsigned kSlots = 64;
+
+    void add(std::int64_t now_s, std::uint64_t n = 1);
+
+    /// Total events in the last \p window_s completed seconds.
+    std::uint64_t sum_over(std::int64_t now_s, unsigned window_s) const;
+
+    /// Events per second over the window (sum_over / window_s).
+    double rate_over(std::int64_t now_s, unsigned window_s) const;
+
+private:
+    struct Slot {
+        std::int64_t epoch = -1;  ///< second this slot currently counts
+        std::uint64_t count = 0;
+    };
+    mutable std::mutex mutex_;
+    std::array<Slot, kSlots> slots_{};
+};
+
+/// Sliding-window log2 histogram: per-second slots of Histogram-compatible
+/// buckets (same bucket_of law), merged over a window into a snapshot that
+/// yields rolling bucket-interpolated quantiles. Window semantics match
+/// WindowedCounter: the last `window_s` completed seconds.
+class WindowedHistogram {
+public:
+    static constexpr unsigned kSlots = 64;
+    static constexpr unsigned kBuckets = Histogram::kBuckets;
+
+    void observe(std::int64_t now_s, std::uint64_t value, std::uint64_t weight = 1);
+
+    /// Merged window view. quantile() is deterministic: rank
+    /// r = clamp(ceil(q * total), 1, total); within the containing bucket
+    /// [lo, hi] the estimate interpolates linearly by rank position —
+    /// lo + (r - rank_before) / bucket_count * (hi - lo) — so a bucket
+    /// holding one sample reports its lower... upper bound exactly at the
+    /// matching rank, and an empty window reports 0.
+    struct Window {
+        std::uint64_t total = 0;
+        std::array<std::uint64_t, kBuckets> buckets{};
+
+        double quantile(double q) const;
+    };
+    Window window_over(std::int64_t now_s, unsigned window_s) const;
+
+    /// Inclusive value bounds of bucket \p b under Histogram::bucket_of:
+    /// bucket 0 = [0,0], bucket b>=1 = [2^(b-1), 2^b - 1].
+    static double bucket_lo(unsigned b);
+    static double bucket_hi(unsigned b);
+
+private:
+    struct Slot {
+        std::int64_t epoch = -1;
+        std::uint64_t total = 0;
+        std::array<std::uint64_t, kBuckets> buckets{};
+    };
+    mutable std::mutex mutex_;
+    std::array<Slot, kSlots> slots_{};
 };
 
 /// One registered instrument (snapshot view).

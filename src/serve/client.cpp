@@ -77,6 +77,10 @@ bool Client::request_batch(const std::vector<std::string>& lines,
     return true;
 }
 
+bool Client::send_line(const std::string& line, std::string* error) {
+    return request_batch({line}, nullptr, error);
+}
+
 bool Client::read_line(std::string* line, std::string* error) {
     for (;;) {
         const std::size_t nl = buffer_.find('\n');

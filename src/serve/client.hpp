@@ -35,6 +35,14 @@ public:
     bool request_batch(const std::vector<std::string>& lines,
                        std::vector<std::string>* replies, std::string* error);
 
+    /// Streaming mode, for op:"watch" (the one op whose reply spans multiple
+    /// lines): write \p line + '\n' without reading, then call read_reply()
+    /// once per expected frame.
+    bool send_line(const std::string& line, std::string* error);
+    bool read_reply(std::string* reply, std::string* error) {
+        return read_line(reply, error);
+    }
+
 private:
     bool read_line(std::string* line, std::string* error);
 

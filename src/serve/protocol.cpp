@@ -36,6 +36,21 @@ bool parse_locality(const report::Json& loc, RunOptions* options, std::string* e
     return true;
 }
 
+/// Strict bounded-integer field: a JSON number that is a whole value within
+/// [lo, hi]. Rejects fractions, negatives, and out-of-range values with the
+/// field name in the message.
+bool parse_bounded_u64(const report::Json& value, const char* name, std::uint64_t lo,
+                       std::uint64_t hi, std::uint64_t* out, std::string* error) {
+    const double d = value.as_double();
+    if (!value.is_number() || d != static_cast<double>(static_cast<std::uint64_t>(d)) ||
+        d < static_cast<double>(lo) || d > static_cast<double>(hi)) {
+        return fail(error, std::string(name) + ": expected an integer in [" +
+                               std::to_string(lo) + ", " + std::to_string(hi) + "]");
+    }
+    *out = static_cast<std::uint64_t>(d);
+    return true;
+}
+
 }  // namespace
 
 report::ParseLimits request_limits(std::size_t max_bytes) {
@@ -66,8 +81,47 @@ bool parse_request(const std::string& line, std::size_t max_bytes, Request* out,
         req.op = Request::Op::kPing;
     } else if (name == "shutdown") {
         req.op = Request::Op::kShutdown;
+    } else if (name == "watch") {
+        req.op = Request::Op::kWatch;
+    } else if (name == "spans") {
+        req.op = Request::Op::kSpans;
     } else {
         return fail(error, "request: unknown op \"" + name + "\"");
+    }
+
+    if (req.op == Request::Op::kWatch) {
+        for (const auto& [key, value] : doc->members()) {
+            if (key == "op") continue;
+            if (key == "interval_ms") {
+                if (!parse_bounded_u64(value, "interval_ms", 0, 60000,
+                                       &req.interval_ms, error)) {
+                    return false;
+                }
+            } else if (key == "count") {
+                if (!parse_bounded_u64(value, "count", 1, 3600, &req.count, error)) {
+                    return false;
+                }
+            } else {
+                return fail(error, "request: unknown field \"" + key + "\"");
+            }
+        }
+        *out = std::move(req);
+        return true;
+    }
+
+    if (req.op == Request::Op::kSpans) {
+        for (const auto& [key, value] : doc->members()) {
+            if (key == "op") continue;
+            if (key == "limit") {
+                if (!parse_bounded_u64(value, "limit", 1, 1024, &req.limit, error)) {
+                    return false;
+                }
+            } else {
+                return fail(error, "request: unknown field \"" + key + "\"");
+            }
+        }
+        *out = std::move(req);
+        return true;
     }
 
     if (req.op != Request::Op::kRun) {

@@ -15,6 +15,12 @@
 ///   {"op":"stats"}     server/cache counters
 ///   {"op":"ping"}      liveness probe
 ///   {"op":"shutdown"}  clean daemon stop
+///   {"op":"watch","interval_ms":1000,"count":5}
+///                      stream `count` newline-framed "dbsp-telemetry-v1"
+///                      frames, one every `interval_ms` — the ONE op whose
+///                      reply spans multiple lines
+///   {"op":"spans","limit":16}
+///                      recent-request span trees, newest first
 ///
 /// Parsing is strict, exit-2 style translated to the wire: unknown fields,
 /// wrong types, degenerate sampling rates, oversized or overdeep JSON and
@@ -38,11 +44,17 @@ namespace dbsp::serve {
 report::ParseLimits request_limits(std::size_t max_bytes);
 
 struct Request {
-    enum class Op { kRun, kMetrics, kStats, kPing, kShutdown };
+    enum class Op { kRun, kMetrics, kStats, kPing, kShutdown, kWatch, kSpans };
     Op op = Op::kPing;
     /// Valid iff op == kRun.
     check::ProgramSpec spec;
     RunOptions options;
+    /// Valid iff op == kWatch: frame cadence and stream length. Bounded so a
+    /// client typo cannot park a connection thread for hours.
+    std::uint64_t interval_ms = 1000;  ///< 0..60000
+    std::uint64_t count = 1;           ///< 1..3600 frames
+    /// Valid iff op == kSpans.
+    std::uint64_t limit = 16;  ///< 1..1024 span trees
 };
 
 /// Strict parse + validation of one request line. On failure returns false

@@ -12,6 +12,7 @@
 #include "locality/sink.hpp"
 #include "model/dbsp_machine.hpp"
 #include "report/json.hpp"
+#include "telemetry/clock.hpp"
 
 namespace dbsp::serve {
 
@@ -87,7 +88,21 @@ std::string fingerprint(const check::ProgramSpec& spec, const RunOptions& option
     return hex64(h);
 }
 
-std::string run_to_json(const check::ProgramSpec& spec, const RunOptions& options) {
+std::string run_to_json(const check::ProgramSpec& spec, const RunOptions& options,
+                        RunObservation* obs) {
+    // Telemetry scaffolding: sinks see phase scopes and superstep events
+    // only; every charged cost and serialized byte below is computed exactly
+    // as in the unobserved run.
+    if (obs != nullptr && obs->t0_ns == 0) obs->t0_ns = telemetry::steady_now_ns();
+    auto finish_leg = [&](const char* name, telemetry::SpanSink& sink,
+                          std::uint64_t begin_ns) {
+        if (obs == nullptr || obs->span == nullptr) return;
+        telemetry::Span leg = sink.take(name);
+        leg.start_ns = begin_ns - obs->t0_ns;
+        leg.dur_ns = telemetry::steady_now_ns() - begin_ns;
+        obs->span->children.push_back(std::move(leg));
+    };
+
     report::Json doc = report::Json::object();
     doc.set("schema", "dbsp-serve-result-v1");
     doc.set("fingerprint", fingerprint(spec, options));
@@ -102,7 +117,12 @@ std::string run_to_json(const check::ProgramSpec& spec, const RunOptions& option
     doc.set("mu", static_cast<std::uint64_t>(mu));
 
     model::DbspMachine machine(options.f);
+    telemetry::SpanSink direct_sink(obs != nullptr ? obs->t0_ns : 0);
+    const std::uint64_t direct_begin_ns = telemetry::steady_now_ns();
+    if (obs != nullptr && obs->span != nullptr) machine.set_trace(&direct_sink);
     const model::DbspResult direct = machine.run(direct_prog);
+    machine.set_trace(nullptr);
+    finish_leg("dbsp", direct_sink, direct_begin_ns);
     doc.set("supersteps", static_cast<std::uint64_t>(direct.supersteps.size()));
     report::Json dbsp = report::Json::object();
     dbsp.set("time", direct.time);
@@ -119,16 +139,32 @@ std::string run_to_json(const check::ProgramSpec& spec, const RunOptions& option
 
     if (options.model == "hmm" || options.model == "both") {
         check::GeneratedProgram prog(spec);
+        telemetry::SpanSink span_sink(obs != nullptr ? obs->t0_ns : 0);
+        const std::uint64_t begin_ns = telemetry::steady_now_ns();
         auto smoothed = core::smooth(prog, core::hmm_label_set(options.f, mu, v));
         locality::LocalitySink loc(locality_options);
+        trace::MultiSink multi{&loc, &span_sink};
         core::HmmSimulator::Options sim;
         sim.threads = options.threads;
-        if (options.locality) sim.trace = &loc;
+        const bool spans = obs != nullptr && obs->span != nullptr;
+        if (options.locality && spans) {
+            sim.trace = &multi;
+        } else if (options.locality) {
+            sim.trace = &loc;
+        } else if (spans) {
+            sim.trace = &span_sink;
+        }
         const core::HmmSimResult res =
             core::HmmSimulator(options.f, sim).simulate(*smoothed);
+        finish_leg("hmm", span_sink, begin_ns);
+        const double bound = core::theorem5_bound(direct, options.f, v, mu);
+        if (obs != nullptr) {
+            obs->hmm_cost = res.hmm_cost;
+            obs->thm5_bound = bound;
+        }
         report::Json leg = report::Json::object();
         leg.set("cost", res.hmm_cost);
-        leg.set("thm5_bound", core::theorem5_bound(direct, options.f, v, mu));
+        leg.set("thm5_bound", bound);
         leg.set("rounds", res.rounds);
         leg.set("words_touched", static_cast<double>(res.words_touched));
         leg.set("image_digest", image_digest(res, v));
@@ -138,16 +174,32 @@ std::string run_to_json(const check::ProgramSpec& spec, const RunOptions& option
 
     if (options.model == "bt" || options.model == "both") {
         check::GeneratedProgram prog(spec);
+        telemetry::SpanSink span_sink(obs != nullptr ? obs->t0_ns : 0);
+        const std::uint64_t begin_ns = telemetry::steady_now_ns();
         auto smoothed = core::smooth(prog, core::bt_label_set(options.f, mu, v));
         locality::LocalitySink loc(locality_options);
+        trace::MultiSink multi{&loc, &span_sink};
         core::BtSimulator::Options sim;
         sim.threads = options.threads;
-        if (options.locality) sim.trace = &loc;
+        const bool spans = obs != nullptr && obs->span != nullptr;
+        if (options.locality && spans) {
+            sim.trace = &multi;
+        } else if (options.locality) {
+            sim.trace = &loc;
+        } else if (spans) {
+            sim.trace = &span_sink;
+        }
         const core::BtSimResult res =
             core::BtSimulator(options.f, sim).simulate(*smoothed);
+        finish_leg("bt", span_sink, begin_ns);
+        const double bound = core::theorem12_bound(direct, v, mu);
+        if (obs != nullptr) {
+            obs->bt_cost = res.bt_cost;
+            obs->thm12_bound = bound;
+        }
         report::Json leg = report::Json::object();
         leg.set("cost", res.bt_cost);
-        leg.set("thm12_bound", core::theorem12_bound(direct, v, mu));
+        leg.set("thm12_bound", bound);
         leg.set("rounds", res.rounds);
         leg.set("sorts", res.sort_invocations);
         leg.set("transposes", res.transpose_invocations);

@@ -27,6 +27,7 @@
 
 #include "check/program_gen.hpp"
 #include "model/access_function.hpp"
+#include "telemetry/span.hpp"
 
 namespace dbsp::serve {
 
@@ -65,9 +66,29 @@ std::optional<model::AccessFunction> parse_function(const std::string& text,
 /// byte-identical result documents.
 std::string fingerprint(const check::ProgramSpec& spec, const RunOptions& options);
 
+/// Wall-clock observation of one run, collected alongside (never inside)
+/// the deterministic result document. When \p span is non-null the executor
+/// legs attach a telemetry::SpanSink through the existing trace phase-scope
+/// hooks and append one leg span each ("dbsp" / "hmm" / "bt", with
+/// superstep-granularity children); the slack fields mirror the cost and
+/// bound values the document itself carries, so the telemetry layer can
+/// gauge measured-cost-over-theorem-bound without re-parsing the reply.
+/// Observation is strictly read-alongside: the returned bytes are
+/// byte-identical with and without it (regression-tested).
+struct RunObservation {
+    telemetry::Span* span = nullptr;  ///< leg spans appended here
+    std::uint64_t t0_ns = 0;          ///< request start (span timebase)
+    double hmm_cost = 0.0;
+    double thm5_bound = 0.0;
+    double bt_cost = 0.0;
+    double thm12_bound = 0.0;
+};
+
 /// Execute the spec and return the compact single-line
 /// "dbsp-serve-result-v1" document (no trailing newline). Deterministic;
-/// see the file comment.
-std::string run_to_json(const check::ProgramSpec& spec, const RunOptions& options);
+/// see the file comment. \p obs (optional) receives wall-clock spans and
+/// bound-slack inputs and never influences the returned bytes.
+std::string run_to_json(const check::ProgramSpec& spec, const RunOptions& options,
+                        RunObservation* obs = nullptr);
 
 }  // namespace dbsp::serve

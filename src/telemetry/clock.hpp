@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file clock.hpp
+/// The telemetry layer's two clocks, kept deliberately apart:
+///  * steady_now_ns() — monotonic, for span durations, window epochs and
+///    latency quantiles (never jumps, comparable within a process);
+///  * wall_now_ms() — CLOCK_REALTIME, for the "ts_ms" field of JSONL log
+///    lines only (human-correlatable, may jump).
+/// Neither clock ever reaches a "dbsp-serve-result-v1" document: serve
+/// replies are pure functions of (spec, options), and the regression tests
+/// in tests/serve_test.cpp pin reply bytes with telemetry on vs off.
+
+#include <chrono>
+#include <cstdint>
+
+namespace dbsp::telemetry {
+
+inline std::uint64_t steady_now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/// Steady epoch second for the windowed instruments.
+inline std::int64_t steady_seconds() {
+    return static_cast<std::int64_t>(steady_now_ns() / 1000000000ull);
+}
+
+inline std::int64_t wall_now_ms() {
+    return static_cast<std::int64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+}  // namespace dbsp::telemetry

@@ -1,0 +1,140 @@
+#include "telemetry/logger.hpp"
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "telemetry/clock.hpp"
+
+namespace dbsp::telemetry {
+
+const char* level_name(LogLevel level) {
+    switch (level) {
+        case LogLevel::kDebug: return "debug";
+        case LogLevel::kInfo: return "info";
+        case LogLevel::kWarn: return "warn";
+        case LogLevel::kError: return "error";
+    }
+    return "info";
+}
+
+std::optional<LogLevel> parse_level(std::string_view text) {
+    if (text == "debug") return LogLevel::kDebug;
+    if (text == "info") return LogLevel::kInfo;
+    if (text == "warn") return LogLevel::kWarn;
+    if (text == "error") return LogLevel::kError;
+    return std::nullopt;
+}
+
+Logger::Logger(Options options) : options_(std::move(options)) {
+    if (options_.path.empty()) return;
+    is_stdout_ = options_.path == "-";
+    open_sink();
+    if (file_ == nullptr) return;
+    active_ = true;
+    writer_ = std::thread([this] { writer_loop(); });
+}
+
+Logger::~Logger() {
+    if (!active_) return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    writer_.join();
+    if (!is_stdout_ && file_ != nullptr) std::fclose(file_);
+}
+
+void Logger::open_sink() {
+    if (is_stdout_) {
+        file_ = stdout;
+        file_bytes_ = 0;
+        return;
+    }
+    file_ = std::fopen(options_.path.c_str(), "a");
+    if (file_ != nullptr) {
+        const long pos = std::ftell(file_);
+        file_bytes_ = pos > 0 ? static_cast<std::size_t>(pos) : 0;
+    }
+}
+
+void Logger::rotate_locked() {
+    std::fclose(file_);
+    file_ = nullptr;
+    const std::string old = options_.path + ".1";
+    std::remove(old.c_str());
+    std::rename(options_.path.c_str(), old.c_str());
+    open_sink();
+    rotations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Logger::log(LogLevel level, std::string_view event, report::Json fields) {
+    if (!enabled(level)) return;
+    report::Json line = report::Json::object();
+    line.set("ts_ms", static_cast<double>(wall_now_ms()));
+    line.set("level", level_name(level));
+    line.set("event", std::string(event));
+    for (const auto& [key, value] : fields.members()) line.set(key, value);
+    std::string text = line.dump_compact();
+    text += '\n';
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.size() >= options_.queue_capacity) {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        queue_.push_back(std::move(text));
+    }
+    cv_.notify_one();
+}
+
+void Logger::writer_loop() {
+    std::vector<std::string> batch;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+            if (queue_.empty() && stop_) return;
+            while (!queue_.empty()) {
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+            writing_ = true;
+        }
+        for (const std::string& line : batch) {
+            if (file_ != nullptr) {
+                std::fwrite(line.data(), 1, line.size(), file_);
+                file_bytes_ += line.size();
+                written_.fetch_add(1, std::memory_order_relaxed);
+                if (!is_stdout_ && options_.max_bytes > 0 &&
+                    file_bytes_ >= options_.max_bytes) {
+                    rotate_locked();
+                }
+            }
+        }
+        if (file_ != nullptr) std::fflush(file_);
+        batch.clear();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            writing_ = false;
+        }
+        idle_cv_.notify_all();
+    }
+}
+
+Logger::Stats Logger::stats() const {
+    Stats s;
+    s.written = written_.load(std::memory_order_relaxed);
+    s.dropped = dropped_.load(std::memory_order_relaxed);
+    s.rotations = rotations_.load(std::memory_order_relaxed);
+    return s;
+}
+
+void Logger::flush() {
+    if (!active_) return;
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [&] { return queue_.empty() && !writing_; });
+}
+
+}  // namespace dbsp::telemetry

@@ -1,0 +1,115 @@
+#pragma once
+
+/// \file logger.hpp
+/// Structured JSONL event log for long-lived processes (dbsp_serve). One
+/// line per event: {"ts_ms":...,"level":"info","event":"...", ...fields}.
+///
+/// Design constraints, in order:
+///  1. Logging can NEVER block the request path. log() appends to a bounded
+///     in-memory queue under a mutex held for O(1) work; when the queue is
+///     full the line is counted in dropped() and discarded — backpressure
+///     shows up as a counter in the telemetry frame, not as latency.
+///  2. Lines are atomic. A single background writer thread drains the queue
+///     and writes each line with one fwrite, so concurrent connection
+///     threads can never interleave fragments (the PR-8 daemon's
+///     unsynchronized-stderr bug this replaces).
+///  3. Bounded disk: size-based rotation. When the live file exceeds
+///     max_bytes it is renamed to "<path>.1" (replacing any previous one)
+///     and a fresh file is opened — at most 2x max_bytes on disk.
+///
+/// A default-constructed / pathless Logger is disabled: enabled() is false
+/// for every level and log() is a cheap early return, so call sites need no
+/// null checks.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "report/json.hpp"
+
+namespace dbsp::telemetry {
+
+enum class LogLevel : unsigned char { kDebug = 0, kInfo, kWarn, kError };
+
+const char* level_name(LogLevel level);
+
+/// Strict parse of a --log-level value; nullopt on anything but
+/// "debug" | "info" | "warn" | "error".
+std::optional<LogLevel> parse_level(std::string_view text);
+
+class Logger {
+public:
+    struct Options {
+        /// Log destination: a file path, "-" for stdout, empty = disabled.
+        std::string path;
+        LogLevel level = LogLevel::kInfo;
+        /// Rotation threshold for file sinks (0 = never rotate; "-" never
+        /// rotates regardless).
+        std::size_t max_bytes = 64u << 20;
+        /// Queue bound; log() drops (and counts) beyond it.
+        std::size_t queue_capacity = 4096;
+    };
+
+    Logger() = default;
+    explicit Logger(Options options);
+    ~Logger();
+
+    Logger(const Logger&) = delete;
+    Logger& operator=(const Logger&) = delete;
+
+    /// False for a pathless logger AND when the sink failed to open (the
+    /// caller decides whether that is fatal; dbsp_serve exits 1).
+    bool active() const { return active_; }
+
+    bool enabled(LogLevel level) const {
+        return active_ && level >= options_.level;
+    }
+
+    /// Emit one event line. \p fields must be an object (or null); its
+    /// members are appended after the ts/level/event header fields.
+    void log(LogLevel level, std::string_view event,
+             report::Json fields = report::Json());
+
+    struct Stats {
+        std::uint64_t written = 0;    ///< lines flushed to the sink
+        std::uint64_t dropped = 0;    ///< lines lost to queue overflow
+        std::uint64_t rotations = 0;  ///< file rotations performed
+    };
+    Stats stats() const;
+
+    /// Block until every line enqueued so far has been written (tests; the
+    /// destructor drains implicitly).
+    void flush();
+
+private:
+    void writer_loop();
+    void open_sink();
+    void rotate_locked();
+
+    Options options_;
+    bool active_ = false;
+    std::FILE* file_ = nullptr;  ///< owned unless stdout
+    bool is_stdout_ = false;
+    std::size_t file_bytes_ = 0;
+
+    std::mutex mutex_;
+    std::condition_variable cv_;       ///< wakes the writer
+    std::condition_variable idle_cv_;  ///< wakes flush() waiters
+    std::deque<std::string> queue_;
+    bool stop_ = false;
+    bool writing_ = false;  ///< writer holds a dequeued batch
+    std::thread writer_;
+
+    std::atomic<std::uint64_t> written_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+    std::atomic<std::uint64_t> rotations_{0};
+};
+
+}  // namespace dbsp::telemetry

@@ -1,0 +1,103 @@
+#include "telemetry/span.hpp"
+
+namespace dbsp::telemetry {
+
+report::Json Span::to_json() const {
+    report::Json j = report::Json::object();
+    j.set("name", name);
+    if (label != 0) j.set("label", static_cast<std::uint64_t>(label));
+    j.set("start_ms", static_cast<double>(start_ns) / 1e6);
+    j.set("ms", ms());
+    if (count != 1) j.set("count", count);
+    if (!children.empty()) {
+        report::Json kids = report::Json::array();
+        for (const Span& c : children) kids.push_back(c.to_json());
+        j.set("children", std::move(kids));
+    }
+    return j;
+}
+
+void SpanSink::phase_begin(trace::Phase phase, unsigned label) {
+    open_.push_back({phase, label, steady_now_ns()});
+}
+
+void SpanSink::phase_end(trace::Phase phase) {
+    const std::uint64_t now = steady_now_ns();
+    // Scopes close strictly LIFO (PhaseScope is RAII); an unmatched end is
+    // ignored rather than asserted — telemetry must never take a daemon down.
+    if (open_.empty() || open_.back().phase != phase) return;
+    const Open top = open_.back();
+    open_.pop_back();
+    record(trace::phase_name(phase), top.label, top.start_ns - t0_ns_,
+           now - top.start_ns, static_cast<unsigned>(phase));
+}
+
+void SpanSink::superstep(unsigned label, std::uint64_t tau, std::size_t h,
+                         double comm_arg, double cost) {
+    (void)tau, (void)h, (void)comm_arg, (void)cost;
+    const std::uint64_t now = steady_now_ns();
+    if (last_superstep_ns_ == 0) last_superstep_ns_ = t0_ns_;
+    const std::uint64_t start = last_superstep_ns_;
+    record("superstep", label, start - t0_ns_, now - start, trace::kPhaseCount);
+    last_superstep_ns_ = now;
+}
+
+void SpanSink::record(const char* name, unsigned label, std::uint64_t start_ns,
+                      std::uint64_t dur_ns, unsigned phase_index) {
+    Aggregate& agg = aggregate_[phase_index];
+    if (agg.count == 0) agg.first_start_ns = start_ns;
+    ++agg.count;
+    agg.dur_ns += dur_ns;
+    if (detail_.size() < kMaxDetail) {
+        Span s;
+        s.name = name;
+        s.label = label;
+        s.start_ns = start_ns;
+        s.dur_ns = dur_ns;
+        detail_.push_back(std::move(s));
+    }
+}
+
+Span SpanSink::take(std::string leg_name) {
+    Span leg;
+    leg.name = std::move(leg_name);
+    leg.children = std::move(detail_);
+    detail_.clear();
+
+    // Count how many instances the detail spans already cover, per phase.
+    std::uint64_t detailed[trace::kPhaseCount + 1] = {};
+    for (const Span& s : leg.children) {
+        for (unsigned p = 0; p <= trace::kPhaseCount; ++p) {
+            const char* name = p < trace::kPhaseCount
+                                   ? trace::phase_name(static_cast<trace::Phase>(p))
+                                   : "superstep";
+            if (s.name == name) {
+                ++detailed[p];
+                break;
+            }
+        }
+    }
+    for (unsigned p = 0; p <= trace::kPhaseCount; ++p) {
+        const Aggregate& agg = aggregate_[p];
+        if (agg.count <= detailed[p]) continue;
+        Span folded;
+        folded.name = p < trace::kPhaseCount
+                          ? trace::phase_name(static_cast<trace::Phase>(p))
+                          : "superstep";
+        folded.count = agg.count - detailed[p];
+        folded.start_ns = agg.first_start_ns;
+        // The folded node carries the phase total minus what the detail
+        // spans already account for.
+        std::uint64_t detailed_ns = 0;
+        for (const Span& s : leg.children) {
+            if (s.name == folded.name) detailed_ns += s.dur_ns;
+        }
+        folded.dur_ns = agg.dur_ns > detailed_ns ? agg.dur_ns - detailed_ns : 0;
+        leg.children.push_back(std::move(folded));
+    }
+    for (auto& agg : aggregate_) agg = Aggregate{};
+    last_superstep_ns_ = 0;
+    return leg;
+}
+
+}  // namespace dbsp::telemetry

@@ -60,6 +60,11 @@ public:
         return pool;
     }
 
+    PoolStats stats() {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return {workers_.size(), busy_};
+    }
+
     void run(std::size_t n, std::size_t nchunks, std::size_t grain, void* ctx,
              detail::ChunkFn fn, std::size_t threads) {
         std::lock_guard<std::mutex> job(job_mutex_);
@@ -169,6 +174,8 @@ private:
 };
 
 }  // namespace
+
+PoolStats pool_stats() { return Pool::instance().stats(); }
 
 namespace detail {
 

@@ -34,6 +34,18 @@ std::optional<std::size_t> parse_thread_count(std::string_view value);
 /// warning on stderr.
 std::size_t default_threads();
 
+/// Live occupancy snapshot of the persistent worker pool, for the telemetry
+/// layer (dbsp-telemetry-v1 "pool" section). `workers` counts threads ever
+/// spawned (the pool grows lazily and never shrinks); `busy` counts workers
+/// currently inside a job. The caller participating in a job is not counted
+/// in either. Values are instantaneous and advisory — never used to make
+/// scheduling decisions.
+struct PoolStats {
+    std::size_t workers = 0;
+    std::size_t busy = 0;
+};
+PoolStats pool_stats();
+
 namespace detail {
 
 /// Type-erased chunk runner: invoke the callable at `ctx` for [begin, end).

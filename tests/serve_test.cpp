@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <limits>
 #include <string>
 #include <thread>
@@ -31,6 +32,7 @@
 #include "serve/result_cache.hpp"
 #include "serve/runner.hpp"
 #include "serve/server.hpp"
+#include "telemetry/logger.hpp"
 
 namespace {
 
@@ -172,6 +174,134 @@ TEST(ServeServer, MalformedInputsGetStructuredErrors) {
     ASSERT_TRUE(doc.has_value());
     EXPECT_TRUE((*doc)["ok"].as_bool(false));
     EXPECT_EQ(server.stats().errors, bad.size());
+}
+
+// PR-9 regression: the deterministic reply contract survives telemetry.
+// A server with the full observability stack enabled (JSONL log, slow-span
+// logging, span ring) must produce byte-identical "dbsp-serve-result-v1"
+// replies to the plain offline runner, on the miss AND hit paths — wall
+// time may never leak into the reply bytes.
+TEST(ServeServer, TelemetryNeverChangesReplyBytes) {
+    const std::string log_path = testing::TempDir() + "dbsp_serve_telemetry.jsonl";
+    std::remove(log_path.c_str());
+    serve::Server::Options options;
+    options.log_path = log_path;
+    options.log_level = telemetry::LogLevel::kDebug;
+    options.slow_ms = 0.000001;  // every request logs its span tree
+    serve::Server with_telemetry(options);
+    serve::Server plain({});
+
+    const check::ProgramSpec spec = interesting_spec();
+    const std::string expected = serve::run_to_json(spec, serve::RunOptions{});
+    const std::string line = run_line(spec);
+    // Miss path, then hit path, on both servers: four identical documents.
+    EXPECT_EQ(with_telemetry.handle_line(line),
+              serve::run_reply(expected, /*cached=*/false));
+    EXPECT_EQ(with_telemetry.handle_line(line),
+              serve::run_reply(expected, /*cached=*/true));
+    EXPECT_EQ(plain.handle_line(line), serve::run_reply(expected, /*cached=*/false));
+    EXPECT_EQ(plain.handle_line(line), serve::run_reply(expected, /*cached=*/true));
+    std::remove(log_path.c_str());
+}
+
+TEST(ServeServer, SpansOpServesRecentRequestTrees) {
+    serve::Server server({});
+    const check::ProgramSpec spec = interesting_spec();
+    server.handle_line(run_line(spec));  // miss: simulator legs run
+    server.handle_line(run_line(spec));  // hit
+    const std::string reply = server.handle_line("{\"op\":\"spans\",\"limit\":8}");
+    const auto doc = report::Json::parse(reply);
+    ASSERT_TRUE(doc.has_value()) << reply;
+    EXPECT_TRUE((*doc)["ok"].as_bool());
+    const auto& spans = (*doc)["spans"];
+    ASSERT_TRUE(spans.is_array());
+    ASSERT_EQ(spans.size(), 2u) << "both run requests recorded";
+
+    // Newest first: spans[1] is the miss-path request. It carries the
+    // parse/cache-probe/run/reply-write chain, executor leg children under
+    // "run", and the bound-slack gauges mirroring the reply document.
+    const report::Json& miss = spans.items()[1];
+    EXPECT_EQ(miss["op"].as_string(), "run");
+    EXPECT_FALSE(miss["cached"].as_bool(true));
+    EXPECT_GT(miss["bound_slack"]["hmm"].as_double(), 0.0);
+    EXPECT_GT(miss["bound_slack"]["bt"].as_double(), 0.0);
+    std::vector<std::string> names;
+    for (const report::Json& child : miss["spans"]["children"].items()) {
+        names.push_back(child["name"].as_string());
+        if (child["name"].as_string() == "run") {
+            std::vector<std::string> legs;
+            for (const report::Json& leg : child["children"].items()) {
+                legs.push_back(leg["name"].as_string());
+            }
+            EXPECT_EQ(legs, (std::vector<std::string>{"dbsp", "hmm", "bt"}));
+        }
+    }
+    EXPECT_EQ(names, (std::vector<std::string>{"parse", "cache-probe", "run",
+                                               "reply-write"}));
+
+    // The hit-path request has no run-leg children and no slack gauges.
+    const report::Json& hit = spans.items()[0];
+    EXPECT_TRUE(hit["cached"].as_bool(false));
+    EXPECT_EQ(hit["bound_slack"]["hmm"].as_double(), 0.0);
+}
+
+TEST(ServeServer, WatchOpStreamsSchemaConformantFrames) {
+    serve::Server server({});
+    server.handle_line(run_line(interesting_spec()));
+    // interval 0: all three frames come back immediately, '\n'-joined by
+    // the non-streaming wrapper.
+    const std::string joined =
+        server.handle_line("{\"op\":\"watch\",\"interval_ms\":0,\"count\":3}");
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t nl = joined.find('\n', start);
+        if (nl == std::string::npos) break;
+        lines.push_back(joined.substr(start, nl - start));
+        start = nl + 1;
+    }
+    lines.push_back(joined.substr(start));
+    ASSERT_EQ(lines.size(), 3u);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const auto frame = report::Json::parse(lines[i]);
+        ASSERT_TRUE(frame.has_value()) << lines[i];
+        EXPECT_EQ((*frame)["schema"].as_string(), "dbsp-telemetry-v1");
+        EXPECT_EQ((*frame)["seq"].as_double(), static_cast<double>(i));
+        EXPECT_TRUE((*frame)["windows"]["60s"]["p50_ms"].is_number());
+        EXPECT_TRUE((*frame)["bound_slack"]["bt"]["p99"].is_number());
+        EXPECT_EQ((*frame)["server"]["runs"].as_double(), 1.0);
+        EXPECT_GT((*frame)["proc"]["open_fds"].as_double(), 0.0);
+    }
+}
+
+TEST(ServeProtocol, WatchAndSpansValidation) {
+    auto parse = [](const std::string& line) {
+        serve::Request out;
+        std::string error;
+        return serve::parse_request(line, 1 << 20, &out, &error);
+    };
+    EXPECT_TRUE(parse("{\"op\":\"watch\"}"));
+    EXPECT_TRUE(parse("{\"op\":\"watch\",\"interval_ms\":0,\"count\":3600}"));
+    EXPECT_TRUE(parse("{\"op\":\"spans\",\"limit\":1024}"));
+    // Bounds and types are strict; unknown fields rejected.
+    EXPECT_FALSE(parse("{\"op\":\"watch\",\"count\":0}"));
+    EXPECT_FALSE(parse("{\"op\":\"watch\",\"count\":3601}"));
+    EXPECT_FALSE(parse("{\"op\":\"watch\",\"interval_ms\":60001}"));
+    EXPECT_FALSE(parse("{\"op\":\"watch\",\"interval_ms\":1.5}"));
+    EXPECT_FALSE(parse("{\"op\":\"watch\",\"interval_ms\":-1}"));
+    EXPECT_FALSE(parse("{\"op\":\"watch\",\"limit\":4}"));
+    EXPECT_FALSE(parse("{\"op\":\"spans\",\"limit\":0}"));
+    EXPECT_FALSE(parse("{\"op\":\"spans\",\"limit\":1025}"));
+    EXPECT_FALSE(parse("{\"op\":\"spans\",\"count\":1}"));
+    EXPECT_FALSE(parse("{\"op\":\"spans\",\"limit\":\"8\"}"));
+
+    // Defaults survive the round trip.
+    serve::Request out;
+    std::string error;
+    ASSERT_TRUE(serve::parse_request("{\"op\":\"watch\"}", 1 << 20, &out, &error));
+    EXPECT_EQ(out.op, serve::Request::Op::kWatch);
+    EXPECT_EQ(out.interval_ms, 1000u);
+    EXPECT_EQ(out.count, 1u);
 }
 
 TEST(ServeProtocol, SampleRateValidationMirrorsCliContract) {

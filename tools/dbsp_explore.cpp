@@ -67,6 +67,7 @@
 #include "trace/chrome_trace.hpp"
 #include "util/bits.hpp"
 #include "util/rng.hpp"
+#include "version.hpp"
 
 namespace {
 
@@ -169,6 +170,7 @@ trace::Sink* make_leg_sink(report::TraceBundle& bundle, locality::LocalitySink& 
 }  // namespace
 
 int main(int argc, char** argv) {
+    if (dbsp::tools::handle_version_flag(argc, argv, "dbsp_explore")) return 0;
     std::string program_name = "bitonic";
     std::string model_name = "both";
     std::uint64_t v = 256;

@@ -39,6 +39,7 @@
 #include "report/json.hpp"
 #include "serve/protocol.hpp"
 #include "util/rng.hpp"
+#include "version.hpp"
 
 namespace {
 
@@ -216,6 +217,7 @@ bool reproduces_via_trace(const check::ProgramSpec& spec, const std::string& tag
 }  // namespace
 
 int main(int argc, char** argv) {
+    if (dbsp::tools::handle_version_flag(argc, argv, "dbsp_fuzz")) return 0;
     std::uint64_t seed = 1;
     std::uint64_t iters = 100;
     std::uint64_t max_v = 0;

@@ -47,6 +47,7 @@
 #include "report/experiment.hpp"
 #include "report/json.hpp"
 #include "report/provenance.hpp"
+#include "version.hpp"
 
 namespace {
 
@@ -111,6 +112,7 @@ std::optional<report::ExperimentResult> load_experiment(const std::string& path)
 }  // namespace
 
 int main(int argc, char** argv) {
+    if (dbsp::tools::handle_version_flag(argc, argv, "dbsp_report")) return 0;
     std::vector<std::string> inputs;
     std::string run_dir, micro_path, in_path, out_path, md_path, baseline_path;
     bool check = false;

@@ -9,6 +9,14 @@
 ///
 /// Usage:
 ///   dbsp_serve --socket PATH [--threads N] [--cache N] [--max-request-bytes N]
+///              [--log FILE|-] [--log-level debug|info|warn|error]
+///              [--log-max-bytes N] [--slow-ms MS] [--span-ring N] [--version]
+///
+/// Observability (PR 9): --log enables the structured JSONL event log
+/// (bounded queue, background writer, size-based rotation to FILE.1);
+/// --slow-ms logs the full span tree of any request at/above the threshold;
+/// op:"watch" streams "dbsp-telemetry-v1" frames and op:"spans" serves the
+/// recent-request ring (see tools/dbsp_top).
 ///
 /// Example session (socat or any line client):
 ///   {"op":"ping"}
@@ -27,6 +35,8 @@
 #include <string>
 
 #include "serve/server.hpp"
+#include "telemetry/logger.hpp"
+#include "version.hpp"
 
 namespace {
 
@@ -39,7 +49,9 @@ void handle_signal(int) {
 [[noreturn]] void usage(const char* self) {
     std::fprintf(stderr,
                  "usage: %s --socket PATH [--threads N] [--cache N]\n"
-                 "          [--max-request-bytes N]\n",
+                 "          [--max-request-bytes N] [--log FILE|-]\n"
+                 "          [--log-level debug|info|warn|error] [--log-max-bytes N]\n"
+                 "          [--slow-ms MS] [--span-ring N] [--version]\n",
                  self);
     std::exit(2);
 }
@@ -63,6 +75,7 @@ std::uint64_t parse_u64(const char* flag, const char* value) {
 }  // namespace
 
 int main(int argc, char** argv) {
+    if (dbsp::tools::handle_version_flag(argc, argv, "dbsp_serve")) return 0;
     dbsp::serve::Server::Options options;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -81,6 +94,29 @@ int main(int argc, char** argv) {
             if (options.max_request_bytes == 0) {
                 bad_arg("--max-request-bytes", "0", "a positive byte count");
             }
+        } else if (arg == "--log") {
+            options.log_path = next();
+        } else if (arg == "--log-level") {
+            const char* value = next();
+            const auto level = dbsp::telemetry::parse_level(value);
+            if (!level.has_value()) {
+                bad_arg("--log-level", value, "debug, info, warn, or error");
+            }
+            options.log_level = *level;
+        } else if (arg == "--log-max-bytes") {
+            options.log_max_bytes = parse_u64("--log-max-bytes", next());
+        } else if (arg == "--slow-ms") {
+            const char* value = next();
+            char* end = nullptr;
+            options.slow_ms = std::strtod(value, &end);
+            if (end == value || *end != '\0' || options.slow_ms < 0.0) {
+                bad_arg("--slow-ms", value, "a nonnegative number");
+            }
+        } else if (arg == "--span-ring") {
+            options.span_ring = parse_u64("--span-ring", next());
+            if (options.span_ring == 0) {
+                bad_arg("--span-ring", "0", "a positive ring size");
+            }
         } else {
             usage(argv[0]);
         }
@@ -88,6 +124,11 @@ int main(int argc, char** argv) {
     if (options.socket_path.empty()) usage(argv[0]);
 
     dbsp::serve::Server server(options);
+    if (!server.log_ok()) {
+        std::fprintf(stderr, "dbsp_serve: cannot open log file \"%s\"\n",
+                     options.log_path.c_str());
+        return 1;
+    }
     std::string error;
     if (!server.start(&error)) {
         std::fprintf(stderr, "dbsp_serve: cannot listen on \"%s\": %s\n",

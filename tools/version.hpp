@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file version.hpp
+/// The one `--version` implementation every CLI tool shares: print the
+/// configure-time git SHA and build type from the report::provenance
+/// envelope (the same identity stamped onto every JSON artifact) and exit 0.
+/// Handled before any other flag parsing so `dbsp_x --version` never
+/// requires the tool's mandatory arguments.
+
+#include <cstdio>
+#include <cstring>
+
+#include "report/provenance.hpp"
+
+namespace dbsp::tools {
+
+/// True when argv contains --version, in which case the version line has
+/// already been printed to stdout. Callers `return 0` on true.
+inline bool handle_version_flag(int argc, char** argv, const char* tool) {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--version") == 0) {
+            const report::Provenance p = report::Provenance::collect();
+            std::printf("%s %s (%s, %s)\n", tool, p.git_sha.c_str(),
+                        p.build_type.c_str(), p.compiler.c_str());
+            return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace dbsp::tools
