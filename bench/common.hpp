@@ -180,6 +180,29 @@ public:
         return c.pass;
     }
 
+    /// Record a check whose measurement is unavailable on this host (e.g.
+    /// hardware counters denied) as *waived*: pass is forced true, the
+    /// reason is kept in the artifact, and the regression gate skips drift
+    /// comparison whenever either side of a baseline pair is waived. Use the
+    /// same label as the measured variant so baselines from counter-enabled
+    /// and counter-less machines line up check-for-check.
+    void check_waived(const std::string& label, const std::string& kind,
+                      double predicted, const std::string& reason,
+                      double drift_tolerance = 0.0) {
+        report::Check c;
+        c.label = label;
+        c.id = report::ExperimentResult::slugify(label);
+        c.kind = kind;
+        c.measured = 0.0;
+        c.predicted = predicted;
+        c.tolerance = drift_tolerance;
+        c.pass = true;
+        c.waived = true;
+        c.waive_reason = reason;
+        std::printf("%-44s [waived: %s]\n", label.c_str(), reason.c_str());
+        push(c);
+    }
+
     /// Print the verdict summary; write the JSON artifact when requested.
     /// Returns the process exit code: 0 all checks pass, 1 a check failed,
     /// 2 the artifact could not be written.

@@ -11,6 +11,7 @@
 #include "core/naive_hmm_simulator.hpp"
 #include "core/self_simulator.hpp"
 #include "core/smoothing.hpp"
+#include "locality/cache_model.hpp"
 #include "locality/sink.hpp"
 #include "model/cost_table_cache.hpp"
 #include "model/dbsp_machine.hpp"
@@ -118,6 +119,12 @@ void check_locality_modes(Reporter& rep, const std::string& tag, RunTraced&& run
     run(exact_sink);
     const locality::LocalityProfile exact = exact_sink.profile();
 
+    // MRC comparison capacities: powers of two (exact predictions) and
+    // interior points (interpolated) — the cache-model axis of each mode
+    // promise below. Bit-identical profiles must predict bit-identical miss
+    // ratios at *every* capacity, interpolated or not.
+    constexpr std::uint64_t kMrcCapacities[] = {1, 2, 5, 8, 64, 1000, 4096};
+
     {
         locality::LocalityOptions opts;
         opts.batched = false;
@@ -125,6 +132,17 @@ void check_locality_modes(Reporter& rep, const std::string& tag, RunTraced&& run
         run(per_word);
         if (!exact.identical(per_word.profile())) {
             rep.fail(tag, "batched profile differs from per-word profile");
+        }
+        for (const std::uint64_t c : kMrcCapacities) {
+            const double mb = locality::predicted_miss_ratio(exact, c);
+            const double mw = locality::predicted_miss_ratio(per_word.profile(), c);
+            if (mb != mw) {
+                std::ostringstream os;
+                os.precision(17);
+                os << "predicted miss ratio at capacity " << c << " differs between "
+                   << "batched (" << mb << ") and per-word (" << mw << ") engines";
+                rep.fail(tag, os.str());
+            }
         }
     }
     {
@@ -135,6 +153,17 @@ void check_locality_modes(Reporter& rep, const std::string& tag, RunTraced&& run
         run(full);
         if (!exact.identical(full.profile())) {
             rep.fail(tag, "rate-1.0 sampled profile differs from exact profile");
+        }
+        for (const std::uint64_t c : kMrcCapacities) {
+            const double me = locality::predicted_miss_ratio(exact, c);
+            const double mf = locality::predicted_miss_ratio(full.profile(), c);
+            if (me != mf) {
+                std::ostringstream os;
+                os.precision(17);
+                os << "predicted miss ratio at capacity " << c << " differs between "
+                   << "exact (" << me << ") and rate-1.0 sampled (" << mf << ") modes";
+                rep.fail(tag, os.str());
+            }
         }
     }
     {
@@ -176,6 +205,21 @@ void check_locality_modes(Reporter& rep, const std::string& tag, RunTraced&& run
                     os << "sampled hit fraction at level " << level << " is "
                        << approx.hit_fraction(level) << ", exact "
                        << exact.hit_fraction(level);
+                    rep.fail(tag, os.str());
+                }
+                // Same band for the predicted MRC at the level's capacity:
+                // SHARDS rate correction feeds the miss-ratio denominator,
+                // so a broken correction skews the whole curve, not just
+                // one hit fraction.
+                const std::uint64_t cap = std::uint64_t{1} << level;
+                const double dm = std::abs(locality::predicted_miss_ratio(approx, cap) -
+                                           locality::predicted_miss_ratio(exact, cap));
+                if (!(dm <= 0.45)) {
+                    std::ostringstream os;
+                    os.precision(17);
+                    os << "sampled predicted miss ratio at capacity " << cap << " is "
+                       << locality::predicted_miss_ratio(approx, cap) << ", exact "
+                       << locality::predicted_miss_ratio(exact, cap);
                     rep.fail(tag, os.str());
                 }
             }

@@ -1,0 +1,150 @@
+#include "locality/cache_model.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+namespace dbsp::locality {
+
+double predicted_miss_ratio(const LocalityProfile& profile, std::uint64_t capacity_words) {
+    if (profile.sampled_accesses == 0) return 0.0;
+    if (capacity_words == 0) return 1.0;
+    // 2^(u-1) <= C < 2^u: buckets 0..u-1 hold d < 2^(u-1) <= C (all hits);
+    // bucket u straddles C and is interpolated; buckets above u all miss.
+    const unsigned u = static_cast<unsigned>(std::bit_width(capacity_words));
+    std::uint64_t hits = 0;
+    for (unsigned b = 0; b < u && b < LocalityProfile::kBuckets; ++b) {
+        hits += profile.distance_count[b];
+    }
+    // Integer-exact at powers of two: the partial term is exactly 0 and the
+    // result is double(misses)/double(refs) with both operands integral —
+    // bit-identical to a brute-force LRU simulation's miss count ratio.
+    double partial = 0.0;
+    if (u < LocalityProfile::kBuckets) {
+        const std::uint64_t lo = std::uint64_t{1} << (u - 1);
+        partial = static_cast<double>(profile.distance_count[u]) *
+                  (static_cast<double>(capacity_words - lo) / static_cast<double>(lo));
+    }
+    const double misses =
+        static_cast<double>(profile.sampled_accesses - hits) - partial;
+    return misses / static_cast<double>(profile.sampled_accesses);
+}
+
+bool prediction_is_exact(std::uint64_t capacity_words) {
+    return std::has_single_bit(capacity_words) || capacity_words == 0;
+}
+
+namespace {
+
+/// Parse a sysfs cache size string ("48K", "2048K", "8M", "107520K").
+bool parse_size_bytes(const char* text, std::uint64_t& out) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text) return false;
+    std::uint64_t mult = 1;
+    switch (*end) {
+        case 'K': mult = std::uint64_t{1} << 10; break;
+        case 'M': mult = std::uint64_t{1} << 20; break;
+        case 'G': mult = std::uint64_t{1} << 30; break;
+        case '\0':
+        case '\n': break;
+        default: return false;
+    }
+    out = static_cast<std::uint64_t>(v) * mult;
+    return true;
+}
+
+bool read_line(const std::string& path, char* buf, std::size_t len) {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) return false;
+    const bool ok = std::fgets(buf, static_cast<int>(len), f) != nullptr;
+    std::fclose(f);
+    if (!ok) return false;
+    buf[std::strcspn(buf, "\n")] = '\0';
+    return true;
+}
+
+}  // namespace
+
+std::vector<CacheGeometry> host_cache_geometries(std::uint64_t word_bytes,
+                                                 const std::string& sysfs_root) {
+    std::vector<CacheGeometry> out;
+    if (word_bytes == 0) return out;
+    for (unsigned index = 0; index < 16; ++index) {
+        const std::string dir = sysfs_root + "/index" + std::to_string(index);
+        char level[32], type[32], size[32];
+        if (!read_line(dir + "/level", level, sizeof level)) break;
+        if (!read_line(dir + "/type", type, sizeof type) ||
+            !read_line(dir + "/size", size, sizeof size)) {
+            continue;
+        }
+        // Instruction caches never see the data stream the model predicts.
+        if (std::strcmp(type, "Data") != 0 && std::strcmp(type, "Unified") != 0) continue;
+        std::uint64_t bytes = 0;
+        if (!parse_size_bytes(size, bytes) || bytes < word_bytes) continue;
+        CacheGeometry g;
+        g.name = std::string("L") + level + (std::strcmp(type, "Data") == 0 ? "d" : "");
+        g.source = "sysfs";
+        g.capacity_words = bytes / word_bytes;
+        out.push_back(std::move(g));
+    }
+    return out;
+}
+
+std::vector<CacheGeometry> level_geometries(unsigned max_level) {
+    std::vector<CacheGeometry> out;
+    for (unsigned l = 1; l <= max_level && l < 64; ++l) {
+        CacheGeometry g;
+        g.name = "hmm-level-" + std::to_string(l);
+        g.source = "model";
+        g.capacity_words = std::uint64_t{1} << l;
+        out.push_back(std::move(g));
+    }
+    return out;
+}
+
+report::Json cache_model_json(const LocalityProfile& profile,
+                              const std::vector<CacheGeometry>& geometries) {
+    report::Json j = report::Json::object();
+    j.set("schema", "dbsp-cachemodel-v1");
+    j.set("mode", profile.sampled_mode ? "sampled" : "exact");
+    j.set("sample_rate", profile.sample_rate);
+    j.set("accesses", profile.accesses);
+    j.set("sampled_accesses", profile.sampled_accesses);
+    j.set("cold_misses", profile.cold_misses);
+    j.set("distinct_addresses", profile.distinct_addresses);
+    j.set("cold_miss_ratio",
+          profile.sampled_accesses > 0
+              ? static_cast<double>(profile.cold_misses) /
+                    static_cast<double>(profile.sampled_accesses)
+              : 0.0);
+
+    // The full curve at power-of-two capacities (every point exact). Beyond
+    // max_level the curve is flat at the cold-miss ratio.
+    const unsigned top = profile.max_level();
+    report::Json mrc = report::Json::object();
+    report::Json caps = report::Json::array();
+    report::Json ratios = report::Json::array();
+    for (unsigned l = 0; l <= top; ++l) {
+        caps.push_back(static_cast<std::uint64_t>(l));
+        ratios.push_back(predicted_miss_ratio(profile, std::uint64_t{1} << l));
+    }
+    mrc.set("log2_capacity_words", std::move(caps));
+    mrc.set("miss_ratio", std::move(ratios));
+    j.set("mrc", std::move(mrc));
+
+    report::Json geos = report::Json::array();
+    for (const CacheGeometry& g : geometries) {
+        report::Json row = report::Json::object();
+        row.set("name", g.name);
+        row.set("source", g.source);
+        row.set("capacity_words", g.capacity_words);
+        row.set("exact", prediction_is_exact(g.capacity_words));
+        row.set("predicted_miss_ratio", predicted_miss_ratio(profile, g.capacity_words));
+        geos.push_back(std::move(row));
+    }
+    j.set("geometries", std::move(geos));
+    return j;
+}
+
+}  // namespace dbsp::locality

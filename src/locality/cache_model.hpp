@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file cache_model.hpp
+/// Stack-distance cache model: predicted LRU miss-ratio curves (MRCs) from
+/// the reuse-distance histogram a LocalityProfile already holds. This is the
+/// prediction side of the hardware-locality loop (E15): the classic
+/// Mattson result that a fully-associative LRU cache of capacity C words
+/// misses a reference iff its reuse distance is >= C (cold references miss
+/// at every capacity) turns the profile's distance CDF directly into a miss
+/// ratio for *any* cache geometry — the simulated machine's own level
+/// capacities (AccessFunction breaks at 2^l words) and the host's L1/L2/LLC
+/// sizes read from sysfs.
+///
+/// Exactness: the histogram is log2-bucketed (bucket b = bit_width(d)), so
+/// at power-of-two capacities C = 2^l the prediction is *exact* — d < 2^l
+/// iff bit_width(d) <= l, the same slicing identity hit_fraction() uses
+/// (see profile.hpp). At non-power-of-two capacities the within-bucket
+/// distance distribution is unknown; predicted_miss_ratio() interpolates
+/// linearly inside the straddled bucket, which keeps the curve continuous
+/// and monotone non-increasing in C but is an approximation —
+/// prediction_is_exact() tells the two cases apart and every emitted
+/// geometry carries the flag. The brute-force LRU oracle in
+/// tests/cache_model_test.cpp asserts bit-exact agreement at every
+/// power-of-two geometry and monotonicity across the rest.
+///
+/// Sampled mode rides for free: note_run() already rescales SHARDS
+/// distances by 1/rate before bucketing and sampled_accesses is the
+/// denominator throughout, so predictions are rate-corrected by
+/// construction. Bit-identity between the batched and per-word engines
+/// follows the same way — identical() profiles produce identical
+/// predictions — and the differential oracle (check_locality_modes)
+/// asserts it end to end.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "locality/profile.hpp"
+#include "report/json.hpp"
+
+namespace dbsp::locality {
+
+/// One cache configuration a prediction is evaluated at.
+struct CacheGeometry {
+    std::string name;    ///< "L1d", "L2", "hmm-level-3", ...
+    std::string source;  ///< "sysfs" | "model" | "fixed"
+    std::uint64_t capacity_words = 0;
+};
+
+/// Predicted LRU miss ratio at capacity \p capacity_words: the fraction of
+/// (sampled) references whose corrected reuse distance is >= the capacity,
+/// cold misses included. 0.0 on an empty profile; 1.0 at capacity 0.
+double predicted_miss_ratio(const LocalityProfile& profile, std::uint64_t capacity_words);
+
+/// True when the prediction at this capacity is exact rather than
+/// within-bucket interpolated (power-of-two capacities, and 0).
+bool prediction_is_exact(std::uint64_t capacity_words);
+
+/// Host data-cache geometries from
+/// /sys/devices/system/cpu/cpu0/cache/index*/ (Data and Unified levels),
+/// capacities converted to words of \p word_bytes. Empty when sysfs is
+/// absent — callers treat host geometries as best-effort context.
+std::vector<CacheGeometry> host_cache_geometries(std::uint64_t word_bytes = 8,
+                                                 const std::string& sysfs_root =
+                                                     "/sys/devices/system/cpu/cpu0/cache");
+
+/// The simulated machine's own level boundaries: cumulative capacity of HMM
+/// levels 0..l is exactly 2^l words (the doubling bands of the access
+/// function), for l = 1 .. max_level.
+std::vector<CacheGeometry> level_geometries(unsigned max_level);
+
+/// The `dbsp-cachemodel-v1` JSON section: profile provenance, the full MRC
+/// at power-of-two capacities (all exact), and a prediction per geometry.
+report::Json cache_model_json(const LocalityProfile& profile,
+                              const std::vector<CacheGeometry>& geometries);
+
+}  // namespace dbsp::locality

@@ -1,0 +1,241 @@
+#include "perf/counters.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace dbsp::perf {
+
+struct CounterGroup::Event {
+    std::string name;
+    int fd = -1;
+    std::string reason;  ///< open failure when fd < 0
+};
+
+namespace {
+
+/// Kill switch: any non-empty value other than "0" forces every group
+/// unavailable with a deterministic reason — the CI degradation smoke.
+bool perf_disabled_by_env() {
+    const char* env = std::getenv("DBSP_NO_PERF");
+    return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+
+#if defined(__linux__)
+
+struct EventSpec {
+    const char* name;
+    std::uint32_t type;
+    std::uint64_t config;
+};
+
+constexpr std::uint64_t hw_cache(std::uint64_t cache, std::uint64_t op,
+                                 std::uint64_t result) {
+    return cache | (op << 8) | (result << 16);
+}
+
+/// The fixed event set. LLC traffic uses the portable
+/// PERF_COUNT_HW_CACHE_REFERENCES/MISSES pair (op-level LL cache events are
+/// unsupported on many PMUs); L1D and dTLB use read-op cache events, which
+/// match the replayed workload (pure loads).
+const EventSpec kEvents[] = {
+    {"cycles", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {"instructions", PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {"l1d_read_accesses", PERF_TYPE_HW_CACHE,
+     hw_cache(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+              PERF_COUNT_HW_CACHE_RESULT_ACCESS)},
+    {"l1d_read_misses", PERF_TYPE_HW_CACHE,
+     hw_cache(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+              PERF_COUNT_HW_CACHE_RESULT_MISS)},
+    {"llc_accesses", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+    {"llc_misses", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {"dtlb_read_accesses", PERF_TYPE_HW_CACHE,
+     hw_cache(PERF_COUNT_HW_CACHE_DTLB, PERF_COUNT_HW_CACHE_OP_READ,
+              PERF_COUNT_HW_CACHE_RESULT_ACCESS)},
+    {"dtlb_read_misses", PERF_TYPE_HW_CACHE,
+     hw_cache(PERF_COUNT_HW_CACHE_DTLB, PERF_COUNT_HW_CACHE_OP_READ,
+              PERF_COUNT_HW_CACHE_RESULT_MISS)},
+};
+
+int open_event(const EventSpec& spec, bool inherit) {
+    perf_event_attr attr{};
+    attr.size = sizeof(attr);
+    attr.type = spec.type;
+    attr.config = spec.config;
+    attr.disabled = 1;
+    // Unprivileged processes may only count user space (perf_event_paranoid
+    // >= 1 rejects kernel counting outright); excluding it uniformly also
+    // keeps readings comparable across privilege levels.
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.inherit = inherit ? 1 : 0;
+    attr.read_format = PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+    return static_cast<int>(
+        ::syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+#endif  // defined(__linux__)
+
+}  // namespace
+
+const std::vector<std::string>& CounterGroup::event_names() {
+    static const std::vector<std::string> names = {
+        "cycles",           "instructions",       "l1d_read_accesses",
+        "l1d_read_misses",  "llc_accesses",       "llc_misses",
+        "dtlb_read_accesses", "dtlb_read_misses",
+    };
+    return names;
+}
+
+CounterGroup::CounterGroup(const Options& options) {
+    if (perf_disabled_by_env()) {
+        reason_ = "disabled by DBSP_NO_PERF";
+        for (const std::string& name : event_names()) {
+            events_.push_back(Event{name, -1, reason_});
+        }
+        return;
+    }
+#if defined(__linux__)
+    std::string first_error;
+    for (const EventSpec& spec : kEvents) {
+        Event e;
+        e.name = spec.name;
+        e.fd = open_event(spec, options.inherit);
+        if (e.fd < 0) {
+            e.reason = std::strerror(errno);
+            if (first_error.empty()) first_error = e.reason;
+        } else {
+            available_ = true;
+        }
+        events_.push_back(std::move(e));
+    }
+    if (!available_) {
+        reason_ = "perf_event_open failed: " +
+                  (first_error.empty() ? std::string("unknown error") : first_error);
+    }
+#else
+    (void)options;
+    reason_ = "perf_event_open unsupported on this platform";
+    for (const std::string& name : event_names()) {
+        events_.push_back(Event{name, -1, reason_});
+    }
+#endif
+}
+
+CounterGroup::~CounterGroup() {
+#if defined(__linux__)
+    for (Event& e : events_) {
+        if (e.fd >= 0) ::close(e.fd);
+    }
+#endif
+}
+
+void CounterGroup::start() {
+#if defined(__linux__)
+    for (Event& e : events_) {
+        if (e.fd < 0) continue;
+        ::ioctl(e.fd, PERF_EVENT_IOC_RESET, 0);
+        ::ioctl(e.fd, PERF_EVENT_IOC_ENABLE, 0);
+    }
+#endif
+}
+
+void CounterGroup::stop() {
+#if defined(__linux__)
+    for (Event& e : events_) {
+        if (e.fd >= 0) ::ioctl(e.fd, PERF_EVENT_IOC_DISABLE, 0);
+    }
+#endif
+}
+
+CounterSnapshot CounterGroup::read() const {
+    CounterSnapshot snap;
+    snap.available = available_;
+    snap.reason = reason_;
+    for (const Event& e : events_) {
+        CounterValue v;
+        v.name = e.name;
+        if (e.fd < 0) {
+            v.reason = e.reason;
+            snap.values.push_back(std::move(v));
+            continue;
+        }
+#if defined(__linux__)
+        // PERF_FORMAT_TOTAL_TIME_ENABLED|RUNNING: {value, enabled, running}.
+        std::uint64_t buf[3] = {0, 0, 0};
+        const ssize_t got = ::read(e.fd, buf, sizeof buf);
+        if (got != static_cast<ssize_t>(sizeof buf)) {
+            v.reason = "short read";
+            snap.values.push_back(std::move(v));
+            continue;
+        }
+        v.available = true;
+        v.raw = buf[0];
+        const double enabled = static_cast<double>(buf[1]);
+        const double running = static_cast<double>(buf[2]);
+        if (buf[2] > 0 && buf[1] > 0) {
+            v.scaled = static_cast<double>(buf[0]) * (enabled / running);
+            v.duty = running / enabled;
+        } else {
+            // Never scheduled: raw is 0 and there is nothing to scale.
+            v.scaled = static_cast<double>(buf[0]);
+            v.duty = buf[1] > 0 ? 0.0 : 1.0;
+        }
+#endif
+        snap.values.push_back(std::move(v));
+    }
+    return snap;
+}
+
+const CounterValue* CounterSnapshot::find(const std::string& name) const {
+    for (const CounterValue& v : values) {
+        if (v.name == name) return &v;
+    }
+    return nullptr;
+}
+
+double CounterSnapshot::scaled(const std::string& name, double fallback) const {
+    const CounterValue* v = find(name);
+    return v != nullptr && v->available ? v->scaled : fallback;
+}
+
+double CounterSnapshot::ratio(const std::string& numerator, const std::string& denominator,
+                              double fallback) const {
+    const CounterValue* num = find(numerator);
+    const CounterValue* den = find(denominator);
+    if (num == nullptr || den == nullptr || !num->available || !den->available ||
+        den->scaled <= 0.0) {
+        return fallback;
+    }
+    return num->scaled / den->scaled;
+}
+
+report::Json CounterSnapshot::to_json() const {
+    report::Json j = report::Json::object();
+    j.set("available", available);
+    if (!available) j.set("reason", reason);
+    report::Json events = report::Json::object();
+    for (const CounterValue& v : values) {
+        report::Json e = report::Json::object();
+        e.set("available", v.available);
+        if (v.available) {
+            e.set("raw", v.raw);
+            e.set("scaled", v.scaled);
+            e.set("duty", v.duty);
+        } else {
+            e.set("reason", v.reason);
+        }
+        events.set(v.name, std::move(e));
+    }
+    j.set("events", std::move(events));
+    return j;
+}
+
+}  // namespace dbsp::perf

@@ -31,6 +31,9 @@ std::optional<MicroData> MicroData::from_json(const Json& j, std::string* error)
     m.costs_bit_identical = j["costs_bit_identical"].as_bool(true);
     m.trace_exact = j["trace_total_equals_cost"].as_bool(true);
     m.locality_counts_exact = j["locality_counts_exact"].as_bool(true);
+    m.counters_cost_bit_identical = j["costs_bit_identical_counters"].as_bool(true);
+    m.counters_available = j["counters"]["available"].as_bool(false);
+    m.counters_reason = j["counters"]["reason"].as_string();
     return m;
 }
 
@@ -46,7 +49,7 @@ bool CombinedReport::pass() const {
         if (!e.pass()) return false;
     }
     if (micro && !(micro->costs_bit_identical && micro->trace_exact &&
-                   micro->locality_counts_exact)) {
+                   micro->locality_counts_exact && micro->counters_cost_bit_identical)) {
         return false;
     }
     return true;
@@ -223,10 +226,14 @@ std::string CombinedReport::markdown(const CombinedReport* baseline) const {
                     delta = fmt(c.measured - bc->measured);
                 }
             }
-            out += "| " + c.label + " | " + c.kind + " | " + fmt(c.measured) + " | " +
+            const std::string verdict =
+                c.waived ? "waived (" + c.waive_reason + ")"
+                         : (c.pass ? std::string("pass") : std::string("**FAIL**"));
+            out += "| " + c.label + " | " + c.kind + " | " +
+                   (c.waived ? std::string("—") : fmt(c.measured)) + " | " +
                    fmt(c.predicted) + " | " + fmt(c.tolerance) + " | " +
                    (c.kind == "exponent" ? fmt(c.r_squared) : std::string("—")) + " | " +
-                   delta + " | " + (c.pass ? "pass" : "**FAIL**") + " |\n";
+                   delta + " | " + verdict + " |\n";
         }
         render_table_series(e, out);
     }
@@ -246,7 +253,16 @@ std::string CombinedReport::markdown(const CombinedReport* baseline) const {
         out += std::string("- costs bit-identical: ") +
                (micro->costs_bit_identical ? "yes" : "**NO**") + ", trace mirror exact: " +
                (micro->trace_exact ? "yes" : "**NO**") + ", locality counts exact: " +
-               (micro->locality_counts_exact ? "yes" : "**NO**") + "\n";
+               (micro->locality_counts_exact ? "yes" : "**NO**") +
+               ", counter leg cost bit-identical: " +
+               (micro->counters_cost_bit_identical ? "yes" : "**NO**") + "\n";
+        out += std::string("- hardware counters: ") +
+               (micro->counters_available
+                    ? "available (multiplex-corrected snapshot in artifact)"
+                    : "unavailable" + (micro->counters_reason.empty()
+                                           ? std::string()
+                                           : " (" + micro->counters_reason + ")")) +
+               "\n";
         if (baseline != nullptr && baseline->micro) {
             const double base = baseline->micro->bulk_words_per_sec;
             if (base > 0.0) {
@@ -294,6 +310,12 @@ std::vector<std::string> gate_violations(const CombinedReport& current,
                 }
                 continue;
             }
+            // A waived side has no measurement to drift against: a check
+            // waived at baseline (recorded on a counter-less machine) or at
+            // head (counters denied in this run) is auto-excused from the
+            // drift rules. The unconditional !pass rule above still fires
+            // for non-waived failures.
+            if (bc.waived || cc->waived) continue;
             if (bc.kind == "exponent") {
                 const double drift = std::fabs(cc->measured - bc.measured);
                 if (drift > options.exponent_drift) {
@@ -342,6 +364,10 @@ std::vector<std::string> gate_violations(const CombinedReport& current,
         }
         if (!current.micro->locality_counts_exact) {
             violation("micro: LocalitySink reference counts no longer match words_touched");
+        }
+        if (!current.micro->counters_cost_bit_identical) {
+            violation("micro: arming hardware counters changed the charged cost "
+                      "(counters must be pure observation)");
         }
     }
 

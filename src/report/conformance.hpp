@@ -52,6 +52,15 @@ struct MicroData {
     bool trace_exact = true;
     /// LocalitySink reference counts matched words_touched on every rep.
     bool locality_counts_exact = true;
+    /// The counter leg charged the same cost as the untraced leg, bit for
+    /// bit — arming perf counters must be pure observation. Computed (and
+    /// gated) regardless of whether the PMU was actually available.
+    bool counters_cost_bit_identical = true;
+    /// Whether the hardware-counter snapshot in the document carries live
+    /// readings; informational (never gated — a counter-less host is a
+    /// waiver, not a failure). `counters_reason` explains unavailability.
+    bool counters_available = false;
+    std::string counters_reason;
 
     static std::optional<MicroData> from_json(const Json& j, std::string* error);
 };

@@ -29,6 +29,10 @@ Json Check::to_json() const {
         j.set("r_squared", r_squared);
         j.set("max_residual", max_residual);
     }
+    if (waived) {
+        j.set("waived", true);
+        j.set("waive_reason", waive_reason);
+    }
     j.set("pass", pass);
     return j;
 }
@@ -74,11 +78,21 @@ std::optional<Check> Check::from_json(const Json& j, std::string* error) {
     }
     c.r_squared = j["r_squared"].as_double(0.0);
     c.max_residual = j["max_residual"].as_double(0.0);
+    // Optional (absent in pre-waiver artifacts). A waived check must not
+    // record a failing verdict: waiving exists precisely so unavailable
+    // measurements don't fail, and a hand-edited waived+fail pair is
+    // malformed.
+    c.waived = j["waived"].as_bool(false);
+    c.waive_reason = j["waive_reason"].is_string() ? j["waive_reason"].as_string() : "";
     if (!j["pass"].is_bool()) {
         if (error != nullptr) *error = "missing or non-boolean \"pass\"";
         return std::nullopt;
     }
     c.pass = j["pass"].as_bool();
+    if (c.waived && !c.pass) {
+        if (error != nullptr) *error = "check \"" + c.id + "\" is waived but records pass=false";
+        return std::nullopt;
+    }
     return c;
 }
 

@@ -46,6 +46,12 @@ struct Check {
     double r_squared = 0.0;
     double max_residual = 0.0;
     bool pass = false;
+    /// Waived checks record that their measurement was *unavailable* rather
+    /// than wrong (e.g. hardware counters denied in a container): pass is
+    /// forced true, `waive_reason` says why, and the regression gate skips
+    /// drift comparison whenever either side of a baseline pair is waived.
+    bool waived = false;
+    std::string waive_reason;
 
     /// Evaluate the verdict from kind/measured/predicted/tolerance.
     static bool evaluate(const std::string& kind, double measured, double predicted,

@@ -29,7 +29,9 @@ report::Json RequestRecord::to_json() const {
 }
 
 Telemetry::Telemetry(Options options)
-    : options_(options), start_ns_(steady_now_ns()) {}
+    : options_(options), start_ns_(steady_now_ns()) {
+    counters_.start();
+}
 
 void Telemetry::record_request(RequestRecord record) {
     const std::int64_t now_s = steady_seconds();
@@ -150,6 +152,11 @@ report::Json Telemetry::frame(std::uint64_t seq, const ServerVitals& vitals) con
     proc.set("open_fds", proc_count("/proc/self/fd"));
     proc.set("threads", proc_count("/proc/self/task"));
     f.set("proc", std::move(proc));
+
+    // Process-wide hardware counters since boot (multiplex-corrected; see
+    // perf/counters.hpp). Purely observational: the section rides only in
+    // telemetry frames, never in deterministic replies.
+    f.set("counters", counters_.read().to_json());
     return f;
 }
 

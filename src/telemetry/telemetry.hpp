@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "perf/counters.hpp"
 #include "report/json.hpp"
 #include "report/metrics.hpp"
 #include "telemetry/logger.hpp"
@@ -123,6 +124,13 @@ private:
 
     mutable std::mutex ring_mutex_;
     std::deque<RequestRecord> ring_;  ///< newest at the back
+
+    /// Process-wide hardware counters (inherit=1: opened at construction,
+    /// before the worker pool spawns, so child threads count too). Counting
+    /// runs from boot; each frame reports the totals so far. Unavailable
+    /// groups (containers, DBSP_NO_PERF) degrade to an
+    /// {"available":false, "reason":...} section — never an error.
+    perf::CounterGroup counters_{perf::CounterGroup::Options{/*inherit=*/true}};
 };
 
 /// Count of entries in a /proc/self directory (open fds, task threads);

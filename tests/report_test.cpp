@@ -444,6 +444,115 @@ TEST(Gate, LocalityOverheadCeilingsAreAbsoluteBoundsOnHead) {
         report::gate_violations(with_locality(3000, 250, 0.2), base, tight).size(), 1u);
 }
 
+TEST(Check, WaivedChecksRoundTripAndRejectContradictions) {
+    CombinedReport r = sample_report();
+    Check waived;
+    waived.label = "measured L1d rank";
+    waived.id = "measured-l1d-rank";
+    waived.kind = "min";
+    waived.predicted = 0.0;
+    waived.pass = true;
+    waived.waived = true;
+    waived.waive_reason = "perf_event_open failed: EACCES";
+    r.experiments[0].checks.push_back(waived);
+    EXPECT_TRUE(r.pass());
+
+    const Json j = r.to_json();
+    std::string error;
+    const auto back = CombinedReport::from_json(*Json::parse(j.dump()), &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    const Check& c = back->experiments[0].checks[1];
+    EXPECT_TRUE(c.waived);
+    EXPECT_TRUE(c.pass);
+    EXPECT_EQ(c.waive_reason, "perf_event_open failed: EACCES");
+    // Non-waived checks must not grow the fields in their serialized form.
+    EXPECT_FALSE(j["experiments"].items()[0]["checks"].items()[0].contains("waived"));
+
+    // A waiver that still records a failure is a contradiction: waiving
+    // forces pass, so such a document was hand-edited or corrupted.
+    Json bad = j["experiments"].items()[0];
+    Json checks = bad["checks"];
+    Json broken = checks.items()[1];
+    broken.set("pass", false);
+    Json rebuilt = Json::array();
+    rebuilt.push_back(checks.items()[0]);
+    rebuilt.push_back(std::move(broken));
+    bad.set("checks", std::move(rebuilt));
+    bad.set("pass", false);
+    EXPECT_FALSE(report::ExperimentResult::from_json(bad, &error).has_value());
+    EXPECT_NE(error.find("waived"), std::string::npos);
+}
+
+TEST(Gate, WaivedChecksAreExcusedFromDriftComparison) {
+    // A measured check recorded on a PMU-enabled machine vs a head run where
+    // counters were denied (or vice versa): drift has no meaning when one
+    // side carries no measurement, so the gate skips the pair entirely.
+    CombinedReport base = sample_report();
+    Check& bc = base.experiments[0].checks[0];
+    bc.kind = "min";
+    bc.measured = 0.8;
+    bc.tolerance = 0.0;
+    const GateOptions opts;
+    {  // head waived, baseline measured: huge nominal drift, no violation
+        CombinedReport cur = base;
+        Check& cc = cur.experiments[0].checks[0];
+        cc.measured = 0.0;
+        cc.pass = true;
+        cc.waived = true;
+        cc.waive_reason = "disabled by DBSP_NO_PERF";
+        EXPECT_TRUE(report::gate_violations(cur, base, opts).empty());
+    }
+    {  // baseline waived, head measured: same
+        CombinedReport b2 = base;
+        Check& wb = b2.experiments[0].checks[0];
+        wb.measured = 0.0;
+        wb.pass = true;
+        wb.waived = true;
+        wb.waive_reason = "disabled by DBSP_NO_PERF";
+        CombinedReport cur = base;
+        cur.experiments[0].checks[0].measured = 123.0;
+        EXPECT_TRUE(report::gate_violations(cur, b2, opts).empty());
+    }
+    {  // neither waived: the drift rule still bites
+        CombinedReport cur = base;
+        cur.experiments[0].checks[0].measured = 123.0;
+        EXPECT_EQ(report::gate_violations(cur, base, opts).size(), 1u);
+    }
+}
+
+TEST(Gate, CounterLegCostIdentityIsGatedAndAvailabilityIsNot) {
+    const CombinedReport base = sample_report();
+    const GateOptions opts;
+    {
+        // Counters unavailable is a waiver, never a violation.
+        CombinedReport cur = base;
+        Json doc = micro_doc(1e6);
+        Json counters = Json::object();
+        counters.set("available", false);
+        counters.set("reason", "perf_event_open failed: ENOENT");
+        doc.set("counters", std::move(counters));
+        std::string error;
+        cur.micro = *MicroData::from_json(doc, &error);
+        EXPECT_FALSE(cur.micro->counters_available);
+        EXPECT_EQ(cur.micro->counters_reason, "perf_event_open failed: ENOENT");
+        EXPECT_TRUE(cur.pass());
+        EXPECT_TRUE(report::gate_violations(cur, base, opts).empty());
+    }
+    {
+        // The counter leg charging a different cost is a hard violation
+        // regardless of counter availability: observation changed behavior.
+        CombinedReport cur = base;
+        Json doc = micro_doc(1e6);
+        doc.set("costs_bit_identical_counters", false);
+        std::string error;
+        cur.micro = *MicroData::from_json(doc, &error);
+        EXPECT_FALSE(cur.pass());
+        const auto v = report::gate_violations(cur, base, opts);
+        ASSERT_EQ(v.size(), 1u);
+        EXPECT_NE(v[0].find("hardware counters"), std::string::npos);
+    }
+}
+
 TEST(Gate, MarkdownDashboardCarriesVerdictsAndBaselineDeltas) {
     const CombinedReport base = sample_report();
     CombinedReport cur = base;
@@ -456,6 +565,18 @@ TEST(Gate, MarkdownDashboardCarriesVerdictsAndBaselineDeltas) {
     EXPECT_NE(md.find("words/s"), std::string::npos);
     const std::string md_nobase = cur.markdown(nullptr);
     EXPECT_EQ(md_nobase.find("baseline:"), std::string::npos);
+
+    // Waived checks render their reason and suppress the measured value.
+    Check waived;
+    waived.label = "measured L1d rank";
+    waived.id = "measured-l1d-rank";
+    waived.kind = "min";
+    waived.pass = true;
+    waived.waived = true;
+    waived.waive_reason = "no PMU";
+    cur.experiments[0].checks.push_back(waived);
+    const std::string md_waived = cur.markdown(&base);
+    EXPECT_NE(md_waived.find("waived (no PMU)"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,37 @@
+# Degradation smoke for the hardware-counter layer: run dbsp_explore
+# --counters with perf_event_open force-denied (DBSP_NO_PERF=1), assert the
+# run still succeeds, the console reports the reason, and the
+# dbsp-hwcounters-v1 artifact carries "counters":{"available":false,
+# "reason":...} — the contract every downstream consumer (gate checks,
+# dashboard rows, bench legs) auto-waives on.
+#
+# Inputs: EXPLORE_TOOL (dbsp_explore binary), WORK_DIR (scratch directory).
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(ENV{DBSP_NO_PERF} 1)
+execute_process(
+    COMMAND ${EXPLORE_TOOL} --program bitonic --v 64 --model both
+            --counters=${WORK_DIR}/hw.json
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dbsp_explore --counters failed under DBSP_NO_PERF "
+                      "(exit ${rc}):\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "hw counters \\(hmm\\): unavailable \\(disabled by DBSP_NO_PERF\\)")
+  message(FATAL_ERROR "missing degradation line in console output:\n${out}")
+endif()
+
+file(READ ${WORK_DIR}/hw.json doc)
+if(NOT doc MATCHES "\"available\":[ \t\r\n]*false")
+  message(FATAL_ERROR "artifact does not record counters unavailable:\n${doc}")
+endif()
+if(NOT doc MATCHES "\"reason\":[ \t\r\n]*\"disabled by DBSP_NO_PERF\"")
+  message(FATAL_ERROR "artifact does not record the unavailability reason:\n${doc}")
+endif()
+if(NOT doc MATCHES "dbsp-cachemodel-v1")
+  message(FATAL_ERROR "artifact lacks the cache-model section (predictions must "
+                      "not depend on counter availability):\n${doc}")
+endif()
+message(STATUS "counters degradation smoke ok")

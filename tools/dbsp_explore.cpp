@@ -8,8 +8,10 @@
 /// Usage:
 ///   dbsp_explore --program fft|fft-rec|matmul|bitonic|oddeven|route
 ///                [--v N] [--f x^A | log] [--model hmm|bt|both|none]
-///                [--seed S] [--trace[=chrome.json]]
-///                [--locality[=profile.json][:sampled[@rate]]] [--rational]
+///                [--seed S] [--rational]
+///                [--trace[=chrome.json]]
+///                [--locality[=profile.json][:sampled[@rate]]]
+///                [--counters[=counters.json]]
 ///   dbsp_explore --spec FILE [--f x^A | log] [--model hmm|bt|both|none]
 ///                [--locality[:sampled[@rate]]]
 ///
@@ -20,16 +22,27 @@
 ///   dbsp_explore --program fft --v 256 --model both --trace=trace.json
 ///   dbsp_explore --program fft --v 4096 --model hmm --locality=profile.json
 ///   dbsp_explore --program fft --v 65536 --model hmm --locality:sampled@0.05
+///   dbsp_explore --program bitonic --v 1024 --model hmm --counters=hw.json
 ///
-/// --trace observes *costs* (where the charged f()-time went, by phase and
-/// level); --locality observes the *address stream* (reuse distances, working
-/// set, per-level hit ratios of the simulated run). The two attach to the
-/// same simulation legs and can be combined. The direct D-BSP leg has no
-/// memory address stream, so --locality covers only the HMM/BT legs.
-/// `:sampled[@rate]` switches the profiler to the SHARDS-sampled engine
-/// (default rate 0.01): rate-corrected approximate analytics at a fraction of
-/// the exact engine's cost — the right mode for large runs where the score
-/// and CDF shape matter more than the last decimal.
+/// The observability flag family — all three attach to the same HMM/BT
+/// simulation legs, can be combined freely, and never change a charged cost:
+///  * --trace observes *costs* (where the charged f()-time went, by phase
+///    and level);
+///  * --locality observes the *address stream* (reuse distances, working
+///    set, per-level hit ratios of the simulated run). `:sampled[@rate]`
+///    switches the profiler to the SHARDS-sampled engine (default rate
+///    0.01): rate-corrected approximate analytics at a fraction of the
+///    exact engine's cost — the right mode for large runs where the score
+///    and CDF shape matter more than the last decimal;
+///  * --counters observes the *host*: each leg runs under a hardware
+///    perf-counter group (cycles, instructions, L1D/LLC/dTLB traffic,
+///    multiplex-corrected) and the locality profile is folded through the
+///    stack-distance cache model into predicted LRU miss ratios at the
+///    host's own L1/L2/LLC geometries (dbsp-cachemodel-v1). Where
+///    perf_event_open is denied (containers, CI) the counters report
+///    unavailable with the errno reason and the predictions still print.
+/// The direct D-BSP leg has no memory address stream, so --locality and
+/// --counters cover only the HMM/BT legs.
 ///
 /// --spec FILE is the offline twin of a dbsp_serve run request: it executes
 /// the `dbsp-spec v1` program in FILE through the same serve::run_to_json
@@ -60,8 +73,10 @@
 #include "core/bt_simulator.hpp"
 #include "core/hmm_simulator.hpp"
 #include "core/smoothing.hpp"
+#include "locality/cache_model.hpp"
 #include "locality/sink.hpp"
 #include "model/dbsp_machine.hpp"
+#include "perf/counters.hpp"
 #include "report/provenance.hpp"
 #include "report/trace_bundle.hpp"
 #include "trace/chrome_trace.hpp"
@@ -77,10 +92,21 @@ using namespace dbsp;
     std::fprintf(stderr,
                  "usage: %s --program fft|fft-rec|matmul|bitonic|oddeven|route\n"
                  "          [--v N] [--f x^A|log] [--model hmm|bt|both|none]\n"
-                 "          [--seed S] [--trace[=chrome.json]]\n"
-                 "          [--locality[=profile.json][:sampled[@rate]]] [--rational]\n"
+                 "          [--seed S] [--rational]\n"
+                 "          [observability flags]\n"
                  "       %s --spec FILE [--f x^A|log] [--model hmm|bt|both|none]\n"
-                 "          [--locality[:sampled[@rate]]]\n",
+                 "          [--locality[:sampled[@rate]]]\n"
+                 "observability flags (attach to the HMM/BT legs; charged costs are\n"
+                 "never affected):\n"
+                 "  --trace[=chrome.json]     charge-trace breakdown by phase and level\n"
+                 "  --locality[=profile.json][:sampled[@rate]]\n"
+                 "                            reuse-distance profile of the simulated\n"
+                 "                            address stream (SHARDS-sampled with\n"
+                 "                            :sampled, default rate 0.01)\n"
+                 "  --counters[=hw.json]      hardware perf counters around each leg +\n"
+                 "                            stack-distance cache-model predictions\n"
+                 "                            (reports unavailable where perf_event_open\n"
+                 "                            is denied)\n",
                  self,
                  self);
     std::exit(2);
@@ -167,6 +193,55 @@ trace::Sink* make_leg_sink(report::TraceBundle& bundle, locality::LocalitySink& 
     return &multi;
 }
 
+/// One leg's hardware-counter summary line (multiplex-corrected ratios), or
+/// the degradation reason.
+void print_counters(const char* leg, const perf::CounterSnapshot& snap) {
+    if (!snap.available) {
+        std::printf("hw counters (%s): unavailable (%s)\n", leg, snap.reason.c_str());
+        return;
+    }
+    auto pct = [&snap](const char* misses, const char* accesses) {
+        const double r = snap.ratio(misses, accesses);
+        return r < 0.0 ? 0.0 : 100.0 * r;
+    };
+    const double cycles = snap.scaled("cycles");
+    std::printf("hw counters (%s): cycles %.4g  ipc %.2f  l1d-miss %.2f%%  "
+                "llc-miss %.2f%%  dtlb-miss %.3f%%\n",
+                leg, cycles, cycles > 0.0 ? snap.scaled("instructions") / cycles : 0.0,
+                pct("l1d_read_misses", "l1d_read_accesses"),
+                pct("llc_misses", "llc_accesses"),
+                pct("dtlb_read_misses", "dtlb_read_accesses"));
+}
+
+/// Stack-distance predictions at the host's own cache geometries.
+void print_cache_model(const std::string& leg, const locality::LocalityProfile& profile) {
+    const auto host = locality::host_cache_geometries();
+    if (host.empty()) {
+        std::printf("cache model (%s): host geometries unavailable (no sysfs)\n",
+                    leg.c_str());
+        return;
+    }
+    std::printf("cache model (%s): predicted LRU miss ratios at host geometries\n",
+                leg.c_str());
+    for (const auto& g : host) {
+        std::printf("  %-4s %12llu words: %.4f%s\n", g.name.c_str(),
+                    static_cast<unsigned long long>(g.capacity_words),
+                    locality::predicted_miss_ratio(profile, g.capacity_words),
+                    locality::prediction_is_exact(g.capacity_words) ? ""
+                                                                    : " (interpolated)");
+    }
+}
+
+/// The geometry set emitted into dbsp-cachemodel-v1 sections: host caches
+/// plus the simulated machine's own level boundaries.
+std::vector<locality::CacheGeometry> artifact_geometries(
+    const locality::LocalityProfile& profile) {
+    auto geos = locality::host_cache_geometries();
+    auto levels = locality::level_geometries(profile.max_level());
+    geos.insert(geos.end(), levels.begin(), levels.end());
+    return geos;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -181,6 +256,8 @@ int main(int argc, char** argv) {
     bool locality_sampled = false;
     double locality_rate = 0.01;
     std::string locality_path;
+    bool counters_enabled = false;
+    std::string counters_path;
     bool rational = false;
     std::string spec_path;
     model::AccessFunction f = model::AccessFunction::polynomial(0.5);
@@ -240,6 +317,12 @@ int main(int argc, char** argv) {
                 }
                 locality_path = rest.substr(1);
             }
+        } else if (arg == "--counters") {
+            counters_enabled = true;
+        } else if (arg.rfind("--counters=", 0) == 0) {
+            counters_enabled = true;
+            counters_path = arg.substr(std::strlen("--counters="));
+            if (counters_path.empty()) bad_arg("--counters", arg.c_str(), "a file path");
         } else if (arg == "--rational") {
             rational = true;
         } else {
@@ -258,10 +341,10 @@ int main(int argc, char** argv) {
 
     if (!spec_path.empty()) {
         // Offline twin of a dbsp_serve run request: same runner, same bytes.
-        if (trace_enabled || !locality_path.empty()) {
+        if (trace_enabled || counters_enabled || !locality_path.empty()) {
             std::fprintf(stderr,
-                         "dbsp_explore: --spec cannot be combined with --trace or a "
-                         "--locality output path\n");
+                         "dbsp_explore: --spec cannot be combined with --trace, "
+                         "--counters, or a --locality output path\n");
             return 2;
         }
         std::ifstream in(spec_path);
@@ -313,6 +396,19 @@ int main(int argc, char** argv) {
         locality_options.sample_rate = locality_rate;
     }
 
+    // --counters needs the reuse-distance profile for its cache-model
+    // predictions, so it implies attaching the locality sink; the profile
+    // tables still print only under an explicit --locality. Neither observer
+    // changes a charged cost (fuzz- and bench-enforced invariant).
+    const bool locality_print = locality_enabled;
+    if (counters_enabled) locality_enabled = true;
+    std::unique_ptr<perf::CounterGroup> hmm_counters, bt_counters;
+    perf::CounterSnapshot hmm_snap, bt_snap;
+    if (counters_enabled) {
+        hmm_counters = std::make_unique<perf::CounterGroup>();
+        bt_counters = std::make_unique<perf::CounterGroup>();
+    }
+
     report::TraceBundle hmm_trace = make_leg_trace(trace_enabled, chrome, "hmm");
     locality::LocalitySink hmm_loc(locality_options);
     bool have_hmm_profile = false;
@@ -322,16 +418,23 @@ int main(int argc, char** argv) {
         trace::MultiSink multi;
         core::HmmSimulator::Options options;
         options.trace = make_leg_sink(hmm_trace, hmm_loc, multi, locality_enabled);
+        if (hmm_counters) hmm_counters->start();
         const auto res = core::HmmSimulator(f, options).simulate(*smoothed);
+        if (hmm_counters) {
+            hmm_counters->stop();
+            hmm_snap = hmm_counters->read();
+        }
         const double bound = core::theorem5_bound(direct, f, v, mu);
         std::printf("%s-HMM simulation: cost %.4g  slowdown/v %.3g  cost/Thm5-bound %.3g\n",
                     f.name().c_str(), res.hmm_cost,
                     res.hmm_cost / (direct.time * static_cast<double>(v)),
                     res.hmm_cost / bound);
         hmm_trace.report("dbsp_explore", "", res.hmm_cost);
-        if (locality_enabled) {
-            hmm_loc.profile().print(stdout, f.name() + "-HMM simulation");
-            have_hmm_profile = true;
+        if (locality_print) hmm_loc.profile().print(stdout, f.name() + "-HMM simulation");
+        if (locality_enabled) have_hmm_profile = true;
+        if (counters_enabled) {
+            print_counters("hmm", hmm_snap);
+            print_cache_model(f.name() + "-HMM", hmm_loc.profile());
         }
     }
     report::TraceBundle bt_trace = make_leg_trace(trace_enabled, chrome, "bt");
@@ -344,7 +447,12 @@ int main(int argc, char** argv) {
         core::BtSimulator::Options options;
         options.use_rational_permutations = rational;
         options.trace = make_leg_sink(bt_trace, bt_loc, multi, locality_enabled);
+        if (bt_counters) bt_counters->start();
         const auto res = core::BtSimulator(f, options).simulate(*smoothed);
+        if (bt_counters) {
+            bt_counters->stop();
+            bt_snap = bt_counters->read();
+        }
         const double bound = core::theorem12_bound(direct, v, mu);
         std::printf("%s-BT  simulation: cost %.4g  cost/Thm12-bound %.3g"
                     "  (sorts %llu, transposes %llu)\n",
@@ -352,9 +460,11 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(res.sort_invocations),
                     static_cast<unsigned long long>(res.transpose_invocations));
         bt_trace.report("dbsp_explore", "", res.bt_cost);
-        if (locality_enabled) {
-            bt_loc.profile().print(stdout, f.name() + "-BT simulation");
-            have_bt_profile = true;
+        if (locality_print) bt_loc.profile().print(stdout, f.name() + "-BT simulation");
+        if (locality_enabled) have_bt_profile = true;
+        if (counters_enabled) {
+            print_counters("bt", bt_snap);
+            print_cache_model(f.name() + "-BT", bt_loc.profile());
         }
     }
 
@@ -389,6 +499,51 @@ int main(int argc, char** argv) {
             return 1;
         }
         std::printf("wrote locality profile to %s\n", locality_path.c_str());
+    }
+
+    if (!counters_path.empty()) {
+        // dbsp-hwcounters-v1: per-leg counter snapshots + cache-model
+        // predictions. The top-level "counters" availability object is the
+        // contract the CI degradation smoke asserts on.
+        report::Json doc = report::Json::object();
+        doc.set("schema", "dbsp-hwcounters-v1");
+        doc.set("provenance", report::Provenance::collect().to_json());
+        doc.set("program", program_name);
+        doc.set("v", v);
+        doc.set("f", f.name());
+        report::Json avail = report::Json::object();
+        const bool any_available = (have_hmm_profile && hmm_snap.available) ||
+                                   (have_bt_profile && bt_snap.available);
+        avail.set("available", any_available);
+        if (!any_available) {
+            avail.set("reason", have_hmm_profile ? hmm_snap.reason
+                                : have_bt_profile ? bt_snap.reason
+                                                  : "no simulation leg ran");
+        }
+        doc.set("counters", std::move(avail));
+        report::Json legs = report::Json::object();
+        if (have_hmm_profile) {
+            report::Json leg = report::Json::object();
+            leg.set("counters", hmm_snap.to_json());
+            const locality::LocalityProfile p = hmm_loc.profile();
+            leg.set("cachemodel", locality::cache_model_json(p, artifact_geometries(p)));
+            legs.set("hmm", std::move(leg));
+        }
+        if (have_bt_profile) {
+            report::Json leg = report::Json::object();
+            leg.set("counters", bt_snap.to_json());
+            const locality::LocalityProfile p = bt_loc.profile();
+            leg.set("cachemodel", locality::cache_model_json(p, artifact_geometries(p)));
+            legs.set("bt", std::move(leg));
+        }
+        doc.set("legs", std::move(legs));
+        std::string error;
+        if (!doc.save_file(counters_path, &error)) {
+            std::fprintf(stderr, "dbsp_explore: cannot write counters file \"%s\": %s\n",
+                         counters_path.c_str(), error.c_str());
+            return 1;
+        }
+        std::printf("wrote hardware-counter report to %s\n", counters_path.c_str());
     }
     return 0;
 }

@@ -413,7 +413,7 @@ int main(int argc, char** argv) {
                     break;
                 }
                 const auto frame = report::Json::parse(frame_line);
-                const bool good =
+                bool good =
                     frame.has_value() &&
                     (*frame)["schema"].as_string() == "dbsp-telemetry-v1" &&
                     (*frame)["seq"].as_double(-1.0) == static_cast<double>(i) &&
@@ -426,6 +426,28 @@ int main(int argc, char** argv) {
                     (*frame)["server"]["requests"].is_number() &&
                     (*frame)["pool"]["workers"].is_number() &&
                     (*frame)["proc"]["open_fds"].as_double() > 0.0;
+                // Counters section: always present with an availability flag;
+                // event readings must appear iff the group is available, and
+                // an unavailable group must say why.
+                if (good) {
+                    const report::Json& ctr = (*frame)["counters"];
+                    if (!ctr["available"].is_bool()) {
+                        good = false;
+                    } else if (ctr["available"].as_bool()) {
+                        // Per-event degradation is allowed (an unsupported
+                        // cache event on this PMU), but each entry must say
+                        // which case it is.
+                        const report::Json& cyc = ctr["events"]["cycles"];
+                        good = cyc["available"].is_bool() &&
+                               (cyc["available"].as_bool()
+                                    ? cyc["scaled"].is_number() &&
+                                          cyc["duty"].is_number()
+                                    : cyc["reason"].is_string());
+                    } else {
+                        good = ctr["reason"].is_string() &&
+                               !ctr["events"]["cycles"]["scaled"].is_number();
+                    }
+                }
                 if (!good) {
                     ++telemetry_bad;
                     std::fprintf(stderr, "dbsp_loadgen: bad telemetry frame: %s\n",

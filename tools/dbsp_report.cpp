@@ -61,6 +61,7 @@ const char* const kExperimentBinaries[] = {
     "bench_e7_brent",         "bench_e8_bt_simulation",     "bench_e9_bt_matmul",
     "bench_e10_bt_fft",       "bench_e11_rational_perm",    "bench_e12_smoothing",
     "bench_e13_locality_ablation", "bench_e14_locality_profile",
+    "bench_e15_hardware_locality",
 };
 
 [[noreturn]] void usage(const char* self) {

@@ -98,6 +98,31 @@ void render_frame(const std::string& socket_path, const dbsp::report::Json& f) {
                 log["enabled"].as_bool() ? "on" : "off", log["written"].as_double(),
                 log["dropped"].as_double(), log["rotations"].as_double(),
                 proc["open_fds"].as_double(), proc["threads"].as_double());
+
+    // Hardware counters since boot (multiplex-corrected). A daemon without
+    // PMU access (container, DBSP_NO_PERF) reports the reason instead.
+    const dbsp::report::Json& ctr = f["counters"];
+    if (ctr["available"].as_bool(false)) {
+        const dbsp::report::Json& ev = ctr["events"];
+        auto scaled = [&ev](const char* name) {
+            return ev[name]["scaled"].as_double(0.0);
+        };
+        auto pct = [](double misses, double accesses) {
+            return accesses > 0.0 ? 100.0 * misses / accesses : 0.0;
+        };
+        const double cycles = scaled("cycles");
+        std::printf("  hw   ipc %.2f   l1d-miss %.2f%%   llc-miss %.2f%%   "
+                    "dtlb-miss %.3f%%   cycles %.3g\n",
+                    cycles > 0.0 ? scaled("instructions") / cycles : 0.0,
+                    pct(scaled("l1d_read_misses"), scaled("l1d_read_accesses")),
+                    pct(scaled("llc_misses"), scaled("llc_accesses")),
+                    pct(scaled("dtlb_read_misses"), scaled("dtlb_read_accesses")),
+                    cycles);
+    } else {
+        const std::string& reason = ctr["reason"].as_string();
+        std::printf("  hw   counters unavailable (%s)\n",
+                    reason.empty() ? "no counters section" : reason.c_str());
+    }
     std::fflush(stdout);
 }
 

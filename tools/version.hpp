@@ -14,14 +14,20 @@
 
 namespace dbsp::tools {
 
+/// Suite release the tools ship with; bumped on each feature PR. The git
+/// SHA remains the precise identity — this is the human-facing marker
+/// (1.1.0: hardware-counter layer + cache-model predictor + E15).
+inline constexpr const char* kSuiteVersion = "1.1.0";
+
 /// True when argv contains --version, in which case the version line has
 /// already been printed to stdout. Callers `return 0` on true.
 inline bool handle_version_flag(int argc, char** argv, const char* tool) {
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--version") == 0) {
             const report::Provenance p = report::Provenance::collect();
-            std::printf("%s %s (%s, %s)\n", tool, p.git_sha.c_str(),
-                        p.build_type.c_str(), p.compiler.c_str());
+            std::printf("%s v%s %s (%s, %s)\n", tool, kSuiteVersion,
+                        p.git_sha.c_str(), p.build_type.c_str(),
+                        p.compiler.c_str());
             return true;
         }
     }
